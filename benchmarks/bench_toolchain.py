@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the toolchain itself (true pytest-benchmark
+timings): profiling throughput, pass application, feature extraction,
+scheduling — the costs that dominate every experiment's wall time."""
+
+import pytest
+
+from repro.features import extract_features
+from repro.hls import CycleProfiler, Scheduler
+from repro.passes import O3_PIPELINE, PassManager
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def test_profile_matmul(benchmark, benchmarks):
+    profiler = CycleProfiler(max_steps=3_000_000)
+    report = benchmark(profiler.profile, benchmarks["matmul"])
+    assert report.cycles > 0
+
+
+def test_schedule_module(benchmark, benchmarks):
+    scheduler = Scheduler()
+    sched = benchmark(scheduler.schedule_module, benchmarks["aes"])
+    assert sched.functions
+
+
+def test_feature_extraction(benchmark, benchmarks):
+    feats = benchmark(extract_features, benchmarks["dhrystone"])
+    assert feats.sum() > 0
+
+
+def test_clone_module(benchmark, benchmarks):
+    clone = benchmark(clone_module, benchmarks["blowfish"])
+    assert clone.instruction_count() == benchmarks["blowfish"].instruction_count()
+
+
+def test_o3_pipeline(benchmark, benchmarks):
+    def run():
+        m = clone_module(benchmarks["gsm"])
+        PassManager().run(m, O3_PIPELINE)
+        return m
+
+    m = benchmark(run)
+    assert m.instruction_count() > 0
+
+
+def test_end_to_end_sample(benchmark, benchmarks):
+    """One 'simulator sample' as the searches see it: clone + passes +
+    profile. Fig 7's budgets multiply directly by this number."""
+    tc = HLSToolchain()
+
+    cycles = benchmark(tc.cycle_count_with_passes, benchmarks["gsm"],
+                       ["-mem2reg", "-loop-rotate", "-simplifycfg"])
+    assert cycles > 0

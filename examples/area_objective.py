@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Alternative objectives (paper §5.1): "It is possible to define a
+different reward for different objectives. For example, the reward could
+be defined as the negative of the area and thus the RL agent will
+optimize for the area. It is also possible to co-optimize multiple
+objectives."
+
+This example trains the same PPO configuration against three objectives
+and shows the resulting cycles/area trade-off.
+
+Run:  python examples/area_objective.py
+"""
+
+from repro.programs import chstone
+from repro.rl.env import PhaseOrderEnv
+from repro.rl.ppo import PPOAgent, PPOConfig, Rollout
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def train(objective: str, module, episodes: int = 10, length: int = 8):
+    env = PhaseOrderEnv([module], episode_length=length, observation="features",
+                        objective=objective, seed=0)
+    agent = PPOAgent(env.observation_dim, env.num_actions,
+                     config=PPOConfig(hidden=(64, 64), seed=0))
+    best = (None, float("inf"))
+    rollout = Rollout()
+    for ep in range(episodes):
+        obs = env.reset()
+        done = False
+        while not done:
+            action, logp, value = agent.act(obs)
+            obs, reward, done, info = env.step(int(action[0]))
+            rollout.add(obs, action, logp, reward, value, done)
+        if info["best_cycles"] < best[1]:
+            best = (info["best_sequence"], info["best_cycles"])
+        if (ep + 1) % 2 == 0:
+            agent.update(rollout)
+            rollout = Rollout()
+    return best[0] or []
+
+
+def main() -> None:
+    tc = HLSToolchain()
+    module = chstone.build("mpeg2")
+    print("objective        cycles     area-score   (PPO, 10 episodes, mpeg2)")
+    for objective in ("cycles", "area", "cycles-area"):
+        sequence = train(objective, module)
+        candidate = clone_module(module)
+        tc.apply_passes(candidate, sequence)
+        cycles = tc.cycle_count(candidate)
+        area = tc.area_score(candidate)
+        print(f"{objective:<14} {cycles:>8} {area:>12.0f}")
+    o3 = clone_module(module)
+    tc.apply_passes(o3, tc.o3_sequence())
+    print(f"{'-O3 (ref)':<14} {tc.cycle_count(o3):>8} {tc.area_score(o3):>12.0f}")
+
+
+if __name__ == "__main__":
+    main()

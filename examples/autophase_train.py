@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""AutoPhase end-to-end: train a PPO agent on random programs, then apply
+it zero-shot (one simulator sample) to the nine CHStone-like benchmarks —
+a miniature of the paper's §6.2 / Figure 9 protocol.
+
+Run:  python examples/autophase_train.py          (a few minutes)
+      REPRO_SCALE=smoke python examples/autophase_train.py   (fast)
+"""
+
+from repro.experiments.config import get_scale
+from repro.experiments.fig5_fig6 import run_fig5_fig6
+from repro.programs import chstone
+from repro.programs.generator import generate_corpus
+from repro.rl.agents import infer_sequence, train_agent
+from repro.passes.registry import PASS_TABLE
+from repro.toolchain import HLSToolchain
+
+
+def main() -> None:
+    scale = get_scale()
+    tc = HLSToolchain()
+
+    print(f"[1/4] generating {scale.n_train_programs} random training programs "
+          "(CSmith stand-in + HLS filter)...")
+    corpus = generate_corpus(scale.n_train_programs, seed=0)
+
+    print("[2/4] random-forest importance analysis (Figures 5-6) to filter "
+          "features and passes...")
+    fig56 = run_fig5_fig6(corpus, scale=scale, seed=0)
+    feature_indices = fig56.analysis.select_features(top_k=24)
+    action_indices = fig56.analysis.select_passes(top_k=16)
+    print(f"      kept {len(feature_indices)} features, "
+          f"{len(action_indices)} passes:")
+    print("      " + " ".join(PASS_TABLE[i] for i in action_indices))
+
+    print(f"[3/4] training PPO (obs = features ⊕ pass histogram, "
+          f"instruction-count normalization) for {scale.fig8_episodes} episodes...")
+    result = train_agent("RL-PPO2", corpus, episodes=scale.fig8_episodes,
+                         episode_length=scale.episode_length,
+                         observation="both", normalization="instcount",
+                         feature_indices=feature_indices,
+                         action_indices=action_indices,
+                         reward_mode="log", seed=0)
+    print(f"      trained on {result.samples} simulator samples; "
+          f"final episode-reward-mean {result.episode_reward_mean()[-1]:+.2f}")
+
+    print("[4/4] zero-shot inference on the nine benchmarks (1 sample each):")
+    improvements = []
+    for name in chstone.BENCHMARK_NAMES:
+        module = chstone.build(name)
+        o3 = tc.o3_cycles(module)
+        applied, optimized = infer_sequence(
+            result.agent, module, length=scale.episode_length,
+            observation="both", feature_indices=feature_indices,
+            action_indices=action_indices, normalization="instcount",
+            toolchain=tc)
+        cycles = tc.cycle_count(optimized)
+        improvement = (o3 - cycles) / o3
+        improvements.append(improvement)
+        seq = " ".join(PASS_TABLE[i] for i in applied[:5])
+        more = "..." if len(applied) > 5 else ""
+        print(f"      {name:<10} {improvement:+7.1%} vs -O3   [{seq}{more}]")
+    mean = sum(improvements) / len(improvements)
+    print(f"\nmean zero-shot improvement over -O3: {mean:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The HLS flow end to end on a hand-written program: build C-like IR with
+CWriter, inspect the scheduled FSM, profile cycles at the paper's 200 MHz
+constraint, estimate area, and emit Verilog-style RTL.
+
+Run:  python examples/hls_flow.py
+"""
+
+from repro.hls import AreaEstimator, CycleProfiler, HLSConstraints, RTLEmitter, Scheduler
+from repro.ir import Module
+from repro.passes import PassManager
+from repro.programs import CWriter
+
+
+def build_fir() -> Module:
+    """An 8-tap FIR filter over 32 samples — a typical HLS kernel."""
+    m = Module("fir")
+    fw = CWriter(m, "main", linkage="external")
+    taps = fw.global_array("taps", [1, 4, 6, 4, 1, -2, -4, 3])
+    samples = fw.global_array("samples", [(i * 37) % 64 - 32 for i in range(32)],
+                              constant=False)
+    acc_total = fw.local("acc_total", init=0)
+    with fw.loop("n", 7, 32) as n:
+        acc = fw.local("acc", init=0)
+        fw.store_var(acc, 0)
+        with fw.loop("k", 0, 8) as k:
+            s = fw.load_elem(samples, fw.b.sub(n, k))
+            t = fw.load_elem(taps, k)
+            fw.store_var(acc, fw.b.add(fw.load_var(acc), fw.b.mul(s, t)))
+        fw.store_var(acc_total, fw.b.xor(fw.load_var(acc_total), fw.load_var(acc)))
+    fw.ret(fw.b.and_(fw.load_var(acc_total), fw.b.const(0xFFFF)))
+    return m
+
+
+def show_schedule(module: Module, title: str) -> None:
+    profiler = CycleProfiler()
+    report = profiler.profile(module)
+    func = module.get_function("main")
+    sched = Scheduler().schedule_function(func)
+    print(f"\n{title}")
+    print(f"  total cycles @200MHz: {report.cycles}  "
+          f"(= {report.wall_time_us:.2f} us)")
+    print(f"  FSM states per block (x dynamic visits):")
+    for bb in func.blocks:
+        states = sched.num_states(bb)
+        visits = report.visits_by_block.get(f"main:{bb.name}", 0)
+        print(f"    {bb.name:<12} {states:>2} states x {visits:>4} visits")
+    area = AreaEstimator().estimate(module)
+    print(f"  area estimate: {area.luts} LUTs, {area.ffs} FFs, "
+          f"{area.dsps} DSPs, {area.bram_bits} BRAM bits")
+
+
+def main() -> None:
+    module = build_fir()
+    show_schedule(module, "Unoptimized (-O0, Clang-style allocas everywhere)")
+
+    PassManager().run(module, [
+        "-mem2reg", "-loop-simplify", "-loop-rotate", "-licm",
+        "-loop-reduce", "-instcombine", "-gvn", "-simplifycfg", "-adce",
+    ])
+    show_schedule(module, "After a good phase ordering")
+
+    print("\nFrequency-constraint study (the paper's §3.2 experiment):")
+    for period, label in ((10.0, "100 MHz"), (5.0, "200 MHz"), (3.0, "333 MHz")):
+        report = CycleProfiler(HLSConstraints(clock_period_ns=period)).profile(module)
+        print(f"  {label:>8}: {report.cycles:>6} cycles "
+              f"({report.cycles * period / 1000.0:.2f} us)")
+
+    rtl = RTLEmitter().emit_module(module)
+    print(f"\nGenerated RTL: {len(rtl.splitlines())} lines; header:")
+    for line in rtl.splitlines()[:8]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

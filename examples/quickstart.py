@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a kernel, compare -O0 / -O3 / a hand-picked phase
+ordering, and peek at the generated RTL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hls import RTLEmitter
+from repro.programs import chstone
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def main() -> None:
+    tc = HLSToolchain()
+    module = chstone.build("matmul")
+
+    o0 = tc.o0_cycles(module)
+    o3 = tc.o3_cycles(module)
+    print(f"matmul  -O0: {o0:>7} cycles")
+    print(f"matmul  -O3: {o3:>7} cycles   ({(o0 - o3) / o0:+.1%} vs -O0)")
+
+    # A custom ordering exploiting the paper's §4.2 interaction: promote
+    # memory first, rotate loops, *then* unroll, then clean up.
+    custom = ["-mem2reg", "-loop-rotate", "-loop-reduce", "-instcombine",
+              "-loop-unroll", "-gvn", "-simplifycfg", "-adce"]
+    cycles = tc.cycle_count_with_passes(module, custom)
+    print(f"matmul  custom ordering: {cycles:>7} cycles   ({(o3 - cycles) / o3:+.1%} vs -O3)")
+    print(f"        sequence: {' '.join(custom)}")
+
+    # And the reversed rotate/unroll order, which the paper reports is
+    # much less effective:
+    reversed_seq = ["-mem2reg", "-loop-unroll", "-loop-rotate", "-instcombine",
+                    "-gvn", "-simplifycfg", "-adce"]
+    worse = tc.cycle_count_with_passes(module, reversed_seq)
+    print(f"matmul  unroll-before-rotate: {worse:>7} cycles "
+          f"(ordering matters: {worse - cycles:+} cycles vs the good order)")
+
+    # The HLS backend's final artifact: a Verilog-style FSM+datapath.
+    optimized = clone_module(module)
+    tc.apply_passes(optimized, custom)
+    rtl = RTLEmitter().emit_module(optimized)
+    print("\nFirst lines of the generated RTL:")
+    for line in rtl.splitlines()[:12]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Mini Figure 7: run every search strategy on one kernel and compare
+final circuit speed and samples consumed.
+
+Run:  python examples/search_comparison.py [benchmark-name]
+"""
+
+import sys
+
+from repro.passes.registry import PASS_TABLE
+from repro.programs import chstone
+from repro.rl.agents import train_agent
+from repro.search import (
+    GAConfig,
+    OpenTunerConfig,
+    genetic_search,
+    greedy_search,
+    opentuner_search,
+    random_search,
+)
+from repro.toolchain import HLSToolchain
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "matmul"
+    module = chstone.build(name)
+    tc = HLSToolchain()
+    o0, o3 = tc.o0_cycles(module), tc.o3_cycles(module)
+    print(f"{name}: -O0 {o0} cycles, -O3 {o3} cycles "
+          f"({(o0 - o3) / o0:+.1%} from -O3)\n")
+    print(f"{'strategy':<14} {'cycles':>8} {'vs -O3':>8} {'samples':>8}")
+
+    def row(label, cycles, samples):
+        print(f"{label:<14} {cycles:>8} {(o3 - cycles) / o3:>+7.1%} {samples:>8}")
+
+    r = random_search(module, budget=150, sequence_length=12, seed=0)
+    row("Random", r.best_cycles, r.samples)
+
+    r = greedy_search(module, max_length=3)
+    row("Greedy", r.best_cycles, r.samples)
+    greedy_best = r.best_sequence
+
+    r = genetic_search(module, GAConfig(population=12, generations=8,
+                                        sequence_length=12), seed=0)
+    row("Genetic-DEAP", r.best_cycles, r.samples)
+
+    r = opentuner_search(module, OpenTunerConfig(rounds=30, sequence_length=12), seed=0)
+    row("OpenTuner", r.best_cycles, r.samples)
+    best_seq = r.best_sequence
+
+    t = train_agent("RL-PPO2", [module], episodes=16, episode_length=12, seed=0)
+    row("RL-PPO2", t.best_cycles, t.samples)
+
+    t = train_agent("RL-PPO3", [module], episodes=8, episode_length=12, seed=0)
+    row("RL-PPO3", t.best_cycles, t.samples)
+
+    print("\nBest sequences found:")
+    print("  greedy   :", " ".join(PASS_TABLE[i] for i in greedy_best))
+    print("  opentuner:", " ".join(PASS_TABLE[i] for i in best_seq[:10]),
+          "..." if len(best_seq) > 10 else "")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a full reproduction of AutoPhase (MLSys 2020).
+
+AutoPhase learns LLVM phase orderings that minimize the clock-cycle count
+of HLS-generated circuits, using deep RL plus random-forest feature/pass
+filtering. This package reimplements the paper's system *and* every
+substrate it stands on:
+
+- :mod:`repro.ir` — an LLVM-like IR (types, SSA values, CFGs, builder)
+- :mod:`repro.analysis` — dominators, loops, alias, call graph
+- :mod:`repro.interp` — an IR interpreter producing software traces
+- :mod:`repro.passes` — the 45 Table-1 transform passes + pipelines
+- :mod:`repro.hls` — a LegUp-style scheduler, cycle profiler and RTL
+- :mod:`repro.features` — the 56 Table-2 program features
+- :mod:`repro.programs` — CSmith-style random programs + 9 CHStone-like kernels
+- :mod:`repro.rl` — NumPy PPO / A2C("A3C") / ES and the phase-ordering envs
+- :mod:`repro.search` — random / greedy / genetic / OpenTuner-style baselines
+- :mod:`repro.forest` — random forests and importance analysis (Figs 5-6)
+- :mod:`repro.experiments` — drivers regenerating every table and figure
+
+Quickstart::
+
+    from repro.programs import chstone
+    from repro.toolchain import HLSToolchain
+
+    tc = HLSToolchain()
+    module = chstone.build("matmul")
+    print(tc.cycle_count(module))              # -O0 cycles
+    print(tc.cycle_count_with_passes(module, tc.o3_sequence()))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ir", "analysis", "interp", "passes", "hls", "features",
+           "programs", "rl", "search", "forest", "experiments", "toolchain"]

@@ -1,0 +1,79 @@
+"""Call graph construction — drives the inliner, -globaldce, -deadargelim,
+-functionattrs and -prune-eh.
+
+Built on networkx so SCC queries (mutual recursion detection for
+-tailcallelim and -functionattrs fixed points) come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from ..ir.instructions import CallInst, InvokeInst
+from ..ir.module import Function, Module
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.graph = nx.MultiDiGraph()
+        self.calls_external: Set[Function] = set()
+        for func in module.functions.values():
+            self.graph.add_node(func)
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if isinstance(inst, (CallInst, InvokeInst)):
+                    if isinstance(inst.callee, str):
+                        self.calls_external.add(func)
+                    else:
+                        self.graph.add_edge(func, inst.callee, site=inst)
+
+    def callees(self, func: Function) -> List[Function]:
+        return list(self.graph.successors(func))
+
+    def callers(self, func: Function) -> List[Function]:
+        return list(self.graph.predecessors(func))
+
+    def call_sites(self, func: Function) -> List[CallInst]:
+        """All call/invoke instructions in the module targeting ``func``."""
+        sites = []
+        for _, _, data in self.graph.in_edges(func, data=True):
+            sites.append(data["site"])
+        return sites
+
+    def is_recursive(self, func: Function) -> bool:
+        """Directly or mutually recursive?"""
+        if self.graph.has_edge(func, func):
+            return True
+        for scc in nx.strongly_connected_components(self.graph):
+            if func in scc:
+                return len(scc) > 1
+        return False
+
+    def is_self_recursive(self, func: Function) -> bool:
+        return self.graph.has_edge(func, func)
+
+    def bottom_up_order(self) -> List[Function]:
+        """Callees before callers (SCC condensation topological order)."""
+        condensation = nx.condensation(self.graph)
+        order: List[Function] = []
+        for scc_id in nx.topological_sort(condensation):
+            members = condensation.nodes[scc_id]["members"]
+            order.extend(sorted(members, key=lambda f: f.name))
+        order.reverse()
+        return order
+
+    def reachable_from(self, roots: List[Function]) -> Set[Function]:
+        seen: Set[Function] = set()
+        stack = list(roots)
+        while stack:
+            f = stack.pop()
+            if f in seen:
+                continue
+            seen.add(f)
+            stack.extend(self.graph.successors(f))
+        return seen

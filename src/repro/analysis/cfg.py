@@ -1,0 +1,146 @@
+"""Control-flow-graph utilities over repro-IR functions.
+
+These are the shared primitives the transform passes build on: reachability,
+post-order traversals, edge classification (critical edges feed feature #17
+and ``-break-crit-edges``), and the edge-splitting helper that keeps phi
+nodes consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..ir.instructions import BranchInst, PhiNode
+from ..ir.module import BasicBlock, Function
+
+__all__ = [
+    "reachable_blocks",
+    "postorder",
+    "reverse_postorder",
+    "edges",
+    "num_edges",
+    "critical_edges",
+    "is_critical_edge",
+    "split_edge",
+    "remove_unreachable_blocks",
+]
+
+
+def reachable_blocks(func: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if not func.blocks:
+        return set()
+    seen: Set[BasicBlock] = set()
+    stack = [func.entry]
+    while stack:
+        bb = stack.pop()
+        if bb in seen:
+            continue
+        seen.add(bb)
+        stack.extend(bb.successors())
+    return seen
+
+
+def postorder(func: Function) -> List[BasicBlock]:
+    """DFS post-order of reachable blocks (deterministic successor order)."""
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    def visit(bb: BasicBlock) -> None:
+        stack: List[Tuple[BasicBlock, int]] = [(bb, 0)]
+        visited.add(bb)
+        while stack:
+            block, idx = stack[-1]
+            succs = block.successors()
+            if idx < len(succs):
+                stack[-1] = (block, idx + 1)
+                nxt = succs[idx]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(block)
+                stack.pop()
+
+    if func.blocks:
+        visit(func.entry)
+    return order
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    return list(reversed(postorder(func)))
+
+
+def edges(func: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """All CFG edges, including duplicates from multi-edge terminators."""
+    result: List[Tuple[BasicBlock, BasicBlock]] = []
+    for bb in func.blocks:
+        for succ in bb.successors():
+            result.append((bb, succ))
+    return result
+
+
+def num_edges(func: Function) -> int:
+    return len(edges(func))
+
+
+def is_critical_edge(src: BasicBlock, dst: BasicBlock) -> bool:
+    """An edge is critical if src has >1 successor and dst has >1 predecessor."""
+    return len(src.successors()) > 1 and len(dst.predecessors()) > 1
+
+
+def critical_edges(func: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    # Count distinct (src, dst) pairs once, like LLVM's analysis does.
+    seen: Set[Tuple[int, int]] = set()
+    result = []
+    for src, dst in edges(func):
+        key = (id(src), id(dst))
+        if key in seen:
+            continue
+        seen.add(key)
+        if is_critical_edge(src, dst):
+            result.append((src, dst))
+    return result
+
+
+def split_edge(src: BasicBlock, dst: BasicBlock, name_hint: str = "crit") -> BasicBlock:
+    """Insert a forwarding block on the src→dst edge, updating dst's phis.
+
+    All parallel edges from ``src`` to ``dst`` are redirected through the
+    new block (matching LLVM's SplitCriticalEdge behaviour for terminators
+    with duplicate targets, e.g. switches).
+    """
+    func = src.parent
+    assert func is not None and dst.parent is func
+    mid = func.add_block(f"{src.name}.{name_hint}", after=src)
+    term = src.terminator
+    assert term is not None
+    term.replace_successor(dst, mid)
+    mid.append(BranchInst(dst))
+    for phi in dst.phis():
+        phi.replace_incoming_block(src, mid)
+    return mid
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks not reachable from entry. Returns the removal count."""
+    if not func.blocks:
+        return 0
+    live = reachable_blocks(func)
+    dead = [bb for bb in func.blocks if bb not in live]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    # First drop phi edges coming from dead blocks into live blocks.
+    for bb in live:
+        for phi in bb.phis():
+            for pred in list(phi.incoming_blocks):
+                if pred in dead_set:
+                    phi.remove_incoming(pred)
+    # Dead instructions may be used by other dead instructions; drop
+    # references wholesale before unlinking.
+    for bb in dead:
+        bb.drop_all_instructions()
+    for bb in dead:
+        bb.remove_from_parent()
+    return len(dead)

@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro tables
+    python -m repro fig5 [--scale smoke|default|full]
+    python -m repro fig7 [--scale ...] [--algorithms -O3,Random,...]
+    python -m repro fig8
+    python -m repro fig9
+    python -m repro compile <benchmark> [--passes "-mem2reg -loop-rotate ..."]
+
+All figure commands print the rendered artifact and write CSVs under
+``results/`` (override with ``REPRO_RESULTS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    get_scale,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_fig5_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from .programs import chstone
+from .toolchain import HLSToolchain
+
+__all__ = ["main"]
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=["smoke", "default", "full"], default=None,
+                        help="experiment budget profile (default: $REPRO_SCALE or 'default')")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-3")
+    for fig in ("fig5", "fig7", "fig8", "fig9"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        _add_scale(p)
+        if fig == "fig7":
+            p.add_argument("--algorithms", default=None,
+                           help="comma-separated subset of the Figure 7 algorithms")
+
+    pc = sub.add_parser("compile", help="compile one benchmark with a pass sequence")
+    pc.add_argument("benchmark", choices=list(chstone.BENCHMARK_NAMES))
+    pc.add_argument("--passes", default="",
+                    help="space-separated Table-1 pass names (default: -O3 pipeline)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "tables":
+        print(render_table1())
+        print()
+        print(render_table2())
+        print()
+        print(render_table3())
+        return 0
+
+    if args.command == "compile":
+        tc = HLSToolchain()
+        module = chstone.build(args.benchmark)
+        o0 = tc.o0_cycles(module)
+        seq = args.passes.split() if args.passes else tc.o3_sequence()
+        cycles = tc.cycle_count_with_passes(module, seq)
+        print(f"{args.benchmark}: -O0 {o0} cycles -> {cycles} cycles "
+              f"({(o0 - cycles) / o0:+.1%}) with {len(seq)} passes")
+        return 0
+
+    scale = get_scale(args.scale)
+    if args.command == "fig5":
+        result = run_fig5_fig6(scale=scale)
+        print(result.render_fig5())
+        print()
+        print(result.render_fig6())
+        result.to_csv()
+    elif args.command == "fig7":
+        algorithms = args.algorithms.split(",") if args.algorithms else None
+        result = run_fig7(scale=scale, algorithms=algorithms)
+        print(result.render())
+        result.to_csv()
+    elif args.command == "fig8":
+        result = run_fig8(scale=scale)
+        print(result.render())
+        result.to_csv()
+    elif args.command == "fig9":
+        result = run_fig9(scale=scale)
+        print(result.render())
+        result.to_csv()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

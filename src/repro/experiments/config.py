@@ -1,0 +1,78 @@
+"""Experiment scaling.
+
+The paper's runs take thousands of simulator samples per program; the
+default profile here is scaled so every figure regenerates in minutes on
+a laptop while preserving the *relative* sample budgets (Random ≫
+Genetic/ES/OpenTuner ≫ Greedy ≫ RL), which is what Figure 7's
+sample-efficiency axis compares.
+
+Set ``REPRO_SCALE=full`` in the environment (or pass ``scale='full'``)
+for budgets close to the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    # Figure 7 per-program budgets
+    random_budget: int
+    ga_population: int
+    ga_generations: int
+    opentuner_rounds: int
+    greedy_max_length: int
+    es_episodes: int
+    rl_episodes: int
+    episode_length: int
+    multiaction_episodes: int
+    # corpus sizes
+    n_train_programs: int
+    n_test_programs: int
+    # Figure 5/6 exploration
+    exploration_episodes: int
+    # Figure 8 training
+    fig8_episodes: int
+
+
+# Relative budgets preserve Figure 7's ordering even at smoke scale:
+# Random/Genetic/OpenTuner spend noticeably more samples than the RL agents.
+_SMOKE = ExperimentScale(
+    name="smoke",
+    random_budget=150, ga_population=10, ga_generations=8, opentuner_rounds=30,
+    greedy_max_length=2, es_episodes=16, rl_episodes=8, episode_length=8,
+    multiaction_episodes=4, n_train_programs=6, n_test_programs=8,
+    exploration_episodes=40, fig8_episodes=16,
+)
+
+_DEFAULT = ExperimentScale(
+    name="default",
+    random_budget=120, ga_population=14, ga_generations=8, opentuner_rounds=40,
+    greedy_max_length=4, es_episodes=48, rl_episodes=24, episode_length=12,
+    multiaction_episodes=10, n_train_programs=20, n_test_programs=40,
+    exploration_episodes=40, fig8_episodes=60,
+)
+
+_FULL = ExperimentScale(
+    name="full",
+    random_budget=8400, ga_population=45, ga_generations=150, opentuner_rounds=1000,
+    greedy_max_length=8, es_episodes=6080 // 45, rl_episodes=88 // 2,
+    episode_length=45, multiaction_episodes=88,
+    n_train_programs=100, n_test_programs=1000,
+    exploration_episodes=400, fig8_episodes=400,
+)
+
+_PROFILES = {"smoke": _SMOKE, "default": _DEFAULT, "full": _FULL}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    resolved = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _PROFILES[resolved]
+    except KeyError:
+        raise ValueError(f"unknown scale {resolved!r}; choose from {sorted(_PROFILES)}") from None

@@ -1,0 +1,136 @@
+"""Figure 7: circuit speedup and sample-size comparison.
+
+Eleven algorithms on the nine CHStone-like benchmarks, each searching
+per program: -O0, -O3, RL-PPO1 (zero-reward control), RL-PPO2
+(histogram), RL-A3C (features), Greedy, RL-PPO3 (multi-action),
+OpenTuner, RL-ES, Genetic-DEAP, and Random. Reports mean improvement
+over -O3 and mean simulator samples per program — the paper's two axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.module import Module
+from ..programs import chstone
+from ..rl.agents import train_agent
+from ..search import (
+    GAConfig,
+    OpenTunerConfig,
+    genetic_search,
+    greedy_search,
+    opentuner_search,
+    random_search,
+)
+from ..toolchain import HLSToolchain
+from .config import ExperimentScale, get_scale
+from .reporting import format_bar_chart, write_csv
+
+__all__ = ["Fig7Row", "Fig7Result", "run_fig7", "ALGORITHM_ORDER"]
+
+# The paper's bar-chart order.
+ALGORITHM_ORDER = ("-O0", "-O3", "RL-PPO1", "RL-PPO2", "RL-A3C", "Greedy",
+                   "RL-PPO3", "OpenTuner", "RL-ES", "Genetic-DEAP", "Random")
+
+
+@dataclass
+class Fig7Row:
+    algorithm: str
+    improvement_over_o3: float     # mean over programs of (O3 - alg) / O3
+    samples_per_program: float
+    per_program: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig7Result:
+    rows: List[Fig7Row]
+    benchmarks: List[str]
+
+    def row(self, algorithm: str) -> Fig7Row:
+        return next(r for r in self.rows if r.algorithm == algorithm)
+
+    def render(self) -> str:
+        chart = format_bar_chart(
+            [(r.algorithm, r.improvement_over_o3, int(r.samples_per_program))
+             for r in self.rows])
+        return "Figure 7 — circuit speedup over -O3 and samples/program\n" + chart
+
+    def to_csv(self) -> str:
+        return write_csv(
+            "fig7.csv",
+            ["algorithm", "improvement_over_o3", "samples_per_program"]
+            + [f"improvement[{b}]" for b in self.benchmarks],
+            [[r.algorithm, r.improvement_over_o3, r.samples_per_program]
+             + [r.per_program.get(b, 0.0) for b in self.benchmarks]
+             for r in self.rows],
+        )
+
+
+def _improvement(o3: int, cycles: float) -> float:
+    return (o3 - cycles) / o3 if o3 else 0.0
+
+
+def run_fig7(benchmarks: Optional[Dict[str, Module]] = None,
+             scale: Optional[ExperimentScale] = None,
+             algorithms: Optional[Sequence[str]] = None,
+             seed: int = 0) -> Fig7Result:
+    cfg = scale or get_scale()
+    programs = benchmarks or chstone.build_all()
+    names = list(programs)
+    chosen = list(algorithms) if algorithms is not None else list(ALGORITHM_ORDER)
+
+    toolchain = HLSToolchain()
+    o0: Dict[str, int] = {}
+    o3: Dict[str, int] = {}
+    for name, module in programs.items():
+        o0[name] = toolchain.o0_cycles(module)
+        o3[name] = toolchain.o3_cycles(module)
+
+    rows: List[Fig7Row] = []
+    for algo in chosen:
+        per_program: Dict[str, float] = {}
+        samples: List[int] = []
+        for i, (name, module) in enumerate(programs.items()):
+            prog_seed = seed * 1000 + i
+            if algo == "-O0":
+                cycles, n = o0[name], 1
+            elif algo == "-O3":
+                cycles, n = o3[name], 1
+            elif algo == "Random":
+                r = random_search(module, budget=cfg.random_budget,
+                                  sequence_length=cfg.episode_length, seed=prog_seed)
+                cycles, n = r.best_cycles, r.samples
+            elif algo == "Greedy":
+                r = greedy_search(module, max_length=cfg.greedy_max_length)
+                cycles, n = r.best_cycles, r.samples
+            elif algo == "Genetic-DEAP":
+                r = genetic_search(module, GAConfig(population=cfg.ga_population,
+                                                    generations=cfg.ga_generations,
+                                                    sequence_length=cfg.episode_length),
+                                   seed=prog_seed)
+                cycles, n = r.best_cycles, r.samples
+            elif algo == "OpenTuner":
+                r = opentuner_search(module, OpenTunerConfig(rounds=cfg.opentuner_rounds,
+                                                             sequence_length=cfg.episode_length),
+                                     seed=prog_seed)
+                cycles, n = r.best_cycles, r.samples
+            elif algo in ("RL-PPO1", "RL-PPO2", "RL-A3C", "RL-PPO3", "RL-ES"):
+                episodes = cfg.es_episodes if algo == "RL-ES" else (
+                    cfg.multiaction_episodes if algo == "RL-PPO3" else cfg.rl_episodes)
+                r = train_agent(algo, [module], episodes=episodes,
+                                episode_length=cfg.episode_length, seed=prog_seed)
+                cycles, n = r.best_cycles, r.samples
+            else:
+                raise KeyError(f"unknown algorithm {algo!r}")
+            per_program[name] = _improvement(o3[name], cycles)
+            samples.append(n)
+        rows.append(Fig7Row(
+            algorithm=algo,
+            improvement_over_o3=float(np.mean(list(per_program.values()))),
+            samples_per_program=float(np.mean(samples)),
+            per_program=per_program,
+        ))
+    return Fig7Result(rows=rows, benchmarks=names)

@@ -1,0 +1,91 @@
+"""Figure 8: generalization learning curves.
+
+Trains PPO over the random-program corpus with observation =
+features ⊕ action-histogram and the §6.2 log-improvement reward, in
+three configurations:
+
+* ``filtered-norm1``  — RF-filtered features & passes, log normalization
+* ``original-norm2``  — all features & passes, instruction-count norm.
+* ``filtered-norm2``  — RF-filtered features & passes, instcount norm.
+
+Output: episode-reward-mean as a function of environment step for each
+variant. Expected shape (paper): the filtered variants converge faster
+and higher than original-norm2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.module import Module
+from ..programs.generator import generate_corpus
+from ..rl.agents import TrainResult, train_agent
+from .config import ExperimentScale, get_scale
+from .fig5_fig6 import run_fig5_fig6
+from .reporting import format_series, write_csv
+
+__all__ = ["Fig8Result", "VARIANTS", "run_fig8"]
+
+VARIANTS = ("filtered-norm1", "original-norm2", "filtered-norm2")
+
+
+@dataclass
+class Fig8Result:
+    curves: Dict[str, List[float]]        # variant -> episode reward mean
+    results: Dict[str, TrainResult]
+    feature_indices: List[int]
+    action_indices: List[int]
+
+    def render(self) -> str:
+        return ("Figure 8 — episode reward mean vs training episode\n"
+                + format_series(self.curves, x_label="episode"))
+
+    def to_csv(self) -> str:
+        n = max(len(c) for c in self.curves.values())
+        rows = []
+        for i in range(n):
+            rows.append([i] + [self.curves[v][i] if i < len(self.curves[v]) else ""
+                               for v in self.curves])
+        return write_csv("fig8.csv", ["episode"] + list(self.curves), rows)
+
+    def final_reward(self, variant: str, window: int = 10) -> float:
+        curve = self.curves[variant]
+        return float(np.mean(curve[-window:])) if curve else 0.0
+
+
+def run_fig8(programs: Optional[Sequence[Module]] = None,
+             scale: Optional[ExperimentScale] = None,
+             seed: int = 0) -> Fig8Result:
+    cfg = scale or get_scale()
+    corpus = list(programs) if programs is not None else generate_corpus(
+        cfg.n_train_programs, seed=seed)
+
+    # RF filtering from the §4 analysis (Figures 5-6 machinery).
+    fig56 = run_fig5_fig6(corpus, scale=cfg, seed=seed)
+    feature_indices = fig56.analysis.select_features(top_k=24)
+    action_indices = fig56.analysis.select_passes(top_k=16)
+
+    specs = {
+        "filtered-norm1": dict(feature_indices=feature_indices,
+                               action_indices=action_indices, normalization="log"),
+        "original-norm2": dict(feature_indices=None,
+                               action_indices=None, normalization="instcount"),
+        "filtered-norm2": dict(feature_indices=feature_indices,
+                               action_indices=action_indices, normalization="instcount"),
+    }
+    curves: Dict[str, List[float]] = {}
+    results: Dict[str, TrainResult] = {}
+    for variant, spec in specs.items():
+        # The paper's generalization network is a 256×256 PPO seeing the
+        # histogram of applied passes concatenated with program features.
+        result = train_agent(
+            "RL-PPO2", corpus, episodes=cfg.fig8_episodes,
+            episode_length=cfg.episode_length, observation="both",
+            reward_mode="log", seed=seed, **spec)
+        curves[variant] = result.episode_reward_mean()
+        results[variant] = result
+    return Fig8Result(curves=curves, results=results,
+                      feature_indices=feature_indices, action_indices=action_indices)

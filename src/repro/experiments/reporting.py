@@ -1,0 +1,89 @@
+"""Text/CSV rendering of experiment artifacts.
+
+Figures become deterministic text: bar rows for the Figure 7/9 charts,
+ASCII heat maps for Figures 5/6, and aligned series tables for Figure 8.
+Everything also lands as CSV under ``results/`` so external plotting can
+reproduce the paper's graphics pixel-for-pixel if desired.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_bar_chart", "format_heatmap", "format_series", "write_csv",
+           "results_dir"]
+
+
+def results_dir(path: Optional[str] = None) -> str:
+    d = path or os.environ.get("REPRO_RESULTS", "results")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def format_bar_chart(rows: Sequence[tuple], value_label: str = "improvement",
+                     extra_label: str = "samples", width: int = 40) -> str:
+    """Rows of (name, improvement_fraction, samples) → aligned bars."""
+    lines = [f"{'algorithm':<16} {value_label:>12}  {extra_label:>10}  "]
+    values = [r[1] for r in rows]
+    lo, hi = min(min(values), 0.0), max(max(values), 1e-9)
+    span = hi - lo if hi > lo else 1.0
+    for name, value, samples in rows:
+        bar_len = int(round((value - lo) / span * width))
+        bar = "#" * bar_len
+        lines.append(f"{name:<16} {value:>11.1%}  {samples:>10}  |{bar}")
+    return "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_heatmap(matrix: np.ndarray, row_label: str, col_label: str,
+                   max_rows: int = 64, max_cols: int = 64) -> str:
+    """Render a matrix as an ASCII heat map (row-normalized, like the
+    paper's figures where each row sums to one)."""
+    m = np.asarray(matrix, dtype=np.float64)[:max_rows, :max_cols]
+    out = [f"rows: {row_label}   cols: {col_label}   (row-normalized)"]
+    header = "    " + "".join(str(c % 10) for c in range(m.shape[1]))
+    out.append(header)
+    for r in range(m.shape[0]):
+        row = m[r]
+        peak = row.max()
+        if peak <= 0:
+            rendered = " " * m.shape[1]
+        else:
+            idx = np.minimum((row / peak * (len(_SHADES) - 1)).astype(int), len(_SHADES) - 1)
+            rendered = "".join(_SHADES[i] for i in idx)
+        out.append(f"{r:>3} {rendered}")
+    return "\n".join(out)
+
+
+def format_series(series: Dict[str, List[float]], x_label: str = "step",
+                  points: int = 12) -> str:
+    """Down-sampled aligned table of named learning curves."""
+    lines = []
+    names = list(series)
+    header = f"{x_label:>8} " + " ".join(f"{n:>18}" for n in names)
+    lines.append(header)
+    n = max(len(v) for v in series.values())
+    picks = sorted(set(int(round(i)) for i in np.linspace(0, n - 1, points)))
+    for i in picks:
+        row = [f"{i:>8}"]
+        for name in names:
+            values = series[name]
+            row.append(f"{values[min(i, len(values) - 1)]:>18.3f}" if values else f"{'-':>18}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def write_csv(filename: str, header: Sequence[str], rows: Sequence[Sequence],
+              directory: Optional[str] = None) -> str:
+    path = os.path.join(results_dir(directory), filename)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,9 @@
+"""repro.features — the 56 static IR features of Table 2."""
+
+from .table import FEATURE_NAMES, NUM_FEATURES, feature_index, feature_name
+from .extractor import FeatureExtractor, extract_features
+
+__all__ = [
+    "FEATURE_NAMES", "NUM_FEATURES", "feature_index", "feature_name",
+    "FeatureExtractor", "extract_features",
+]

@@ -1,0 +1,166 @@
+"""The IR feature extractor — AutoPhase's observation function.
+
+Walks a module once and produces the 56-element integer feature vector of
+Table 2. Interpretation choices for ambiguous names (aligned with the
+released AutoPhase LLVM pass):
+
+* #15 "branches" counts *conditional* control transfers (conditional
+  ``br`` plus ``switch``); #23 counts unconditional ``br``; #32 counts
+  all ``br`` instructions.
+* #19/#20 count operand *occurrences* of integer immediates by width;
+  #21/#22 count occurrences of the values 0 and 1 at any width.
+* #52 "memory instructions" = load + store + alloca.
+* #55 "unary operations" = casts + fneg.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.cfg import critical_edges, num_edges
+from ..ir.instructions import (
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FNegInst,
+    ICmpInst,
+    Instruction,
+    InvokeInst,
+    PhiNode,
+    ReturnInst,
+    SelectInst,
+    SwitchInst,
+)
+from ..ir.module import Module
+from ..ir.values import ConstantFloat, ConstantInt
+from .table import NUM_FEATURES
+
+__all__ = ["extract_features", "FeatureExtractor"]
+
+_OPCODE_FEATURES: Dict[str, int] = {
+    "ashr": 25, "add": 26, "alloca": 27, "and": 28, "bitcast": 31,
+    "br": 32, "call": 33, "gep": 34, "icmp": 35, "lshr": 36, "load": 37,
+    "mul": 38, "or": 39, "phi": 40, "ret": 41, "sext": 42, "select": 43,
+    "shl": 44, "store": 45, "sub": 46, "trunc": 47, "xor": 48, "zext": 49,
+}
+
+
+def extract_features(module: Module) -> np.ndarray:
+    """Return the 56-feature vector (dtype int64) for ``module``."""
+    f = np.zeros(NUM_FEATURES, dtype=np.int64)
+
+    for func in module.defined_functions():
+        f[53] += 1  # non-external functions
+        f[18] += num_edges(func)
+        f[17] += len(critical_edges(func))
+
+        for bb in func.blocks:
+            f[50] += 1
+            preds = len(bb.predecessors())
+            succs = len(bb.successors())
+            phis = bb.phis()
+            phi_args = sum(len(p.incoming_blocks) for p in phis)
+
+            if phi_args > 5:
+                f[0] += 1
+            elif phi_args >= 1:
+                f[1] += 1
+            if preds == 1:
+                f[2] += 1
+                if succs == 1:
+                    f[3] += 1
+                if succs == 2:
+                    f[4] += 1
+            if succs == 1:
+                f[5] += 1
+            if preds == 2:
+                f[6] += 1
+                if succs == 1:
+                    f[7] += 1
+                if succs == 2:
+                    f[8] += 1
+            if succs == 2:
+                f[9] += 1
+            if preds > 2:
+                f[10] += 1
+            n_phis = len(phis)
+            if 0 < n_phis <= 3:
+                f[11] += 1
+            elif n_phis > 3:
+                f[12] += 1
+            else:
+                f[13] += 1
+            f[14] += n_phis
+            f[54] += phi_args
+
+            n_insts = len(bb.instructions)
+            if 15 <= n_insts <= 500:
+                f[29] += 1
+            elif n_insts < 15:
+                f[30] += 1
+
+            for inst in bb.instructions:
+                f[51] += 1
+                idx = _OPCODE_FEATURES.get(inst.opcode)
+                if idx is not None:
+                    f[idx] += 1
+                if inst.opcode in ("load", "store", "alloca"):
+                    f[52] += 1
+                if inst.is_unary_op:
+                    f[55] += 1
+
+                if isinstance(inst, BranchInst):
+                    if inst.is_conditional:
+                        f[15] += 1
+                    else:
+                        f[23] += 1
+                elif isinstance(inst, SwitchInst):
+                    f[15] += 1
+
+                if isinstance(inst, (CallInst, InvokeInst)) and inst.type.is_int:
+                    f[16] += 1
+
+                if isinstance(inst, BinaryOperator) and inst.has_constant_operand():
+                    f[24] += 1
+
+                for op in inst.operands:
+                    if isinstance(op, ConstantInt):
+                        if op.type.bits == 32:
+                            f[19] += 1
+                        elif op.type.bits == 64:
+                            f[20] += 1
+                        if op.value == 0:
+                            f[21] += 1
+                        elif op.value == 1:
+                            f[22] += 1
+                    elif isinstance(op, ConstantFloat):
+                        if op.value == 0.0:
+                            f[21] += 1
+                        elif op.value == 1.0:
+                            f[22] += 1
+    return f
+
+
+class FeatureExtractor:
+    """Callable wrapper with optional caching keyed on module identity+version.
+
+    The RL environment extracts features after every pass application;
+    modules mutate in place, so the cache key includes an explicit
+    ``version`` the environment bumps per transformation.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, np.ndarray] = {}
+
+    def __call__(self, module: Module, version: int = -1) -> np.ndarray:
+        if version < 0:
+            return extract_features(module)
+        key = (id(module), version)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = extract_features(module)
+            self._cache[key] = cached
+        return cached.copy()

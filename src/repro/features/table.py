@@ -1,0 +1,85 @@
+"""Table 2 of the paper: the 56 static program features, by index.
+
+Names are verbatim from the paper. Where the paper's one-line name is
+ambiguous, the docstring of the corresponding extractor documents the
+interpretation (taken from the released AutoPhase feature pass where it
+disambiguates).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["FEATURE_NAMES", "NUM_FEATURES", "feature_name", "feature_index"]
+
+FEATURE_NAMES: List[str] = [
+    "Number of BB where total args for phi nodes > 5",                 # 0
+    "Number of BB where total args for phi nodes is [1,5]",            # 1
+    "Number of BB's with 1 predecessor",                               # 2
+    "Number of BB's with 1 predecessor and 1 successor",               # 3
+    "Number of BB's with 1 predecessor and 2 successors",              # 4
+    "Number of BB's with 1 successor",                                 # 5
+    "Number of BB's with 2 predecessors",                              # 6
+    "Number of BB's with 2 predecessors and 1 successor",              # 7
+    "Number of BB's with 2 predecessors and successors",               # 8
+    "Number of BB's with 2 successors",                                # 9
+    "Number of BB's with >2 predecessors",                             # 10
+    "Number of BB's with Phi node # in range (0,3]",                   # 11
+    "Number of BB's with more than 3 Phi nodes",                       # 12
+    "Number of BB's with no Phi nodes",                                # 13
+    "Number of Phi-nodes at beginning of BB",                          # 14
+    "Number of branches",                                              # 15
+    "Number of calls that return an int",                              # 16
+    "Number of critical edges",                                        # 17
+    "Number of edges",                                                 # 18
+    "Number of occurrences of 32-bit integer constants",               # 19
+    "Number of occurrences of 64-bit integer constants",               # 20
+    "Number of occurrences of constant 0",                             # 21
+    "Number of occurrences of constant 1",                             # 22
+    "Number of unconditional branches",                                # 23
+    "Number of Binary operations with a constant operand",             # 24
+    "Number of AShr insts",                                            # 25
+    "Number of Add insts",                                             # 26
+    "Number of Alloca insts",                                          # 27
+    "Number of And insts",                                             # 28
+    "Number of BB's with instructions between [15,500]",               # 29
+    "Number of BB's with less than 15 instructions",                   # 30
+    "Number of BitCast insts",                                         # 31
+    "Number of Br insts",                                              # 32
+    "Number of Call insts",                                            # 33
+    "Number of GetElementPtr insts",                                   # 34
+    "Number of ICmp insts",                                            # 35
+    "Number of LShr insts",                                            # 36
+    "Number of Load insts",                                            # 37
+    "Number of Mul insts",                                             # 38
+    "Number of Or insts",                                              # 39
+    "Number of PHI insts",                                             # 40
+    "Number of Ret insts",                                             # 41
+    "Number of SExt insts",                                            # 42
+    "Number of Select insts",                                          # 43
+    "Number of Shl insts",                                             # 44
+    "Number of Store insts",                                           # 45
+    "Number of Sub insts",                                             # 46
+    "Number of Trunc insts",                                           # 47
+    "Number of Xor insts",                                             # 48
+    "Number of ZExt insts",                                            # 49
+    "Number of basic blocks",                                          # 50
+    "Number of instructions (of all types)",                           # 51
+    "Number of memory instructions",                                   # 52
+    "Number of non-external functions",                                # 53
+    "Total arguments to Phi nodes",                                    # 54
+    "Number of Unary operations",                                      # 55
+]
+
+NUM_FEATURES = len(FEATURE_NAMES)
+assert NUM_FEATURES == 56
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def feature_name(index: int) -> str:
+    return FEATURE_NAMES[index]
+
+
+def feature_index(name: str) -> int:
+    return _INDEX[name]

@@ -1,0 +1,16 @@
+"""repro.forest — random forests and the §4 importance analysis."""
+
+from .decision_tree import DecisionTreeClassifier
+from .random_forest import RandomForestClassifier
+from .importance import (
+    ImportanceAnalysis,
+    ImportanceDataset,
+    analyze_importance,
+    collect_exploration_data,
+)
+
+__all__ = [
+    "DecisionTreeClassifier", "RandomForestClassifier",
+    "ImportanceAnalysis", "ImportanceDataset",
+    "analyze_importance", "collect_exploration_data",
+]

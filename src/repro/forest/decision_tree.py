@@ -1,0 +1,146 @@
+"""CART decision-tree classifier with Gini impurity.
+
+Vectorized split search: candidate thresholds per feature come from
+midpoints of sorted unique values; impurity decrease is computed with
+cumulative class counts, so fitting is O(features × n log n) per node.
+Importance is mean decrease in impurity (MDI), matching what
+scikit-learn's forests expose and the paper's heat maps are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = 0
+    probability: float = 0.5
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """Binary classifier (labels 0/1) with MDI feature importances."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 max_features: Optional[int] = None, seed: int = 0) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self.root: Optional[_Node] = None
+        self.n_features = 0
+        self._importances: Optional[np.ndarray] = None
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_features = X.shape[1]
+        self._importances = np.zeros(self.n_features)
+        self._total = len(y)
+        self.root = self._grow(X, y, depth=0)
+        total = self._importances.sum()
+        if total > 0:
+            self._importances /= total
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node()
+        ones = int(y.sum())
+        node.prediction = 1 if ones * 2 >= len(y) else 0
+        node.probability = ones / len(y) if len(y) else 0.5
+        if depth >= self.max_depth or len(y) < self.min_samples_split or ones in (0, len(y)):
+            return node
+
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        self._importances[feature] += gain * len(y) / self._total
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = self.rng.choice(d, size=self.max_features, replace=False)
+        parent_counts = np.array([n - y.sum(), y.sum()], dtype=np.float64)
+        parent_impurity = _gini(parent_counts)
+
+        best = None
+        best_gain = 1e-12
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # cumulative ones/zeros left of each split point
+            ones_left = np.cumsum(ys)[:-1].astype(np.float64)
+            idx = np.arange(1, n, dtype=np.float64)
+            zeros_left = idx - ones_left
+            ones_total = float(ys.sum())
+            ones_right = ones_total - ones_left
+            zeros_right = (n - idx) - ones_right
+            # valid split points: value changes
+            valid = xs[1:] != xs[:-1]
+            if not valid.any():
+                continue
+            nl, nr = idx, n - idx
+            gini_l = 1.0 - ((zeros_left / nl) ** 2 + (ones_left / nl) ** 2)
+            gini_r = 1.0 - ((zeros_right / nr) ** 2 + (ones_right / nr) ** 2)
+            weighted = (nl * gini_l + nr * gini_r) / n
+            gain = parent_impurity - weighted
+            gain[~valid] = -np.inf
+            k = int(np.argmax(gain))
+            if gain[k] > best_gain:
+                best_gain = float(gain[k])
+                best = (int(f), float((xs[k] + xs[k + 1]) / 2.0), float(gain[k]))
+        return best
+
+    # -- inference -------------------------------------------------------------
+    def predict_proba_one(self, x: np.ndarray) -> float:
+        node = self.root
+        assert node is not None, "fit first"
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+        return node.probability
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([1 if self.predict_proba_one(x) >= 0.5 else 0 for x in X])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([self.predict_proba_one(x) for x in X])
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        assert self._importances is not None, "fit first"
+        return self._importances

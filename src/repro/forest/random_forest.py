@@ -1,0 +1,74 @@
+"""Random forest classifier (Breiman 2001): bagged CART trees with
+per-node feature subsampling; importances are MDI averaged over trees.
+The paper trains two such forests per pass (§4): one on program
+features, one on applied-pass histograms, each predicting whether
+applying the pass improves circuit performance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    def __init__(self, n_trees: int = 20, max_depth: int = 8,
+                 min_samples_split: int = 4, max_features: Optional[str] = "sqrt",
+                 seed: int = 0) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: List[DecisionTreeClassifier] = []
+        self.n_features = 0
+
+    def _resolve_max_features(self, d: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(d)))
+        return int(self.max_features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n, d = X.shape
+        self.n_features = d
+        mf = self._resolve_max_features(d)
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(max_depth=self.max_depth,
+                                          min_samples_split=self.min_samples_split,
+                                          max_features=mf, seed=self.seed * 1000 + t)
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self.trees, "fit first"
+        return np.mean([t.predict_proba(X) for t in self.trees], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y)).mean())
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        assert self.trees, "fit first"
+        mean = np.mean([t.feature_importances_ for t in self.trees], axis=0)
+        total = mean.sum()
+        # Trees that never split contribute zero vectors; renormalize the
+        # ensemble mean (as scikit-learn does) so importances sum to 1.
+        return mean / total if total > 0 else mean

@@ -1,0 +1,145 @@
+"""Operation timing and resource library for the HLS scheduler.
+
+Numbers follow the LegUp 4.0 characterization for a Cyclone-class FPGA at
+the granularity the cycle model needs:
+
+* *combinational* ops have a propagation delay in nanoseconds and may be
+  chained within one FSM state as long as the accumulated delay fits the
+  clock period (5 ns at the paper's 200 MHz constraint);
+* *sequential* ops have a latency in cycles. Multiplies are pipelined
+  (a new one can issue every state); dividers and the libm cores are not,
+  so they occupy their unit for the full latency;
+* memory ops go through dual-ported on-chip BRAM: at most two accesses
+  per state, reads with 2-cycle latency, writes committing in 1 cycle.
+
+The exact constants matter less than their *ordering* (div ≫ mul ≫ add >
+logic) — that ordering is what makes pass choices change cycle counts the
+same way they do in LegUp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["OpTiming", "TimingLibrary", "HLSConstraints", "DEFAULT_LIBRARY"]
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Timing/resource descriptor for one operation class."""
+
+    delay_ns: float = 0.0          # combinational propagation delay
+    latency_cycles: int = 0        # 0 => purely combinational
+    pipelined: bool = True         # False => unit busy for all latency cycles
+    resource: Optional[str] = None # named unit pool ('mem', 'div', 'mul', ...)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.latency_cycles > 0
+
+
+@dataclass
+class HLSConstraints:
+    """Target constraints: LegUp is driven by a frequency constraint; the
+    scheduler will always produce states whose chained delay fits."""
+
+    clock_period_ns: float = 5.0   # 200 MHz, the paper's setting
+    memory_ports: int = 2          # dual-port BRAM
+    dividers: int = 1
+    multipliers: int = 4
+    fpu_units: int = 1
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1000.0 / self.clock_period_ns
+
+
+class TimingLibrary:
+    """opcode → OpTiming, with a table for external (libm/intrinsic) calls."""
+
+    def __init__(self, ops: Dict[str, OpTiming], externals: Dict[str, OpTiming]) -> None:
+        self.ops = ops
+        self.externals = externals
+
+    def for_opcode(self, opcode: str) -> OpTiming:
+        timing = self.ops.get(opcode)
+        if timing is None:
+            raise KeyError(f"no timing entry for opcode {opcode}")
+        return timing
+
+    def for_external(self, name: str) -> OpTiming:
+        return self.externals.get(name, OpTiming(latency_cycles=4, pipelined=False, resource="call"))
+
+
+_OPS: Dict[str, OpTiming] = {
+    # integer arithmetic (32-bit ripple/carry-select adders, etc.)
+    "add": OpTiming(delay_ns=2.5),
+    "sub": OpTiming(delay_ns=2.5),
+    "mul": OpTiming(latency_cycles=2, pipelined=True, resource="mul"),
+    "sdiv": OpTiming(latency_cycles=16, pipelined=False, resource="div"),
+    "udiv": OpTiming(latency_cycles=16, pipelined=False, resource="div"),
+    "srem": OpTiming(latency_cycles=16, pipelined=False, resource="div"),
+    "urem": OpTiming(latency_cycles=16, pipelined=False, resource="div"),
+    # bitwise logic and shifts are cheap combinational fabric
+    "and": OpTiming(delay_ns=0.9),
+    "or": OpTiming(delay_ns=0.9),
+    "xor": OpTiming(delay_ns=0.9),
+    "shl": OpTiming(delay_ns=1.6),
+    "lshr": OpTiming(delay_ns=1.6),
+    "ashr": OpTiming(delay_ns=1.6),
+    # floating point (pipelined cores)
+    "fadd": OpTiming(latency_cycles=4, pipelined=True, resource="fpu"),
+    "fsub": OpTiming(latency_cycles=4, pipelined=True, resource="fpu"),
+    "fmul": OpTiming(latency_cycles=5, pipelined=True, resource="fpu"),
+    "fdiv": OpTiming(latency_cycles=16, pipelined=False, resource="fpu"),
+    "fneg": OpTiming(delay_ns=0.5),
+    "fcmp": OpTiming(latency_cycles=1, pipelined=True, resource="fpu"),
+    # comparisons / select: combinational
+    "icmp": OpTiming(delay_ns=2.0),
+    "select": OpTiming(delay_ns=1.2),
+    # memory: dual-port BRAM, synchronous read
+    "load": OpTiming(latency_cycles=2, pipelined=True, resource="mem"),
+    "store": OpTiming(latency_cycles=1, pipelined=True, resource="mem"),
+    "alloca": OpTiming(delay_ns=0.0),  # static elaboration, no runtime cost
+    "gep": OpTiming(delay_ns=1.8),     # address arithmetic
+    # casts are wiring (sext/zext/trunc/bitcast); int<->float uses the FPU
+    "trunc": OpTiming(delay_ns=0.0),
+    "zext": OpTiming(delay_ns=0.0),
+    "sext": OpTiming(delay_ns=0.0),
+    "bitcast": OpTiming(delay_ns=0.0),
+    "sitofp": OpTiming(latency_cycles=4, pipelined=True, resource="fpu"),
+    "fptosi": OpTiming(latency_cycles=4, pipelined=True, resource="fpu"),
+    # control
+    "phi": OpTiming(delay_ns=0.3),     # input mux on state entry
+    "br": OpTiming(delay_ns=0.0),
+    "switch": OpTiming(delay_ns=1.0),  # case comparator tree
+    "ret": OpTiming(delay_ns=0.0),
+    "unreachable": OpTiming(delay_ns=0.0),
+    # calls to defined functions: one handshake state in the caller FSM;
+    # the callee's own FSM states are counted by the profiler trace.
+    "call": OpTiming(latency_cycles=1, pipelined=False, resource="call"),
+    "invoke": OpTiming(latency_cycles=1, pipelined=False, resource="call"),
+}
+
+_EXTERNALS: Dict[str, OpTiming] = {
+    "sqrt": OpTiming(latency_cycles=28, pipelined=False, resource="call"),
+    "fabs": OpTiming(latency_cycles=1, pipelined=True),
+    "sin": OpTiming(latency_cycles=40, pipelined=False, resource="call"),
+    "cos": OpTiming(latency_cycles=40, pipelined=False, resource="call"),
+    "exp": OpTiming(latency_cycles=32, pipelined=False, resource="call"),
+    "log": OpTiming(latency_cycles=32, pipelined=False, resource="call"),
+    "abs": OpTiming(latency_cycles=1, pipelined=True),
+    "min": OpTiming(latency_cycles=1, pipelined=True),
+    "max": OpTiming(latency_cycles=1, pipelined=True),
+    "llvm.expect.i32": OpTiming(delay_ns=0.0),
+    "llvm.expect.i1": OpTiming(delay_ns=0.0),
+    # Burst memory engines: latency grows with transfer size; the
+    # scheduler uses the fixed setup latency and the profiler adds the
+    # per-element burst cost (see profiler.EXTERNAL_DYNAMIC_COST).
+    "llvm.memset": OpTiming(latency_cycles=2, pipelined=False, resource="mem"),
+    "llvm.memcpy": OpTiming(latency_cycles=2, pipelined=False, resource="mem"),
+    "putchar": OpTiming(latency_cycles=1, pipelined=False, resource="call"),
+}
+
+DEFAULT_LIBRARY = TimingLibrary(_OPS, _EXTERNALS)

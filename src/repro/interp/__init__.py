@@ -1,0 +1,16 @@
+"""repro.interp — the IR interpreter and its runtime state.
+
+Provides the *software traces* LegUp-style cycle profiling multiplies
+against per-block FSM state counts, and the observable-behaviour tuples
+differential pass testing compares.
+"""
+
+from .state import InterpreterLimitExceeded, Memory, MemPointer, TrapError
+from .externals import EXTERNAL_ATTRIBUTES, call_external, is_known_external
+from .interpreter import ExecutionResult, Interpreter, run_module
+
+__all__ = [
+    "InterpreterLimitExceeded", "Memory", "MemPointer", "TrapError",
+    "EXTERNAL_ATTRIBUTES", "call_external", "is_known_external",
+    "ExecutionResult", "Interpreter", "run_module",
+]

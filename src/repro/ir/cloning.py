@@ -1,0 +1,167 @@
+"""Region cloning — the shared machinery behind inlining, loop unrolling,
+loop rotation, loop unswitching, partial inlining, and jump threading.
+
+``clone_blocks`` duplicates a set of blocks, remapping operands through a
+value map. References to values *outside* the cloned region (and to blocks
+outside it) are left pointing at the originals, which is exactly the
+behaviour region-duplication passes need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    FNegInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    InvokeInst,
+    LoadInst,
+    PhiNode,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import BasicBlock, Function
+from .values import Value
+
+__all__ = ["clone_instruction", "clone_blocks"]
+
+
+def _mapped(value: Value, vmap: Dict[Value, Value]) -> Value:
+    return vmap.get(value, value)
+
+
+def clone_instruction(inst: Instruction, vmap: Dict[Value, Value]) -> Instruction:
+    """Clone one instruction, remapping operands through ``vmap``.
+
+    Successor blocks and phi incoming blocks are remapped through ``vmap``
+    as well (BasicBlock is a Value). Phi *incoming values* are copied as-is
+    here and fixed up by :func:`clone_blocks` once all clones exist.
+    """
+    m = lambda v: _mapped(v, vmap)
+    if isinstance(inst, BinaryOperator):
+        new: Instruction = BinaryOperator(inst.opcode, m(inst.lhs), m(inst.rhs), inst.name + ".c")
+    elif isinstance(inst, FNegInst):
+        new = FNegInst(m(inst.operand), inst.name + ".c")
+    elif isinstance(inst, ICmpInst):
+        new = ICmpInst(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name + ".c")
+    elif isinstance(inst, FCmpInst):
+        new = FCmpInst(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name + ".c")
+    elif isinstance(inst, SelectInst):
+        new = SelectInst(m(inst.condition), m(inst.true_value), m(inst.false_value), inst.name + ".c")
+    elif isinstance(inst, AllocaInst):
+        new = AllocaInst(inst.allocated_type, inst.name + ".c")
+    elif isinstance(inst, LoadInst):
+        new = LoadInst(m(inst.pointer), inst.name + ".c", inst.is_volatile)
+    elif isinstance(inst, StoreInst):
+        new = StoreInst(m(inst.value), m(inst.pointer), inst.is_volatile)
+    elif isinstance(inst, GEPInst):
+        new = GEPInst(m(inst.pointer), [m(i) for i in inst.indices], inst.name + ".c")
+    elif isinstance(inst, CallInst):
+        new = CallInst(inst.callee, [m(a) for a in inst.args], inst.type, inst.name + ".c")
+        new.tail = inst.tail
+    elif isinstance(inst, InvokeInst):
+        new = InvokeInst(
+            inst.callee,
+            [m(a) for a in inst.args],
+            inst.type,
+            _mapped(inst.normal_dest, vmap),  # type: ignore[arg-type]
+            _mapped(inst.unwind_dest, vmap),  # type: ignore[arg-type]
+            inst.name + ".c",
+        )
+    elif isinstance(inst, CastInst):
+        new = CastInst(inst.opcode, m(inst.operand), inst.type, inst.name + ".c")
+    elif isinstance(inst, PhiNode):
+        phi = PhiNode(inst.type, inst.name + ".c")
+        for value, block in inst.incoming:
+            phi.add_incoming(m(value), _mapped(block, vmap))  # type: ignore[arg-type]
+        new = phi
+    elif isinstance(inst, ReturnInst):
+        rv = inst.return_value
+        new = ReturnInst(m(rv) if rv is not None else None)
+    elif isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            new = BranchInst(
+                m(inst.condition),
+                _mapped(inst.true_target, vmap),
+                _mapped(inst.false_target, vmap),
+            )
+        else:
+            new = BranchInst(_mapped(inst.true_target, vmap))
+    elif isinstance(inst, SwitchInst):
+        sw = SwitchInst(m(inst.condition), _mapped(inst.default, vmap))  # type: ignore[arg-type]
+        for const, block in inst.cases:
+            sw.add_case(const, _mapped(block, vmap))  # type: ignore[arg-type]
+        new = sw
+    elif isinstance(inst, UnreachableInst):
+        new = UnreachableInst()
+    else:  # pragma: no cover - exhaustive over the instruction set
+        raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")
+    new.metadata = dict(inst.metadata)
+    return new
+
+
+def clone_blocks(
+    blocks: Sequence[BasicBlock],
+    func: Function,
+    vmap: Optional[Dict[Value, Value]] = None,
+    suffix: str = ".clone",
+) -> Tuple[List[BasicBlock], Dict[Value, Value]]:
+    """Clone ``blocks`` into ``func`` (appended at the end, in order).
+
+    Returns the new blocks and the final value map (old → new for every
+    cloned block and instruction; any caller-seeded entries preserved).
+    Operand references to values defined outside the region fall through
+    the map unchanged.
+    """
+    vmap = dict(vmap or {})
+    block_set = set(blocks)
+
+    new_blocks: List[BasicBlock] = []
+    for bb in blocks:
+        nb = BasicBlock(bb.name + suffix, func)
+        func.blocks.append(nb)
+        vmap[bb] = nb
+        new_blocks.append(nb)
+
+    # Two phases: first clone non-phi operand references can forward-refer
+    # to instructions later in the region, so clone in program order and
+    # patch remaining intra-region references afterwards.
+    cloned: List[Tuple[Instruction, Instruction]] = []
+    for bb, nb in zip(blocks, new_blocks):
+        for inst in bb.instructions:
+            ci = clone_instruction(inst, vmap)
+            nb.append(ci)
+            vmap[inst] = ci
+            cloned.append((inst, ci))
+
+    # Fix forward references: operands that pointed at original in-region
+    # instructions cloned *after* the user.
+    for original, clone in cloned:
+        for i, op in enumerate(clone.operands):
+            if op in vmap and vmap[op] is not op:
+                clone.set_operand(i, vmap[op])
+        if isinstance(clone, PhiNode):
+            clone.incoming_blocks = [
+                vmap.get(b, b) for b in clone.incoming_blocks  # type: ignore[misc]
+            ]
+        if isinstance(clone, BranchInst):
+            for t in clone.successors():
+                if t in vmap and vmap[t] is not t:
+                    clone.replace_successor(t, vmap[t])  # type: ignore[arg-type]
+        if isinstance(clone, SwitchInst) or isinstance(clone, InvokeInst):
+            for t in list(clone.successors()):
+                if t in vmap and vmap[t] is not t:
+                    clone.replace_successor(t, vmap[t])  # type: ignore[arg-type]
+
+    return new_blocks, vmap

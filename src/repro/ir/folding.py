@@ -1,0 +1,159 @@
+"""Single source of truth for scalar operation semantics.
+
+Both the IR interpreter and every constant-folding pass (instcombine,
+SCCP, GVN, ...) evaluate operations through these functions, so a folded
+constant can never disagree with what execution would have produced —
+the property the differential-testing harness relies on.
+
+Deliberate total-function choices (documented for reviewers):
+
+* ``sdiv``/``udiv``/``srem``/``urem`` by zero evaluate to 0 instead of
+  trapping. The random program generator cannot always prove divisors
+  non-zero, and a total semantics keeps every generated program a valid
+  HLS input (hardware dividers return *something*; we pick 0
+  deterministically).
+* Shift amounts are taken modulo the bit width (as hardware shifters do)
+  instead of producing poison.
+* Signed division truncates toward zero (C semantics), not Python floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from . import types as ty
+
+__all__ = ["eval_int_binop", "eval_float_binop", "eval_icmp", "eval_fcmp", "eval_cast"]
+
+Number = Union[int, float]
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def eval_int_binop(opcode: str, type_: ty.IntType, a: int, b: int) -> int:
+    bits = type_.bits
+    if opcode == "add":
+        r = a + b
+    elif opcode == "sub":
+        r = a - b
+    elif opcode == "mul":
+        r = a * b
+    elif opcode == "sdiv":
+        if b == 0:
+            r = 0
+        else:
+            q = abs(a) // abs(b)
+            r = -q if (a < 0) != (b < 0) else q
+    elif opcode == "udiv":
+        ua, ub = _to_unsigned(a, bits), _to_unsigned(b, bits)
+        r = 0 if ub == 0 else ua // ub
+    elif opcode == "srem":
+        if b == 0:
+            r = 0
+        else:
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            r = a - b * q
+    elif opcode == "urem":
+        ua, ub = _to_unsigned(a, bits), _to_unsigned(b, bits)
+        r = 0 if ub == 0 else ua % ub
+    elif opcode == "and":
+        r = _to_unsigned(a, bits) & _to_unsigned(b, bits)
+    elif opcode == "or":
+        r = _to_unsigned(a, bits) | _to_unsigned(b, bits)
+    elif opcode == "xor":
+        r = _to_unsigned(a, bits) ^ _to_unsigned(b, bits)
+    elif opcode == "shl":
+        r = _to_unsigned(a, bits) << (_to_unsigned(b, bits) % bits)
+    elif opcode == "lshr":
+        r = _to_unsigned(a, bits) >> (_to_unsigned(b, bits) % bits)
+    elif opcode == "ashr":
+        r = a >> (_to_unsigned(b, bits) % bits)
+    else:
+        raise ValueError(f"unknown integer binop: {opcode}")
+    return type_.wrap(r)
+
+
+def eval_float_binop(opcode: str, a: float, b: float) -> float:
+    if opcode == "fadd":
+        return a + b
+    if opcode == "fsub":
+        return a - b
+    if opcode == "fmul":
+        return a * b
+    if opcode == "fdiv":
+        if b == 0.0:
+            # IEEE semantics: inf/nan; keep them (floats never feed
+            # branches in generated programs without an fcmp first).
+            return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        return a / b
+    raise ValueError(f"unknown float binop: {opcode}")
+
+
+def eval_icmp(pred: str, type_: ty.IntType, a: int, b: int) -> bool:
+    bits = type_.bits
+    if pred == "eq":
+        return a == b
+    if pred == "ne":
+        return a != b
+    if pred == "slt":
+        return a < b
+    if pred == "sle":
+        return a <= b
+    if pred == "sgt":
+        return a > b
+    if pred == "sge":
+        return a >= b
+    ua, ub = _to_unsigned(a, bits), _to_unsigned(b, bits)
+    if pred == "ult":
+        return ua < ub
+    if pred == "ule":
+        return ua <= ub
+    if pred == "ugt":
+        return ua > ub
+    if pred == "uge":
+        return ua >= ub
+    raise ValueError(f"unknown icmp predicate: {pred}")
+
+
+def eval_fcmp(pred: str, a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False  # all our predicates are "ordered"
+    if pred == "oeq":
+        return a == b
+    if pred == "one":
+        return a != b
+    if pred == "olt":
+        return a < b
+    if pred == "ole":
+        return a <= b
+    if pred == "ogt":
+        return a > b
+    if pred == "oge":
+        return a >= b
+    raise ValueError(f"unknown fcmp predicate: {pred}")
+
+
+def eval_cast(opcode: str, src_type: ty.Type, dest_type: ty.Type, value: Number) -> Number:
+    if opcode == "trunc":
+        assert isinstance(dest_type, ty.IntType)
+        return dest_type.wrap(int(value))
+    if opcode == "zext":
+        assert isinstance(src_type, ty.IntType) and isinstance(dest_type, ty.IntType)
+        return dest_type.wrap(_to_unsigned(int(value), src_type.bits))
+    if opcode == "sext":
+        assert isinstance(dest_type, ty.IntType)
+        return dest_type.wrap(int(value))
+    if opcode == "bitcast":
+        return value
+    if opcode == "sitofp":
+        return float(int(value))
+    if opcode == "fptosi":
+        assert isinstance(dest_type, ty.IntType)
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return dest_type.wrap(int(value))
+    raise ValueError(f"unknown cast opcode: {opcode}")

@@ -1,0 +1,150 @@
+"""Textual printer producing an LLVM-flavoured rendering of the IR.
+
+The output exists for debugging, goldens in tests, and the RTL emitter's
+comments — there is no parser; programs are built through the IRBuilder.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    FNegInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    InvokeInst,
+    LoadInst,
+    PhiNode,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .values import ConstantFloat, ConstantInt, UndefValue, Value, GlobalVariable
+
+__all__ = ["instruction_to_str", "function_to_str", "module_to_str"]
+
+
+def _ref(v: Value) -> str:
+    """Render a value reference (operand position)."""
+    if isinstance(v, ConstantInt):
+        return str(v.value)
+    if isinstance(v, ConstantFloat):
+        return repr(v.value)
+    if isinstance(v, UndefValue):
+        return "undef"
+    if isinstance(v, GlobalVariable):
+        return f"@{v.name}"
+    from .module import BasicBlock, Function
+
+    if isinstance(v, Function):
+        return f"@{v.name}"
+    if isinstance(v, BasicBlock):
+        return f"%{v.name}"
+    return f"%{v.name}"
+
+
+def _tref(v: Value) -> str:
+    return f"{v.type} {_ref(v)}"
+
+
+def instruction_to_str(inst: Instruction) -> str:
+    if isinstance(inst, BinaryOperator):
+        return f"%{inst.name} = {inst.opcode} {_tref(inst.lhs)}, {_ref(inst.rhs)}"
+    if isinstance(inst, FNegInst):
+        return f"%{inst.name} = fneg {_tref(inst.operand)}"
+    if isinstance(inst, ICmpInst):
+        return f"%{inst.name} = icmp {inst.predicate} {_tref(inst.lhs)}, {_ref(inst.rhs)}"
+    if isinstance(inst, FCmpInst):
+        return f"%{inst.name} = fcmp {inst.predicate} {_tref(inst.lhs)}, {_ref(inst.rhs)}"
+    if isinstance(inst, SelectInst):
+        return (
+            f"%{inst.name} = select {_tref(inst.condition)}, "
+            f"{_tref(inst.true_value)}, {_tref(inst.false_value)}"
+        )
+    if isinstance(inst, AllocaInst):
+        return f"%{inst.name} = alloca {inst.allocated_type}"
+    if isinstance(inst, LoadInst):
+        vol = "volatile " if inst.is_volatile else ""
+        return f"%{inst.name} = load {vol}{inst.type}, {_tref(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        vol = "volatile " if inst.is_volatile else ""
+        return f"store {vol}{_tref(inst.value)}, {_tref(inst.pointer)}"
+    if isinstance(inst, GEPInst):
+        idx = ", ".join(_tref(i) for i in inst.indices)
+        return f"%{inst.name} = getelementptr {inst.pointer.type.pointee}, {_tref(inst.pointer)}, {idx}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(_tref(a) for a in inst.args)
+        callee = inst.callee_name
+        prefix = "" if inst.type.is_void else f"%{inst.name} = "
+        tail = "tail " if inst.tail else ""
+        return f"{prefix}{tail}call {inst.type} @{callee}({args})"
+    if isinstance(inst, InvokeInst):
+        args = ", ".join(_tref(a) for a in inst.args)
+        prefix = "" if inst.type.is_void else f"%{inst.name} = "
+        return (
+            f"{prefix}invoke {inst.type} @{inst.callee_name}({args}) "
+            f"to label %{inst.normal_dest.name} unwind label %{inst.unwind_dest.name}"
+        )
+    if isinstance(inst, CastInst):
+        return f"%{inst.name} = {inst.opcode} {_tref(inst.operand)} to {inst.type}"
+    if isinstance(inst, PhiNode):
+        pairs = ", ".join(f"[ {_ref(v)}, %{bb.name} ]" for v, bb in inst.incoming)
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, ReturnInst):
+        if inst.return_value is None:
+            return "ret void"
+        return f"ret {_tref(inst.return_value)}"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return (
+                f"br {_tref(inst.condition)}, label %{inst.true_target.name}, "
+                f"label %{inst.false_target.name}"
+            )
+        return f"br label %{inst.true_target.name}"
+    if isinstance(inst, SwitchInst):
+        cases = " ".join(f"{c.type} {c.value}, label %{bb.name}" for c, bb in inst.cases)
+        return f"switch {_tref(inst.condition)}, label %{inst.default.name} [ {cases} ]"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    return f"%{inst.name} = {inst.opcode} " + ", ".join(_ref(o) for o in inst.operands)
+
+
+def function_to_str(func) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    attrs = (" " + " ".join(sorted(func.attributes))) if func.attributes else ""
+    lines: List[str] = []
+    if func.is_declaration:
+        return f"declare {func.return_type} @{func.name}({params}){attrs}"
+    lines.append(f"define {func.return_type} @{func.name}({params}){attrs} {{")
+    for bb in func.blocks:
+        preds = ", ".join(p.name for p in bb.predecessors())
+        header = f"{bb.name}:"
+        if preds:
+            header += f"  ; preds = {preds}"
+        lines.append(header)
+        for inst in bb.instructions:
+            lines.append(f"  {instruction_to_str(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_str(module) -> str:
+    lines: List[str] = [f"; ModuleID = '{module.source_name}'"]
+    for gv in module.globals.values():
+        const = "constant" if gv.is_constant else "global"
+        lines.append(f"@{gv.name} = {gv.linkage} {const} {gv.value_type}")
+    if module.globals:
+        lines.append("")
+    for func in module.functions.values():
+        lines.append(function_to_str(func))
+        lines.append("")
+    return "\n".join(lines)

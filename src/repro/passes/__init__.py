@@ -1,0 +1,80 @@
+"""repro.passes — the 45 Table-1 transform passes and the pass framework.
+
+Importing this package registers every pass; ``create_pass("-mem2reg")``
+or ``create_pass_by_index(38)`` then constructs them, and ``PassManager``
+runs arbitrary sequences (the RL agent's action trajectories).
+"""
+
+from .base import (
+    FunctionPass,
+    Pass,
+    PassManager,
+    PASS_CONSTRUCTORS,
+    create_pass,
+    pass_names,
+    register_pass,
+)
+
+# Importing the modules registers the passes.
+from . import (  # noqa: F401
+    adce,
+    codegenprepare,
+    correlated_propagation,
+    deadargelim,
+    dse,
+    earlycse,
+    functionattrs,
+    globals_opt,
+    gvn,
+    indvars,
+    inline,
+    instcombine,
+    ipsccp,
+    jump_threading,
+    lcssa,
+    licm,
+    loop_deletion,
+    loop_idiom,
+    loop_reduce,
+    loop_rotate,
+    loop_simplify,
+    loop_unroll,
+    loop_unswitch,
+    lowering,
+    mem2reg,
+    memcpyopt,
+    reassociate,
+    scalarrepl,
+    sccp,
+    simplifycfg,
+    sink,
+    strip,
+    tailcallelim,
+)
+from .registry import (
+    NUM_ACTIONS,
+    NUM_TRANSFORMS,
+    PASS_TABLE,
+    TERMINATE_INDEX,
+    create_pass_by_index,
+    pass_index_for_name,
+    pass_name_for_index,
+)
+from .pipelines import O0_PIPELINE, O3_PIPELINE, run_o0, run_o3
+from .utils import (
+    constant_fold,
+    delete_dead_instructions,
+    is_trivially_dead,
+    replace_and_erase,
+    simplify_instruction,
+)
+
+__all__ = [
+    "FunctionPass", "Pass", "PassManager", "PASS_CONSTRUCTORS",
+    "create_pass", "pass_names", "register_pass",
+    "NUM_ACTIONS", "NUM_TRANSFORMS", "PASS_TABLE", "TERMINATE_INDEX",
+    "create_pass_by_index", "pass_index_for_name", "pass_name_for_index",
+    "O0_PIPELINE", "O3_PIPELINE", "run_o0", "run_o3",
+    "constant_fold", "delete_dead_instructions", "is_trivially_dead",
+    "replace_and_erase", "simplify_instruction",
+]

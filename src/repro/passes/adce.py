@@ -1,0 +1,57 @@
+"""-adce: aggressive dead-code elimination.
+
+Assumes everything dead until proven live: roots are terminators,
+side-effecting instructions and volatile accesses; liveness flows
+backwards through operands. Anything never marked is deleted — including
+whole computation chains that ordinary trivial DCE would only peel
+one layer per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from .base import FunctionPass, register_pass
+
+__all__ = ["ADCE"]
+
+
+@register_pass
+class ADCE(FunctionPass):
+    name = "-adce"
+
+    def run_on_function(self, func: Function) -> bool:
+        live: Set[Instruction] = set()
+        worklist: List[Instruction] = []
+
+        for bb in func.blocks:
+            for inst in bb.instructions:
+                if (
+                    inst.is_terminator
+                    or inst.may_have_side_effects()
+                    or inst.may_read_memory() and getattr(inst, "is_volatile", False)
+                    or getattr(inst, "is_volatile", False)
+                ):
+                    live.add(inst)
+                    worklist.append(inst)
+
+        while worklist:
+            inst = worklist.pop()
+            for op in inst.operands:
+                if isinstance(op, Instruction) and op not in live:
+                    live.add(op)
+                    worklist.append(op)
+
+        changed = False
+        for bb in func.blocks:
+            for inst in reversed(list(bb.instructions)):
+                if inst not in live:
+                    # Dead instructions may use each other; drop uses first.
+                    inst.drop_all_references()
+            for inst in reversed(list(bb.instructions)):
+                if inst not in live:
+                    inst.remove_from_parent()
+                    changed = True
+        return changed

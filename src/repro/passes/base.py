@@ -1,0 +1,84 @@
+"""Pass framework: Pass, FunctionPass, PassManager, and the registry.
+
+Mirrors LLVM's legacy pass-manager surface at the granularity AutoPhase
+drives it: passes are named (Table 1 spellings, with the leading dash),
+indexed (the RL action space is the Table 1 index), and applied in
+arbitrary user-chosen sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_module
+
+__all__ = ["Pass", "FunctionPass", "PassManager", "register_pass", "create_pass",
+           "pass_names", "PASS_CONSTRUCTORS"]
+
+
+class Pass:
+    """A module transformation. Subclasses set ``name`` (Table 1 spelling)."""
+
+    name: str = "<abstract>"
+
+    def run(self, module: Module) -> bool:
+        """Apply to ``module`` in place; return True if anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """A pass that works one function at a time."""
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for func in module.defined_functions():
+            changed |= self.run_on_function(func)
+        return changed
+
+    def run_on_function(self, func: Function) -> bool:
+        raise NotImplementedError
+
+
+PASS_CONSTRUCTORS: Dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(cls: Type[Pass]) -> Type[Pass]:
+    """Class decorator: make the pass constructible by name."""
+    if cls.name in PASS_CONSTRUCTORS:
+        raise ValueError(f"duplicate pass name {cls.name}")
+    PASS_CONSTRUCTORS[cls.name] = cls
+    return cls
+
+
+def create_pass(name: str) -> Pass:
+    ctor = PASS_CONSTRUCTORS.get(name)
+    if ctor is None:
+        raise KeyError(f"unknown pass {name!r}; known: {sorted(PASS_CONSTRUCTORS)}")
+    return ctor()
+
+
+def pass_names() -> List[str]:
+    return sorted(PASS_CONSTRUCTORS)
+
+
+class PassManager:
+    """Runs sequences of passes, optionally verifying after each one."""
+
+    def __init__(self, verify_each: bool = False) -> None:
+        self.verify_each = verify_each
+        self.applied: List[str] = []
+
+    def run(self, module: Module, passes: Sequence[Union[str, Pass]]) -> bool:
+        changed = False
+        for item in passes:
+            p = create_pass(item) if isinstance(item, str) else item
+            changed |= bool(p.run(module))
+            self.applied.append(p.name)
+            if self.verify_each:
+                verify_module(module)
+        return changed

@@ -1,0 +1,96 @@
+"""-dse: dead-store elimination.
+
+Two analyses, matching the classic LLVM pass at reduced scope:
+
+1. *Post-dominated overwrites* (block-local): a store is dead when a later
+   store in the same block must-aliases it with no potential read of that
+   location in between.
+2. *Dead-at-exit*: stores into a non-escaping alloca that is never loaded
+   from at all are dead regardless of position.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.alias import AliasResult, alias, underlying_object, _escapes
+from ..ir.instructions import AllocaInst, CallInst, Instruction, InvokeInst, LoadInst, StoreInst
+from ..ir.module import Function
+from .base import FunctionPass, register_pass
+from .utils import erase_chain
+
+__all__ = ["DSE"]
+
+
+def _may_read_location(inst: Instruction, pointer) -> bool:
+    if isinstance(inst, LoadInst):
+        return alias(inst.pointer, pointer) is not AliasResult.NO_ALIAS
+    if isinstance(inst, (CallInst, InvokeInst)):
+        if not inst.may_read_memory():
+            return False
+        base = underlying_object(pointer)
+        if isinstance(base, AllocaInst) and not _escapes(base):
+            return False  # the callee cannot see a non-escaping alloca
+        return True
+    return False
+
+
+@register_pass
+class DSE(FunctionPass):
+    name = "-dse"
+
+    def run_on_function(self, func: Function) -> bool:
+        changed = False
+        changed |= self._kill_overwritten(func)
+        changed |= self._kill_never_loaded(func)
+        return changed
+
+    def _kill_overwritten(self, func: Function) -> bool:
+        changed = False
+        for bb in func.blocks:
+            instructions = list(bb.instructions)
+            for i, inst in enumerate(instructions):
+                if not isinstance(inst, StoreInst) or inst.is_volatile:
+                    continue
+                for later in instructions[i + 1:]:
+                    if later.parent is None or inst.parent is None:
+                        break
+                    if isinstance(later, StoreInst) and not later.is_volatile and \
+                            alias(inst.pointer, later.pointer) is AliasResult.MUST_ALIAS:
+                        erase_chain(inst)
+                        changed = True
+                        break
+                    if _may_read_location(later, inst.pointer):
+                        break
+        return changed
+
+    def _kill_never_loaded(self, func: Function) -> bool:
+        changed = False
+        for bb in func.blocks:
+            for inst in list(bb.instructions):
+                if not isinstance(inst, AllocaInst):
+                    continue
+                users = inst.users()
+                # Every user is a store *to* the alloca (or a GEP whose
+                # users are all stores) and the address never escapes.
+                if _escapes(inst):
+                    continue
+                stores: List[StoreInst] = []
+                if not self._collect_write_only(inst, stores):
+                    continue
+                for store in stores:
+                    if store.parent is not None and not store.is_volatile:
+                        erase_chain(store)
+                        changed = True
+        return changed
+
+    def _collect_write_only(self, pointer, stores: List[StoreInst]) -> bool:
+        for user in pointer.users():
+            if isinstance(user, StoreInst) and user.pointer is pointer and user.value is not pointer:
+                stores.append(user)
+            elif user.opcode == "gep" and user.pointer is pointer:  # type: ignore[attr-defined]
+                if not self._collect_write_only(user, stores):
+                    return False
+            else:
+                return False
+        return True

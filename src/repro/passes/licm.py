@@ -1,0 +1,161 @@
+"""-licm: loop-invariant code motion.
+
+Hoists computations whose operands do not change across iterations out of
+the loop into the preheader — the paper's Figures 1–3 example: once
+``mag(n, in)`` is recognized invariant, hoisting turns an Θ(n²) loop nest
+into Θ(n).
+
+Safety rules (matching LLVM at this IR's granularity):
+
+* pure scalar ops hoist freely — every arithmetic op in this IR is total
+  (division by zero is defined), so speculation cannot introduce traps;
+* loads hoist only when the pointer is invariant, nothing in the loop may
+  write an aliasing location, and the load's block dominates every
+  exiting block (so it was guaranteed to execute anyway);
+* readnone calls with invariant arguments hoist like scalar ops (this is
+  what moves ``sqrt`` out of the normalization loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..analysis.alias import AliasResult, alias
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.instructions import (
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    FNegInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.module import Function
+from .base import FunctionPass, register_pass
+from .loop_utils import ensure_simplified, is_loop_invariant
+
+__all__ = ["LICM"]
+
+_PURE_CLASSES = (BinaryOperator, ICmpInst, FCmpInst, SelectInst, CastInst, FNegInst, GEPInst)
+
+
+@register_pass
+class LICM(FunctionPass):
+    name = "-licm"
+
+    def run_on_function(self, func: Function) -> bool:
+        if not func.blocks:
+            return False
+        changed = False
+        for _ in range(4):  # hoisting may enable more hoisting in outer loops
+            info = LoopInfo(func)
+            round_changed = False
+            # Inner loops first so invariants bubble outwards.
+            for loop in sorted(info.loops, key=lambda l: -l.depth):
+                round_changed |= self._process_loop(func, loop)
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed
+
+    def _process_loop(self, func: Function, loop: Loop) -> bool:
+        if ensure_simplified(func, loop):
+            return True  # structure changed; next iteration rebuilds info
+        preheader = loop.preheader()
+        if preheader is None:
+            return False
+        domtree = DominatorTree(func)
+        exiting = loop.exiting_blocks()
+
+        loop_writes = self._collect_writes(loop)
+        hoisted: Set[Instruction] = set()
+        changed = False
+
+        def invariant(v) -> bool:
+            if isinstance(v, Instruction) and v in hoisted:
+                return True
+            return is_loop_invariant(v, loop)
+
+        # Iterate in dominator-respecting order over loop blocks so that
+        # operand invariance from earlier hoists is visible.
+        blocks = [bb for bb in domtree.dfs_preorder() if bb in loop.blocks]
+        for _ in range(4):
+            progress = False
+            for bb in blocks:
+                for inst in list(bb.instructions):
+                    if inst in hoisted or isinstance(inst, PhiNode):
+                        continue
+                    if not all(invariant(op) for op in inst.operands):
+                        continue
+                    if isinstance(inst, _PURE_CLASSES):
+                        self._hoist(inst, preheader)
+                        hoisted.add(inst)
+                        progress = changed = True
+                    elif isinstance(inst, LoadInst) and not inst.is_volatile:
+                        if not self._safe_to_hoist_load(inst, loop, loop_writes, domtree, exiting):
+                            continue
+                        self._hoist(inst, preheader)
+                        hoisted.add(inst)
+                        progress = changed = True
+                    elif isinstance(inst, CallInst) and inst.is_readnone():
+                        self._hoist(inst, preheader)
+                        hoisted.add(inst)
+                        progress = changed = True
+            if not progress:
+                break
+        return changed
+
+    @staticmethod
+    def _hoist(inst: Instruction, preheader) -> None:
+        inst.remove_from_parent()
+        preheader.insert_before_terminator(inst)
+
+    @staticmethod
+    def _collect_writes(loop: Loop) -> List:
+        writes = []
+        for bb in loop.blocks:
+            for inst in bb.instructions:
+                if isinstance(inst, StoreInst):
+                    writes.append(inst.pointer)
+                elif inst.may_write_memory():
+                    writes.append(None)  # unknown write
+        return writes
+
+    @staticmethod
+    def _safe_to_hoist_load(load: LoadInst, loop: Loop, writes, domtree, exiting) -> bool:
+        for w in writes:
+            if w is None:
+                return False
+            if alias(load.pointer, w) is not AliasResult.NO_ALIAS:
+                return False
+        # Guaranteed to execute: the load's block dominates every exiting
+        # block, so entering the loop always runs it at least once...
+        assert load.parent is not None
+        if all(domtree.dominates_block(load.parent, ex) for ex in exiting):
+            return True
+        # ...or the address is trivially dereferenceable (a global/alloca
+        # base at a known in-bounds offset), making speculation safe.
+        return LICM._dereferenceable(load.pointer)
+
+    @staticmethod
+    def _dereferenceable(pointer) -> bool:
+        from ..analysis.alias import constant_offset
+        from ..ir.instructions import AllocaInst
+        from ..ir.values import GlobalVariable
+
+        resolved = constant_offset(pointer)
+        if resolved is None:
+            return False
+        base, offset = resolved
+        if isinstance(base, GlobalVariable):
+            return 0 <= offset < base.value_type.size_slots
+        if isinstance(base, AllocaInst):
+            return 0 <= offset < base.allocated_type.size_slots
+        return False

@@ -1,0 +1,39 @@
+"""-loop-simplify: canonicalize natural loops.
+
+Inserts preheaders, merges multiple latches into one, and gives every
+exit block dedicated in-loop predecessors. The paper's §6.2 observes the
+trained agents "learned to apply -loop-simplify" because it "enables
+subsequent analyses and transformations" — in this reproduction it is
+likewise the gatekeeper for rotation, unrolling, LICM and the idiom
+passes (which all require the canonical shape and will re-canonicalize
+on demand, as LLVM's pass manager does implicitly).
+"""
+
+from __future__ import annotations
+
+from ..analysis.loops import LoopInfo
+from ..ir.module import Function
+from .base import FunctionPass, register_pass
+from .loop_utils import ensure_simplified
+
+__all__ = ["LoopSimplify"]
+
+
+@register_pass
+class LoopSimplify(FunctionPass):
+    name = "-loop-simplify"
+
+    def run_on_function(self, func: Function) -> bool:
+        if not func.blocks:
+            return False
+        changed = False
+        # Structural edits invalidate LoopInfo; iterate until stable.
+        for _ in range(8):
+            info = LoopInfo(func)
+            round_changed = False
+            for loop in info.loops:
+                round_changed |= ensure_simplified(func, loop)
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed

@@ -1,0 +1,80 @@
+"""Fixed pass pipelines: the -O0 / -O3 baselines the paper compares against.
+
+The -O3 sequence follows the shape of LLVM's legacy -O3 module pipeline
+restricted to the Table-1 passes: early cleanup and promotion, an
+interprocedural round, the canonical loop pipeline, then late scalar
+cleanup and a CFG polish.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.module import Module
+from .base import PassManager
+
+__all__ = ["O0_PIPELINE", "O3_PIPELINE", "run_o0", "run_o3"]
+
+O0_PIPELINE: List[str] = []
+
+O3_PIPELINE: List[str] = [
+    # early: canonicalize + promote memory
+    "-lower-expect",
+    "-simplifycfg",
+    "-sroa",
+    "-early-cse",
+    # interprocedural
+    "-ipsccp",
+    "-globalopt",
+    "-deadargelim",
+    "-instcombine",
+    "-simplifycfg",
+    "-prune-eh",
+    "-inline",
+    "-functionattrs",
+    # scalar cleanup after inlining
+    "-sroa",
+    "-early-cse",
+    "-jump-threading",
+    "-correlated-propagation",
+    "-simplifycfg",
+    "-instcombine",
+    "-tailcallelim",
+    "-simplifycfg",
+    "-reassociate",
+    # the canonical loop pipeline
+    "-loop-simplify",
+    "-loop-rotate",
+    "-licm",
+    "-loop-unswitch",
+    "-instcombine",
+    "-indvars",
+    "-loop-idiom",
+    "-loop-deletion",
+    "-loop-unroll",
+    # late scalar optimizations
+    "-gvn",
+    "-memcpyopt",
+    "-sccp",
+    "-instcombine",
+    "-jump-threading",
+    "-correlated-propagation",
+    "-dse",
+    "-licm",
+    "-adce",
+    "-simplifycfg",
+    "-instcombine",
+    # codegen preparation
+    "-globaldce",
+    "-constmerge",
+    "-codegenprepare",
+]
+
+
+def run_o0(module: Module) -> None:
+    """-O0: no optimization (kept for symmetry with the paper's baseline)."""
+    PassManager().run(module, O0_PIPELINE)
+
+
+def run_o3(module: Module) -> None:
+    PassManager().run(module, O3_PIPELINE)

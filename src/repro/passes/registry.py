@@ -1,0 +1,96 @@
+"""Table 1 of the paper: the 46 action slots (45 transform passes +
+``-terminate``), indexed exactly as the paper indexes them.
+
+Index 45 (``-terminate``) is the episode-termination action of the RL
+environment, not an IR transform; its Pass object is a no-op so that
+sequences containing it remain runnable through the PassManager.
+
+Note the paper's table lists ``-functionattrs`` twice (indices 19 and
+40); both construct the same pass, and the duplication is preserved so
+action indices match the paper's heat maps and action space exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.module import Module
+from .base import Pass, create_pass, register_pass
+
+__all__ = ["PASS_TABLE", "NUM_ACTIONS", "NUM_TRANSFORMS", "TERMINATE_INDEX",
+           "pass_name_for_index", "pass_index_for_name", "create_pass_by_index"]
+
+PASS_TABLE: List[str] = [
+    "-correlated-propagation",  # 0
+    "-scalarrepl",              # 1
+    "-lowerinvoke",             # 2
+    "-strip",                   # 3
+    "-strip-nondebug",          # 4
+    "-sccp",                    # 5
+    "-globalopt",               # 6
+    "-gvn",                     # 7
+    "-jump-threading",          # 8
+    "-globaldce",               # 9
+    "-loop-unswitch",           # 10
+    "-scalarrepl-ssa",          # 11
+    "-loop-reduce",             # 12
+    "-break-crit-edges",        # 13
+    "-loop-deletion",           # 14
+    "-reassociate",             # 15
+    "-lcssa",                   # 16
+    "-codegenprepare",          # 17
+    "-memcpyopt",               # 18
+    "-functionattrs",           # 19
+    "-loop-idiom",              # 20
+    "-lowerswitch",             # 21
+    "-constmerge",              # 22
+    "-loop-rotate",             # 23
+    "-partial-inliner",         # 24
+    "-inline",                  # 25
+    "-early-cse",               # 26
+    "-indvars",                 # 27
+    "-adce",                    # 28
+    "-loop-simplify",           # 29
+    "-instcombine",             # 30
+    "-simplifycfg",             # 31
+    "-dse",                     # 32
+    "-loop-unroll",             # 33
+    "-lower-expect",            # 34
+    "-tailcallelim",            # 35
+    "-licm",                    # 36
+    "-sink",                    # 37
+    "-mem2reg",                 # 38
+    "-prune-eh",                # 39
+    "-functionattrs",           # 40 (duplicate, as in the paper)
+    "-ipsccp",                  # 41
+    "-deadargelim",             # 42
+    "-sroa",                    # 43
+    "-loweratomic",             # 44
+    "-terminate",               # 45
+]
+
+NUM_ACTIONS = len(PASS_TABLE)          # 46 slots
+TERMINATE_INDEX = PASS_TABLE.index("-terminate")
+NUM_TRANSFORMS = NUM_ACTIONS - 1       # 45 actual transforms
+
+
+@register_pass
+class Terminate(Pass):
+    """The episode-stop action — a no-op on the module."""
+
+    name = "-terminate"
+
+    def run(self, module: Module) -> bool:
+        return False
+
+
+def pass_name_for_index(index: int) -> str:
+    return PASS_TABLE[index]
+
+
+def pass_index_for_name(name: str) -> int:
+    return PASS_TABLE.index(name)
+
+
+def create_pass_by_index(index: int) -> Pass:
+    return create_pass(PASS_TABLE[index])

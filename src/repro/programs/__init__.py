@@ -1,0 +1,18 @@
+"""repro.programs — program sources: the CSmith-style random generator
+and the nine CHStone-like benchmarks."""
+
+from . import chstone
+from .cbuilder import CWriter
+from .chstone import BENCHMARK_NAMES, build, build_all
+from .generator import (
+    GeneratorConfig,
+    RandomProgramGenerator,
+    generate_corpus,
+    passes_hls_filter,
+)
+
+__all__ = [
+    "chstone", "CWriter", "BENCHMARK_NAMES", "build", "build_all",
+    "GeneratorConfig", "RandomProgramGenerator", "generate_corpus",
+    "passes_hls_filter",
+]

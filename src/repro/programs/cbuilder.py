@@ -1,0 +1,193 @@
+"""CWriter — a miniature C-like frontend over the IRBuilder.
+
+Emits IR the way ``clang -O0`` does: every local variable is an alloca in
+the entry block, every read is a load and every write a store, loops are
+while-shaped (test at the top), and expressions are computed fresh at
+each use. This deliberate naivety is the whole point: it leaves exactly
+the optimization headroom (mem2reg, licm, rotation, CSE, ...) that the
+phase-ordering search is supposed to find, mirroring what LegUp sees from
+Clang's -O0 output.
+
+Example::
+
+    m = Module("demo")
+    fw = CWriter(m, "main")
+    total = fw.local("total")
+    with fw.loop("i", 0, 10) as i:
+        fw.store_var(total, fw.b.add(fw.load_var(total), i))
+    fw.ret(fw.load_var(total))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.instructions import AllocaInst, Instruction
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import ConstantInt, GlobalVariable, Value
+
+__all__ = ["CWriter"]
+
+IntLike = Union[int, Value]
+
+
+class CWriter:
+    def __init__(self, module: Module, name: str, return_type: ty.Type = ty.i32,
+                 param_types: Sequence[ty.Type] = (), param_names: Sequence[str] = (),
+                 linkage: str = "internal") -> None:
+        self.module = module
+        self.func = Function(name, ty.function_type(return_type, list(param_types)),
+                             list(param_names), linkage)
+        module.add_function(self.func)
+        self.entry = self.func.add_block("entry")
+        self.b = IRBuilder(self.entry)
+        self._alloca_anchor: Optional[Instruction] = None
+        self._block_counter = 0
+
+    # -- small helpers -----------------------------------------------------
+    def _value(self, v: IntLike, type_: ty.IntType = ty.i32) -> Value:
+        return ConstantInt(type_, v) if isinstance(v, int) else v
+
+    def _new_block(self, hint: str) -> BasicBlock:
+        self._block_counter += 1
+        return self.func.add_block(f"{hint}{self._block_counter}")
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.func.args)
+
+    # -- locals ---------------------------------------------------------------
+    def local(self, name: str, type_: ty.Type = ty.i32, init: Optional[IntLike] = None) -> AllocaInst:
+        """Declare a local scalar (alloca in the entry block)."""
+        alloca = AllocaInst(type_, name)
+        if self._alloca_anchor is None:
+            self.entry.insert_at_front(alloca)
+        else:
+            alloca.insert_after(self._alloca_anchor)
+        self._alloca_anchor = alloca
+        if init is not None:
+            self.b.store(self._value(init, type_ if isinstance(type_, ty.IntType) else ty.i32), alloca)
+        return alloca
+
+    def local_array(self, name: str, count: int, element: ty.Type = ty.i32) -> AllocaInst:
+        alloca = AllocaInst(ty.array_type(element, count), name)
+        if self._alloca_anchor is None:
+            self.entry.insert_at_front(alloca)
+        else:
+            alloca.insert_after(self._alloca_anchor)
+        self._alloca_anchor = alloca
+        return alloca
+
+    def load_var(self, ptr: Value, name: str = "") -> Value:
+        return self.b.load(ptr, name)
+
+    def store_var(self, ptr: Value, value: IntLike) -> None:
+        self.b.store(self._value(value), ptr)
+
+    # -- arrays -----------------------------------------------------------------
+    def index(self, array_ptr: Value, idx: IntLike, name: str = "") -> Value:
+        """&array[idx] for pointers-to-array and raw element pointers."""
+        idx_v = self._value(idx)
+        if array_ptr.type.pointee.is_array:  # type: ignore[union-attr]
+            return self.b.gep(array_ptr, [0, idx_v], name)
+        return self.b.gep(array_ptr, [idx_v], name)
+
+    def load_elem(self, array_ptr: Value, idx: IntLike, name: str = "") -> Value:
+        return self.b.load(self.index(array_ptr, idx), name)
+
+    def store_elem(self, array_ptr: Value, idx: IntLike, value: IntLike) -> None:
+        self.b.store(self._value(value), self.index(array_ptr, idx))
+
+    # -- globals -----------------------------------------------------------------
+    def global_array(self, name: str, values: Sequence[int],
+                     constant: bool = True) -> GlobalVariable:
+        gv = GlobalVariable(name, ty.array_type(ty.i32, len(values)),
+                            list(values), is_constant=constant)
+        self.module.add_global(gv)
+        return gv
+
+    # -- control flow -------------------------------------------------------------
+    @contextmanager
+    def loop(self, var: str, start: IntLike, end: IntLike, step: int = 1):
+        """C-style ``for (var = start; var < end; var += step)``.
+
+        Yields the loaded induction value for the body. The loop variable
+        lives in an alloca, exactly as Clang -O0 would emit it.
+        """
+        iv_ptr = self.local(var, ty.i32, None)
+        self.b.store(self._value(start), iv_ptr)
+        cond_bb = self._new_block(f"{var}.cond")
+        body_bb = self._new_block(f"{var}.body")
+        exit_bb = self._new_block(f"{var}.end")
+        self.b.br(cond_bb)
+        self.b.position_at_end(cond_bb)
+        iv = self.b.load(iv_ptr, var + ".v")
+        pred = "slt" if step > 0 else "sgt"
+        cmp = self.b.icmp(pred, iv, self._value(end), var + ".cmp")
+        self.b.cbr(cmp, body_bb, exit_bb)
+        self.b.position_at_end(body_bb)
+        body_iv = self.b.load(iv_ptr, var)
+        yield body_iv
+        bumped = self.b.add(self.b.load(iv_ptr), self._value(step), var + ".next")
+        self.b.store(bumped, iv_ptr)
+        self.b.br(cond_bb)
+        self.b.position_at_end(exit_bb)
+
+    @contextmanager
+    def while_loop(self, make_cond: Callable[[], Value]):
+        """``while (cond)`` where the condition is re-emitted per test."""
+        cond_bb = self._new_block("w.cond")
+        body_bb = self._new_block("w.body")
+        exit_bb = self._new_block("w.end")
+        self.b.br(cond_bb)
+        self.b.position_at_end(cond_bb)
+        cond = make_cond()
+        self.b.cbr(cond, body_bb, exit_bb)
+        self.b.position_at_end(body_bb)
+        yield
+        self.b.br(cond_bb)
+        self.b.position_at_end(exit_bb)
+
+    def if_(self, cond: Value, then_fn: Callable[[], None],
+            else_fn: Optional[Callable[[], None]] = None) -> None:
+        then_bb = self._new_block("if.then")
+        merge_bb = self._new_block("if.end")
+        else_bb = self._new_block("if.else") if else_fn is not None else merge_bb
+        self.b.cbr(cond, then_bb, else_bb)
+        self.b.position_at_end(then_bb)
+        then_fn()
+        if self.b.block is not None and self.b.block.terminator is None:
+            self.b.br(merge_bb)
+        if else_fn is not None:
+            self.b.position_at_end(else_bb)
+            else_fn()
+            if self.b.block is not None and self.b.block.terminator is None:
+                self.b.br(merge_bb)
+        self.b.position_at_end(merge_bb)
+
+    def switch(self, value: Value, cases: Sequence[tuple], default_fn: Callable[[], None]) -> None:
+        """``switch`` with fall-through-free cases: [(const, fn), ...]."""
+        merge_bb = self._new_block("sw.end")
+        default_bb = self._new_block("sw.default")
+        sw = self.b.switch(value, default_bb)
+        for const, fn in cases:
+            case_bb = self._new_block("sw.case")
+            sw.add_case(ConstantInt(ty.i32, const), case_bb)
+            self.b.position_at_end(case_bb)
+            fn()
+            if self.b.block.terminator is None:
+                self.b.br(merge_bb)
+        self.b.position_at_end(default_bb)
+        default_fn()
+        if self.b.block.terminator is None:
+            self.b.br(merge_bb)
+        self.b.position_at_end(merge_bb)
+
+    def ret(self, value: Optional[IntLike] = None) -> None:
+        self.b.ret(self._value(value) if isinstance(value, int) else value)
+
+    def call(self, callee: Function, args: Sequence[IntLike], name: str = "") -> Value:
+        return self.b.call(callee, [self._value(a) for a in args], name=name)

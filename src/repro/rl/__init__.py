@@ -1,0 +1,28 @@
+"""repro.rl — deep-RL machinery: NumPy networks, PPO / A2C("A3C") / ES,
+the phase-ordering environments, normalization, and the five Table-3
+agent configurations."""
+
+from .nn import MLP, Adam, categorical_entropy, log_softmax, sample_categorical, softmax
+from .normalization import NORMALIZERS, normalize_features, normalize_reward
+from .env import MultiActionEnv, PhaseOrderEnv
+from .ppo import PPOAgent, PPOConfig, Rollout
+from .a2c import A2CAgent, A2CConfig
+from .es import ESAgent, ESConfig
+from .agents import (
+    AGENT_NAMES,
+    TABLE3,
+    TrainResult,
+    infer_sequence,
+    make_agent,
+    train_agent,
+)
+
+__all__ = [
+    "MLP", "Adam", "categorical_entropy", "log_softmax", "sample_categorical", "softmax",
+    "NORMALIZERS", "normalize_features", "normalize_reward",
+    "MultiActionEnv", "PhaseOrderEnv",
+    "PPOAgent", "PPOConfig", "Rollout",
+    "A2CAgent", "A2CConfig",
+    "ESAgent", "ESConfig",
+    "AGENT_NAMES", "TABLE3", "TrainResult", "infer_sequence", "make_agent", "train_agent",
+]

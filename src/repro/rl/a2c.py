@@ -1,0 +1,100 @@
+"""Synchronous advantage actor–critic — the paper's "A3C" agent.
+
+A3C's contribution over vanilla actor-critic is *asynchronous gradient
+collection across workers*, a throughput optimization: the estimator is
+the same ∇logπ(a|s)·Â update with a critic baseline (the paper's §2.2
+presents exactly this form). Single-process NumPy has no async workers,
+so this is A2C — the synchronous formulation RLlib itself recommends as
+the drop-in equivalent. DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .nn import MLP, Adam, categorical_entropy, log_softmax, sample_categorical, softmax
+from .ppo import Rollout
+
+__all__ = ["A2CConfig", "A2CAgent"]
+
+
+@dataclass
+class A2CConfig:
+    hidden: Tuple[int, int] = (256, 256)
+    lr: float = 3e-4
+    value_lr: float = 1e-3
+    gamma: float = 0.99
+    entropy_coef: float = 0.01
+    seed: int = 0
+
+
+class A2CAgent:
+    def __init__(self, obs_dim: int, num_actions: int, config: Optional[A2CConfig] = None) -> None:
+        self.config = config or A2CConfig()
+        cfg = self.config
+        self.obs_dim = obs_dim
+        self.num_actions = num_actions
+        self.actor = MLP([obs_dim, *cfg.hidden, num_actions], seed=cfg.seed)
+        self.critic = MLP([obs_dim, *cfg.hidden, 1], seed=cfg.seed + 1)
+        self.actor_opt = Adam(self.actor, lr=cfg.lr)
+        self.critic_opt = Adam(self.critic, lr=cfg.value_lr)
+        self.rng = np.random.default_rng(cfg.seed + 2)
+
+    def act(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
+        logits = self.actor(np.asarray(obs)[None, :])[0]
+        action = int(sample_categorical(self.rng, logits[None, :])[0])
+        log_prob = float(log_softmax(logits[None, :])[0, action])
+        value = float(self.critic(np.asarray(obs)[None, :])[0, 0])
+        return np.array([action]), log_prob, value
+
+    def act_greedy(self, obs: np.ndarray) -> np.ndarray:
+        logits = self.actor(np.asarray(obs)[None, :])[0]
+        return np.array([int(np.argmax(logits))])
+
+    def update(self, rollout: Rollout) -> Dict[str, float]:
+        """One synchronous batch update: ∇logπ·Â + critic regression."""
+        cfg = self.config
+        obs = np.stack(rollout.observations)
+        actions = np.stack(rollout.actions)[:, 0].astype(np.int64)
+        n = len(rollout)
+
+        # n-step discounted returns within episodes.
+        returns = np.zeros(n)
+        running = 0.0
+        for t in range(n - 1, -1, -1):
+            if rollout.dones[t]:
+                running = 0.0
+            running = rollout.rewards[t] + cfg.gamma * running
+            returns[t] = running
+        values = np.asarray(rollout.values)
+        advantages = returns - values
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        # actor: d(-logπ·Â - c·H)/dz
+        logits, cache = self.actor.forward(obs)
+        p = softmax(logits)
+        logp = log_softmax(logits)
+        onehot = np.zeros_like(logits)
+        onehot[np.arange(n), actions] = 1.0
+        grad_logits = -advantages[:, None] * (onehot - p)
+        h = categorical_entropy(logits)
+        grad_logits -= cfg.entropy_coef * (-(p * (logp + h[:, None])))
+        grad_logits /= n
+        gw, gb = self.actor.backward(cache, grad_logits)
+        self.actor_opt.step(gw, gb)
+
+        # critic
+        v_out, vcache = self.critic.forward(obs)
+        v = v_out[:, 0]
+        grad_v = ((v - returns) / n)[:, None]
+        gw, gb = self.critic.backward(vcache, grad_v)
+        self.critic_opt.step(gw, gb)
+
+        policy_loss = float(-(logp[np.arange(n), actions] * advantages).mean())
+        value_loss = 0.5 * float(((v - returns) ** 2).mean())
+        return {"policy_loss": policy_loss, "value_loss": value_loss,
+                "entropy": float(h.mean())}

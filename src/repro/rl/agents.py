@@ -1,0 +1,225 @@
+"""The five Table-3 agent configurations and their training loops.
+
+| name     | algorithm | observation                     | action space  |
+|----------|-----------|---------------------------------|---------------|
+| RL-PPO1  | PPO       | program features (reward ≡ 0)   | single action |
+| RL-PPO2  | PPO       | action history                  | single action |
+| RL-PPO3  | PPO       | action history + features       | multi action  |
+| RL-A3C   | A2C("A3C")| program features                | single action |
+| RL-ES    | ES        | program features                | single action |
+
+``train_agent`` dispatches on the configuration and returns a
+:class:`TrainResult` with the best sequence found, the simulator sample
+count, and the per-episode reward history (Figure 8's y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..features.extractor import extract_features
+from ..ir.module import Module
+from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
+from ..toolchain import HLSToolchain, clone_module
+from .a2c import A2CAgent, A2CConfig
+from .env import MultiActionEnv, PhaseOrderEnv
+from .es import ESAgent, ESConfig
+from .normalization import normalize_features
+from .ppo import PPOAgent, PPOConfig, Rollout
+
+__all__ = ["AGENT_NAMES", "TABLE3", "TrainResult", "make_agent", "train_agent",
+           "infer_sequence"]
+
+AGENT_NAMES = ("RL-PPO1", "RL-PPO2", "RL-PPO3", "RL-A3C", "RL-ES")
+
+# Table 3 rows: (algorithm, observation space, action space).
+TABLE3: Dict[str, Tuple[str, str, str]] = {
+    "RL-PPO1": ("PPO", "Program Features", "Single-Action"),
+    "RL-PPO2": ("PPO", "Action History", "Single-Action"),
+    "RL-PPO3": ("PPO", "Action History + Program Features", "Multiple-Action"),
+    "RL-A3C": ("A3C", "Program Features", "Single-Action"),
+    "RL-ES": ("ES", "Program Features", "Single-Action"),
+}
+
+
+@dataclass
+class TrainResult:
+    agent_name: str
+    best_cycles: int
+    best_sequence: List[int]
+    samples: int
+    episode_rewards: List[float] = field(default_factory=list)
+    agent: object = None
+    env: object = None
+
+    def episode_reward_mean(self, window: int = 10) -> List[float]:
+        """Smoothed learning curve (Figure 8's metric)."""
+        out = []
+        for i in range(len(self.episode_rewards)):
+            lo = max(0, i - window + 1)
+            out.append(float(np.mean(self.episode_rewards[lo:i + 1])))
+        return out
+
+
+def make_agent(name: str, programs: Sequence[Module],
+               toolchain: Optional[HLSToolchain] = None,
+               episode_length: int = 12,
+               feature_indices: Optional[Sequence[int]] = None,
+               action_indices: Optional[Sequence[int]] = None,
+               normalization: Optional[str] = None,
+               reward_mode: str = "delta",
+               hidden: Tuple[int, int] = (256, 256),
+               observation: Optional[str] = None,
+               seed: int = 0):
+    """Build (env, agent) for one Table-3 configuration.
+
+    ``observation`` overrides the Table-3 default — the §6.2
+    generalization experiments train a PPO agent on the concatenation of
+    features and action history ('both').
+    """
+    toolchain = toolchain or HLSToolchain()
+    common = dict(programs=programs, toolchain=toolchain,
+                  feature_indices=feature_indices,
+                  normalization=normalization, reward_mode=reward_mode, seed=seed)
+    if name == "RL-PPO3":
+        env = MultiActionEnv(observation="both", sequence_length=episode_length,
+                             episode_length=max(4, episode_length // 3), **common)
+        agent = PPOAgent(env.observation_dim, MultiActionEnv.SUB_ACTIONS,
+                         heads=env.num_slots,
+                         config=PPOConfig(hidden=hidden, seed=seed))
+        return env, agent
+
+    default_obs = {"RL-PPO1": "features", "RL-PPO2": "histogram",
+                   "RL-A3C": "features", "RL-ES": "features"}[name]
+    env = PhaseOrderEnv(observation=observation or default_obs, episode_length=episode_length,
+                        action_indices=action_indices,
+                        zero_reward=(name == "RL-PPO1"), **common)
+    if name in ("RL-PPO1", "RL-PPO2"):
+        agent = PPOAgent(env.observation_dim, env.num_actions,
+                         config=PPOConfig(hidden=hidden, seed=seed))
+    elif name == "RL-A3C":
+        agent = A2CAgent(env.observation_dim, env.num_actions,
+                         config=A2CConfig(hidden=hidden, seed=seed))
+    elif name == "RL-ES":
+        agent = ESAgent(env.observation_dim, env.num_actions,
+                        config=ESConfig(hidden=hidden, seed=seed))
+    else:
+        raise KeyError(f"unknown agent {name!r}; choose from {AGENT_NAMES}")
+    return env, agent
+
+
+def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
+                update_every: int = 2, **kwargs) -> TrainResult:
+    """Train one configuration; returns best-found sequence + bookkeeping."""
+    env, agent = make_agent(name, programs, **kwargs)
+    toolchain = env.toolchain
+    toolchain.reset_sample_counter()
+
+    best_cycles = np.inf
+    best_sequence: List[int] = []
+    episode_rewards: List[float] = []
+
+    def note_best(info) -> None:
+        nonlocal best_cycles, best_sequence
+        if info["best_cycles"] < best_cycles:
+            best_cycles = info["best_cycles"]
+            best_sequence = info["best_sequence"]
+
+    if name == "RL-ES":
+        assert isinstance(agent, ESAgent)
+
+        def evaluate() -> float:
+            obs = env.reset()
+            total, done = 0.0, False
+            while not done:
+                action = agent.act(obs)
+                obs, reward, done, info = env.step(int(action[0]))
+                total += reward
+            note_best(info)
+            episode_rewards.append(total)
+            return total
+
+        generations = max(1, episodes // (2 * agent.config.population))
+        for _ in range(generations):
+            agent.train_step(evaluate)
+    elif name == "RL-PPO3":
+        assert isinstance(agent, PPOAgent)
+        rollout = Rollout()
+        for ep in range(episodes):
+            obs = env.reset()
+            total, done = 0.0, False
+            while not done:
+                action, logp, value = agent.act(obs)
+                next_obs, reward, done, info = env.step(action)
+                rollout.add(obs, action, logp, reward, value, done)
+                obs = next_obs
+                total += reward
+            note_best(info)
+            episode_rewards.append(total)
+            if (ep + 1) % update_every == 0 and len(rollout):
+                agent.update(rollout)
+                rollout = Rollout()
+    else:
+        rollout = Rollout()
+        for ep in range(episodes):
+            obs = env.reset()
+            total, done = 0.0, False
+            while not done:
+                action, logp, value = agent.act(obs)
+                next_obs, reward, done, info = env.step(int(action[0]))
+                rollout.add(obs, action, logp, reward, value, done)
+                obs = next_obs
+                total += reward
+            note_best(info)
+            episode_rewards.append(total)
+            if (ep + 1) % update_every == 0 and len(rollout):
+                agent.update(rollout)
+                rollout = Rollout()
+
+    return TrainResult(
+        agent_name=name,
+        best_cycles=int(best_cycles),
+        best_sequence=best_sequence,
+        samples=toolchain.reset_sample_counter(),
+        episode_rewards=episode_rewards,
+        agent=agent,
+        env=env,
+    )
+
+
+def infer_sequence(agent, module: Module, length: int = 12,
+                   observation: str = "both",
+                   feature_indices: Optional[Sequence[int]] = None,
+                   action_indices: Optional[Sequence[int]] = None,
+                   normalization: Optional[str] = None,
+                   toolchain: Optional[HLSToolchain] = None) -> Tuple[List[int], Module]:
+    """Zero-shot inference (Figure 9): greedy policy rollout with NO
+    intermediate profiling — features update as passes apply, and the
+    final circuit is the single simulator sample.
+    """
+    toolchain = toolchain or HLSToolchain()
+    action_indices = list(action_indices) if action_indices is not None else list(range(NUM_ACTIONS))
+    candidate = clone_module(module)
+    histogram = np.zeros(NUM_ACTIONS, dtype=np.float64)
+    applied: List[int] = []
+    for _ in range(length):
+        parts = []
+        if observation in ("features", "both"):
+            feats = normalize_features(extract_features(candidate), normalization)
+            if feature_indices is not None:
+                feats = feats[feature_indices]
+            parts.append(feats)
+        if observation in ("histogram", "both"):
+            parts.append(histogram)
+        obs = np.concatenate(parts)
+        action = agent.act_greedy(obs)
+        pass_index = action_indices[int(action[0])]
+        if pass_index == TERMINATE_INDEX:
+            break
+        applied.append(pass_index)
+        histogram[pass_index] += 1
+        toolchain.apply_passes(candidate, [pass_index])
+    return applied, candidate

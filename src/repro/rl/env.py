@@ -1,0 +1,300 @@
+"""The phase-ordering RL environments (paper §5.1–§5.2).
+
+:class:`PhaseOrderEnv` is the single-action formulation: one transform
+pass per step, observation = program features and/or the histogram of
+previously applied passes, reward = cycle-count improvement.
+
+:class:`MultiActionEnv` is the §5.2 formulation: the state is a whole
+pass-index vector of length N (initialized to K/2); each step nudges
+every slot by −1/0/+1 and evaluates the complete sequence.
+
+Both follow the OpenAI-gym protocol (``reset() → obs``,
+``step(a) → (obs, reward, done, info)``) the paper's RLlib agents
+consume, and both count simulator invocations through the toolchain so
+the samples-per-program comparison of Figure 7 falls out directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..features.extractor import extract_features
+from ..features.table import NUM_FEATURES
+from ..hls.profiler import HLSCompilationError
+from ..ir.module import Module
+from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX, pass_name_for_index
+from ..toolchain import HLSToolchain, clone_module
+from .normalization import normalize_features, normalize_reward
+
+__all__ = ["PhaseOrderEnv", "MultiActionEnv"]
+
+ObservationMode = str  # 'features' | 'histogram' | 'both'
+
+
+class PhaseOrderEnv:
+    """Single-action phase-ordering environment over one or more programs.
+
+    Parameters mirror the paper's experimental knobs:
+
+    observation      'features', 'histogram', or 'both' (Table 3 rows)
+    episode_length   N, the pass budget per episode (45 in Fig 7)
+    feature_indices  optional filter (Fig 5/6 random-forest selection)
+    action_indices   optional filtered action space; must include
+                     TERMINATE_INDEX semantics only if use_terminate
+    normalization    None | 'log' | 'instcount' (§5.3 techniques)
+    reward_mode      'delta' (Fig 7, per-program) | 'log' (§6.2)
+    zero_reward      force all rewards to 0 (the RL-PPO1 control)
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Module],
+        toolchain: Optional[HLSToolchain] = None,
+        observation: ObservationMode = "features",
+        episode_length: int = 45,
+        feature_indices: Optional[Sequence[int]] = None,
+        action_indices: Optional[Sequence[int]] = None,
+        normalization: Optional[str] = None,
+        reward_mode: str = "delta",
+        zero_reward: bool = False,
+        use_terminate: bool = True,
+        objective: str = "cycles",
+        seed: int = 0,
+    ) -> None:
+        if not programs:
+            raise ValueError("need at least one program")
+        if observation not in ("features", "histogram", "both"):
+            raise ValueError(f"unknown observation mode {observation!r}")
+        if objective not in ("cycles", "area", "cycles-area"):
+            raise ValueError(f"unknown objective {objective!r}")
+        self.objective = objective
+        self.programs = list(programs)
+        self.toolchain = toolchain or HLSToolchain()
+        self.observation = observation
+        self.episode_length = episode_length
+        self.feature_indices = list(feature_indices) if feature_indices is not None else None
+        self.action_indices = list(action_indices) if action_indices is not None else list(range(NUM_ACTIONS))
+        if not use_terminate:
+            self.action_indices = [a for a in self.action_indices if a != TERMINATE_INDEX]
+        self.normalization = normalization
+        self.reward_mode = reward_mode
+        self.zero_reward = zero_reward
+        self.use_terminate = use_terminate
+        self.rng = np.random.default_rng(seed)
+
+        # episode state
+        self.module: Optional[Module] = None
+        self.histogram = np.zeros(NUM_ACTIONS, dtype=np.int64)
+        self.prev_cycles = 0
+        self.initial_cycles = 0
+        self.steps = 0
+        self.applied: List[int] = []
+        self.best_cycles = 0
+        self.best_sequence: List[int] = []
+        self._program_index = 0
+
+    # -- dimensions -----------------------------------------------------------
+    @property
+    def num_actions(self) -> int:
+        return len(self.action_indices)
+
+    @property
+    def observation_dim(self) -> int:
+        n_features = len(self.feature_indices) if self.feature_indices is not None else NUM_FEATURES
+        if self.observation == "features":
+            return n_features
+        if self.observation == "histogram":
+            return NUM_ACTIONS
+        return n_features + NUM_ACTIONS
+
+    # -- gym protocol ------------------------------------------------------------
+    def _measure(self) -> float:
+        assert self.module is not None
+        return self.toolchain.objective_value(self.module, self.objective)
+
+    def reset(self, program_index: Optional[int] = None) -> np.ndarray:
+        if program_index is None:
+            program_index = int(self.rng.integers(len(self.programs)))
+        self._program_index = program_index
+        self.module = clone_module(self.programs[program_index])
+        self.histogram = np.zeros(NUM_ACTIONS, dtype=np.int64)
+        self.steps = 0
+        self.applied = []
+        self.prev_cycles = self._measure()
+        self.initial_cycles = self.prev_cycles
+        self.best_cycles = self.prev_cycles
+        self.best_sequence = []
+        return self._observe()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
+        assert self.module is not None, "call reset() first"
+        pass_index = self.action_indices[action]
+        self.steps += 1
+        done = self.steps >= self.episode_length
+
+        if pass_index == TERMINATE_INDEX:
+            return self._observe(), 0.0, True, self._info(terminated=True)
+
+        self.applied.append(pass_index)
+        self.histogram[pass_index] += 1
+        try:
+            self.toolchain.apply_passes(self.module, [pass_index])
+            cycles = self._measure()
+        except HLSCompilationError:
+            # The sequence broke HLS compilation (e.g. blew the step
+            # budget): strongly negative signal, episode over.
+            return self._observe(), -1.0 if self.reward_mode == "log" else -float(self.prev_cycles), True, self._info(failed=True)
+
+        delta = self.prev_cycles - cycles
+        self.prev_cycles = cycles
+        if cycles < self.best_cycles:
+            self.best_cycles = cycles
+            self.best_sequence = list(self.applied)
+        reward = 0.0 if self.zero_reward else normalize_reward(delta, self.reward_mode)
+        return self._observe(), reward, done, self._info()
+
+    # -- helpers -------------------------------------------------------------------
+    def _observe(self) -> np.ndarray:
+        parts: List[np.ndarray] = []
+        if self.observation in ("features", "both"):
+            assert self.module is not None
+            raw = extract_features(self.module)
+            normed = normalize_features(raw, self.normalization)
+            if self.feature_indices is not None:
+                normed = normed[self.feature_indices]
+            parts.append(normed)
+        if self.observation in ("histogram", "both"):
+            parts.append(self.histogram.astype(np.float64))
+        return np.concatenate(parts)
+
+    def _info(self, terminated: bool = False, failed: bool = False) -> Dict:
+        return {
+            "cycles": self.prev_cycles,
+            "initial_cycles": self.initial_cycles,
+            "best_cycles": self.best_cycles,
+            "best_sequence": list(self.best_sequence),
+            "program_index": self._program_index,
+            "terminated": terminated,
+            "failed": failed,
+        }
+
+    def raw_features(self) -> np.ndarray:
+        assert self.module is not None
+        return extract_features(self.module)
+
+
+class MultiActionEnv:
+    """§5.2: evolve a complete pass sequence with ±1 index updates.
+
+    The action is a vector a ∈ {-1,0,+1}^N (encoded per slot as 0/1/2);
+    the state p ∈ [0,K)^N starts at K/2 everywhere. Each step evaluates
+    the full updated sequence on a fresh clone — one compilation per
+    step, against the single-action env's one per pass.
+    """
+
+    SUB_ACTIONS = 3  # -1, 0, +1
+
+    def __init__(
+        self,
+        programs: Sequence[Module],
+        toolchain: Optional[HLSToolchain] = None,
+        sequence_length: int = 45,
+        episode_length: int = 10,
+        observation: ObservationMode = "both",
+        feature_indices: Optional[Sequence[int]] = None,
+        normalization: Optional[str] = None,
+        reward_mode: str = "delta",
+        seed: int = 0,
+    ) -> None:
+        self.programs = list(programs)
+        self.toolchain = toolchain or HLSToolchain()
+        self.sequence_length = sequence_length
+        self.episode_length = episode_length
+        self.observation = observation
+        self.feature_indices = list(feature_indices) if feature_indices is not None else None
+        self.normalization = normalization
+        self.reward_mode = reward_mode
+        self.rng = np.random.default_rng(seed)
+
+        self.indices = np.full(sequence_length, NUM_ACTIONS // 2, dtype=np.int64)
+        self.module: Optional[Module] = None
+        self.prev_cycles = 0
+        self.initial_cycles = 0
+        self.steps = 0
+        self.best_cycles = 0
+        self.best_sequence: List[int] = []
+        self._program_index = 0
+
+    @property
+    def num_slots(self) -> int:
+        return self.sequence_length
+
+    @property
+    def observation_dim(self) -> int:
+        n_features = len(self.feature_indices) if self.feature_indices is not None else NUM_FEATURES
+        base = self.sequence_length  # the current index vector is always visible
+        if self.observation in ("features", "both"):
+            base += n_features
+        return base
+
+    def reset(self, program_index: Optional[int] = None) -> np.ndarray:
+        if program_index is None:
+            program_index = int(self.rng.integers(len(self.programs)))
+        self._program_index = program_index
+        base = self.programs[program_index]
+        self.indices = np.full(self.sequence_length, NUM_ACTIONS // 2, dtype=np.int64)
+        self.steps = 0
+        self.module = clone_module(base)
+        self.toolchain.apply_passes(self.module, [int(i) for i in self.indices])
+        self.prev_cycles = self.toolchain.cycle_count(self.module)
+        self.initial_cycles = self.toolchain.cycle_count_with_passes(base, [])
+        self.best_cycles = self.prev_cycles
+        self.best_sequence = [int(i) for i in self.indices]
+        return self._observe()
+
+    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
+        action = np.asarray(action)
+        assert action.shape == (self.sequence_length,)
+        deltas = action.astype(np.int64) - 1  # 0/1/2 -> -1/0/+1
+        self.indices = np.clip(self.indices + deltas, 0, NUM_ACTIONS - 1)
+        self.steps += 1
+        done = self.steps >= self.episode_length
+
+        base = self.programs[self._program_index]
+        try:
+            self.module = clone_module(base)
+            self.toolchain.apply_passes(self.module, [int(i) for i in self.indices])
+            cycles = self.toolchain.cycle_count(self.module)
+        except HLSCompilationError:
+            return self._observe(), -1.0, True, self._info(failed=True)
+
+        delta = self.prev_cycles - cycles
+        self.prev_cycles = cycles
+        if cycles < self.best_cycles:
+            self.best_cycles = cycles
+            self.best_sequence = [int(i) for i in self.indices]
+        reward = normalize_reward(delta, self.reward_mode)
+        return self._observe(), reward, done, self._info()
+
+    def _observe(self) -> np.ndarray:
+        parts = [self.indices.astype(np.float64) / NUM_ACTIONS]
+        if self.observation in ("features", "both"):
+            assert self.module is not None
+            raw = extract_features(self.module)
+            normed = normalize_features(raw, self.normalization)
+            if self.feature_indices is not None:
+                normed = normed[self.feature_indices]
+            parts.append(normed)
+        return np.concatenate(parts)
+
+    def _info(self, failed: bool = False) -> Dict:
+        return {
+            "cycles": self.prev_cycles,
+            "initial_cycles": self.initial_cycles,
+            "best_cycles": self.best_cycles,
+            "best_sequence": list(self.best_sequence),
+            "program_index": self._program_index,
+            "failed": failed,
+        }

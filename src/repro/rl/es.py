@@ -1,0 +1,78 @@
+"""Evolution strategies (Salimans et al. 2017) as the policy optimizer.
+
+The paper's RL-ES agent keeps the same 256×256 policy network as the
+A3C agent but "updates the policy network using the evolution strategy
+instead of backpropagation" — i.e. OpenAI-ES: antithetic Gaussian
+parameter perturbations, rank-normalized fitness, and a gradient
+estimate ĝ = 1/(nσ) Σ F_i ε_i applied with Adam-style steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .nn import MLP, log_softmax, sample_categorical
+
+__all__ = ["ESConfig", "ESAgent"]
+
+
+@dataclass
+class ESConfig:
+    hidden: Tuple[int, int] = (256, 256)
+    sigma: float = 0.05
+    lr: float = 0.02
+    population: int = 8       # antithetic pairs => 2*population evaluations
+    seed: int = 0
+
+
+def _rank_normalize(fitness: np.ndarray) -> np.ndarray:
+    ranks = np.empty_like(fitness)
+    ranks[np.argsort(fitness)] = np.arange(len(fitness), dtype=np.float64)
+    ranks = ranks / (len(fitness) - 1) - 0.5 if len(fitness) > 1 else np.zeros_like(fitness)
+    return ranks
+
+
+class ESAgent:
+    """Black-box-optimizes the policy weights against episode return."""
+
+    def __init__(self, obs_dim: int, num_actions: int, config: Optional[ESConfig] = None) -> None:
+        self.config = config or ESConfig()
+        cfg = self.config
+        self.obs_dim = obs_dim
+        self.num_actions = num_actions
+        self.policy = MLP([obs_dim, *cfg.hidden, num_actions], seed=cfg.seed)
+        self.rng = np.random.default_rng(cfg.seed + 3)
+        self._theta = self.policy.get_flat()
+
+    # -- acting -----------------------------------------------------------
+    def act(self, obs: np.ndarray) -> np.ndarray:
+        logits = self.policy(np.asarray(obs)[None, :])[0]
+        return np.array([int(sample_categorical(self.rng, logits[None, :])[0])])
+
+    def act_greedy(self, obs: np.ndarray) -> np.ndarray:
+        logits = self.policy(np.asarray(obs)[None, :])[0]
+        return np.array([int(np.argmax(logits))])
+
+    # -- evolution ------------------------------------------------------------
+    def train_step(self, evaluate: Callable[[], float]) -> Dict[str, float]:
+        """One generation. ``evaluate`` runs an episode with the *current*
+        policy weights and returns its total reward (fitness)."""
+        cfg = self.config
+        dim = self._theta.size
+        noises = [self.rng.normal(size=dim) for _ in range(cfg.population)]
+        fitness = np.zeros(2 * cfg.population)
+        for i, eps in enumerate(noises):
+            for j, sign in enumerate((+1.0, -1.0)):
+                self.policy.set_flat(self._theta + sign * cfg.sigma * eps)
+                fitness[2 * i + j] = evaluate()
+        ranks = _rank_normalize(fitness)
+        grad = np.zeros(dim)
+        for i, eps in enumerate(noises):
+            grad += (ranks[2 * i] - ranks[2 * i + 1]) * eps
+        grad /= 2 * cfg.population * cfg.sigma
+        self._theta = self._theta + cfg.lr * grad
+        self.policy.set_flat(self._theta)
+        return {"fitness_mean": float(fitness.mean()), "fitness_max": float(fitness.max())}

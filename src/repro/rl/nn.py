@@ -1,0 +1,147 @@
+"""Minimal neural-network layer for the RL agents: an MLP with manual
+backprop, Adam, and categorical-distribution utilities.
+
+RLlib's default model for the paper's experiments is a 256×256
+fully-connected tanh network; :class:`MLP` reproduces exactly that, in
+NumPy, with gradients verified against finite differences in the test
+suite (``tests/test_rl_nn.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MLP", "Adam", "log_softmax", "softmax", "sample_categorical",
+           "categorical_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+def sample_categorical(rng: np.random.Generator, logits: np.ndarray) -> np.ndarray:
+    """Sample actions row-wise from unnormalized logits (Gumbel trick)."""
+    gumbel = rng.gumbel(size=logits.shape)
+    return np.argmax(logits + gumbel, axis=-1)
+
+
+def categorical_entropy(logits: np.ndarray) -> np.ndarray:
+    p = softmax(logits)
+    logp = log_softmax(logits)
+    return -(p * logp).sum(axis=-1)
+
+
+class MLP:
+    """Fully connected network with tanh hidden activations, linear output."""
+
+    def __init__(self, sizes: Sequence[int], seed: int = 0) -> None:
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.sizes = list(sizes)
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))  # Xavier/Glorot
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- forward / backward -----------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, list]:
+        """Returns (output, cache-for-backward). ``x`` is (batch, in)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        cache = [x]
+        h = x
+        n = len(self.weights)
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            h = np.tanh(z) if i < n - 1 else z
+            cache.append(h)
+        return h, cache
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)[0]
+
+    def backward(self, cache: list, grad_out: np.ndarray
+                 ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Gradients of sum(grad_out * output) w.r.t. weights and biases."""
+        grads_w: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        grads_b: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        delta = np.asarray(grad_out, dtype=np.float64)
+        if delta.ndim == 1:
+            delta = delta[None, :]
+        n = len(self.weights)
+        for i in range(n - 1, -1, -1):
+            h_in = cache[i]
+            grads_w[i] = h_in.T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                # propagate through tanh of the previous layer's output
+                h_prev_out = cache[i]
+                delta = (delta @ self.weights[i].T) * (1.0 - h_prev_out ** 2)
+        return grads_w, grads_b
+
+    # -- flat parameter access (ES and checkpointing) --------------------------
+    def get_flat(self) -> np.ndarray:
+        return np.concatenate([w.ravel() for w in self.weights]
+                              + [b.ravel() for b in self.biases])
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        offset = 0
+        for w in self.weights:
+            w[...] = flat[offset:offset + w.size].reshape(w.shape)
+            offset += w.size
+        for b in self.biases:
+            b[...] = flat[offset:offset + b.size].reshape(b.shape)
+            offset += b.size
+        assert offset == flat.size
+
+    @property
+    def num_params(self) -> int:
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+
+class Adam:
+    """Adam bound to one MLP's (weights, biases) lists."""
+
+    def __init__(self, net: MLP, lr: float = 3e-4, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.net = net
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.t = 0
+        self.m_w = [np.zeros_like(w) for w in net.weights]
+        self.v_w = [np.zeros_like(w) for w in net.weights]
+        self.m_b = [np.zeros_like(b) for b in net.biases]
+        self.v_b = [np.zeros_like(b) for b in net.biases]
+
+    def step(self, grads_w: List[np.ndarray], grads_b: List[np.ndarray],
+             max_grad_norm: Optional[float] = 0.5) -> None:
+        if max_grad_norm is not None:
+            total = np.sqrt(sum(float((g ** 2).sum()) for g in grads_w + grads_b))
+            if total > max_grad_norm and total > 0:
+                scale = max_grad_norm / total
+                grads_w = [g * scale for g in grads_w]
+                grads_b = [g * scale for g in grads_b]
+        self.t += 1
+        b1t = 1 - self.beta1 ** self.t
+        b2t = 1 - self.beta2 ** self.t
+        for i, g in enumerate(grads_w):
+            self.m_w[i] = self.beta1 * self.m_w[i] + (1 - self.beta1) * g
+            self.v_w[i] = self.beta2 * self.v_w[i] + (1 - self.beta2) * g * g
+            self.net.weights[i] -= self.lr * (self.m_w[i] / b1t) / (np.sqrt(self.v_w[i] / b2t) + self.eps)
+        for i, g in enumerate(grads_b):
+            self.m_b[i] = self.beta1 * self.m_b[i] + (1 - self.beta1) * g
+            self.v_b[i] = self.beta2 * self.v_b[i] + (1 - self.beta2) * g * g
+            self.net.biases[i] -= self.lr * (self.m_b[i] / b1t) / (np.sqrt(self.v_b[i] / b2t) + self.eps)

@@ -1,0 +1,69 @@
+"""Observation and reward normalization (paper §5.3).
+
+Technique 1 — logarithm: ``sign(x) * log(1+|x|)`` per feature. The paper
+notes the neural net then effectively correlates *products* of features.
+
+Technique 2 — instruction-count: divide every feature by feature #51
+(total instructions), turning counts into a distribution over instruction
+kinds — the variant §6.2 finds generalizes best.
+
+Reward shaping for generalization training uses the signed log of the
+cycle improvement so long-running programs don't dominate the gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["normalize_features", "normalize_reward", "NORMALIZERS"]
+
+_TOTAL_INSTRUCTIONS_INDEX = 51
+
+
+def _log_normalize(features: np.ndarray) -> np.ndarray:
+    f = features.astype(np.float64)
+    return np.sign(f) * np.log1p(np.abs(f))
+
+
+def _instcount_normalize(features: np.ndarray) -> np.ndarray:
+    f = features.astype(np.float64)
+    total = f[_TOTAL_INSTRUCTIONS_INDEX] if f.shape[0] > _TOTAL_INSTRUCTIONS_INDEX else 0.0
+    if total <= 0:
+        total = max(1.0, float(np.abs(f).max()))
+    return f / total
+
+
+def _identity(features: np.ndarray) -> np.ndarray:
+    return features.astype(np.float64)
+
+
+NORMALIZERS = {
+    None: _identity,
+    "none": _identity,
+    "log": _log_normalize,         # technique 1
+    "instcount": _instcount_normalize,  # technique 2
+}
+
+
+def normalize_features(features: np.ndarray, technique: Optional[str]) -> np.ndarray:
+    """Apply a §5.3 normalization technique to a raw feature vector.
+
+    Note: technique 2 divides by the *raw* total-instruction count, so it
+    must be applied before any feature filtering drops feature #51 —
+    the environment guarantees that ordering.
+    """
+    try:
+        return NORMALIZERS[technique](np.asarray(features))
+    except KeyError:
+        raise ValueError(f"unknown normalization technique {technique!r}") from None
+
+
+def normalize_reward(delta_cycles: float, technique: Optional[str]) -> float:
+    """'delta' (raw cycle improvement) or 'log' (signed log improvement)."""
+    if technique in (None, "none", "delta"):
+        return float(delta_cycles)
+    if technique == "log":
+        return float(np.sign(delta_cycles) * np.log1p(abs(delta_cycles)))
+    raise ValueError(f"unknown reward normalization {technique!r}")

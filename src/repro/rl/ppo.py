@@ -1,0 +1,182 @@
+"""Proximal Policy Optimization (Schulman et al. 2017) in NumPy.
+
+Implements exactly the variant the paper runs through RLlib: clipped
+surrogate objective, GAE(λ) advantages, multiple epochs of minibatch
+updates per rollout, entropy regularization, and a separate value
+network. Supports both a single categorical head (single-action envs)
+and N factorized 3-way heads (the §5.2 multi-action env) through the
+``heads``/``choices`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .nn import MLP, Adam, categorical_entropy, log_softmax, sample_categorical, softmax
+
+__all__ = ["PPOConfig", "PPOAgent", "Rollout"]
+
+
+@dataclass
+class PPOConfig:
+    hidden: Tuple[int, int] = (256, 256)
+    lr: float = 3e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip: float = 0.2
+    entropy_coef: float = 0.01
+    epochs: int = 6
+    minibatch_size: int = 64
+    value_lr: float = 1e-3
+    seed: int = 0
+
+
+@dataclass
+class Rollout:
+    """One batch of experience (flattened across episodes)."""
+
+    observations: List[np.ndarray] = field(default_factory=list)
+    actions: List[np.ndarray] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+
+    def add(self, obs, action, log_prob, reward, value, done) -> None:
+        self.observations.append(np.asarray(obs, dtype=np.float64))
+        self.actions.append(np.atleast_1d(np.asarray(action)))
+        self.log_probs.append(float(log_prob))
+        self.rewards.append(float(reward))
+        self.values.append(float(value))
+        self.dones.append(bool(done))
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+
+class PPOAgent:
+    """Categorical PPO with ``heads`` independent ``choices``-way heads."""
+
+    def __init__(self, obs_dim: int, num_actions: int, heads: int = 1,
+                 config: Optional[PPOConfig] = None) -> None:
+        self.config = config or PPOConfig()
+        self.obs_dim = obs_dim
+        self.choices = num_actions
+        self.heads = heads
+        cfg = self.config
+        self.policy = MLP([obs_dim, *cfg.hidden, heads * num_actions], seed=cfg.seed)
+        self.value = MLP([obs_dim, *cfg.hidden, 1], seed=cfg.seed + 1)
+        self.policy_opt = Adam(self.policy, lr=cfg.lr)
+        self.value_opt = Adam(self.value, lr=cfg.value_lr)
+        self.rng = np.random.default_rng(cfg.seed + 2)
+
+    # -- acting --------------------------------------------------------------
+    def _logits(self, obs: np.ndarray) -> np.ndarray:
+        out = self.policy(obs)  # (B, heads*choices)
+        return out.reshape(out.shape[0], self.heads, self.choices)
+
+    def act(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
+        """Sample an action. Returns (action[heads], log_prob, value)."""
+        logits = self._logits(np.asarray(obs)[None, :])[0]  # (heads, choices)
+        action = sample_categorical(self.rng, logits)
+        logp = log_softmax(logits)
+        log_prob = float(logp[np.arange(self.heads), action].sum())
+        value = float(self.value(np.asarray(obs)[None, :])[0, 0])
+        return action, log_prob, value
+
+    def act_greedy(self, obs: np.ndarray) -> np.ndarray:
+        logits = self._logits(np.asarray(obs)[None, :])[0]
+        return np.argmax(logits, axis=-1)
+
+    # -- learning ---------------------------------------------------------------
+    def compute_gae(self, rollout: Rollout, last_value: float = 0.0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        n = len(rollout)
+        advantages = np.zeros(n)
+        last_gae = 0.0
+        next_value = last_value
+        for t in range(n - 1, -1, -1):
+            non_terminal = 0.0 if rollout.dones[t] else 1.0
+            delta = rollout.rewards[t] + cfg.gamma * next_value * non_terminal - rollout.values[t]
+            last_gae = delta + cfg.gamma * cfg.gae_lambda * non_terminal * last_gae
+            advantages[t] = last_gae
+            next_value = rollout.values[t]
+            if rollout.dones[t]:
+                last_gae = 0.0
+        returns = advantages + np.asarray(rollout.values)
+        return advantages, returns
+
+    def update(self, rollout: Rollout) -> Dict[str, float]:
+        cfg = self.config
+        obs = np.stack(rollout.observations)                    # (N, obs)
+        actions = np.stack(rollout.actions).astype(np.int64)    # (N, heads)
+        old_log_probs = np.asarray(rollout.log_probs)
+        advantages, returns = self.compute_gae(rollout)
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        n = len(rollout)
+        idx = np.arange(n)
+        stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0, "updates": 0.0}
+        for _ in range(cfg.epochs):
+            self.rng.shuffle(idx)
+            for start in range(0, n, cfg.minibatch_size):
+                batch = idx[start:start + cfg.minibatch_size]
+                s = self._update_minibatch(obs[batch], actions[batch],
+                                           old_log_probs[batch], advantages[batch],
+                                           returns[batch])
+                for k in ("policy_loss", "value_loss", "entropy"):
+                    stats[k] += s[k]
+                stats["updates"] += 1
+        for k in ("policy_loss", "value_loss", "entropy"):
+            stats[k] /= max(1.0, stats["updates"])
+        return stats
+
+    def _update_minibatch(self, obs, actions, old_log_probs, advantages, returns) -> Dict[str, float]:
+        cfg = self.config
+        batch = obs.shape[0]
+
+        # ---- policy ----
+        flat_logits, cache = self.policy.forward(obs)
+        logits = flat_logits.reshape(batch, self.heads, self.choices)
+        logp_all = log_softmax(logits)
+        p_all = softmax(logits)
+        rows = np.arange(batch)[:, None]
+        cols = np.arange(self.heads)[None, :]
+        logp_taken = logp_all[rows, cols, actions]              # (B, heads)
+        log_prob = logp_taken.sum(axis=1)
+        ratio = np.exp(log_prob - old_log_probs)
+        clipped = np.clip(ratio, 1.0 - cfg.clip, 1.0 + cfg.clip)
+        use_unclipped = (ratio * advantages) <= (clipped * advantages)
+        # surrogate loss (for reporting)
+        policy_loss = -np.minimum(ratio * advantages, clipped * advantages).mean()
+        entropy = categorical_entropy(logits).sum(axis=1).mean()
+
+        # d(-surrogate)/d logits
+        grad_logits = np.zeros_like(logits)
+        active = use_unclipped.astype(np.float64) * ratio * advantages  # (B,)
+        onehot = np.zeros_like(logits)
+        onehot[rows, cols, actions] = 1.0
+        # d log_prob / d logits = onehot - p (per head)
+        grad_logits -= active[:, None, None] * (onehot - p_all)
+        # entropy bonus: maximize H -> subtract c * dH/dz
+        h = categorical_entropy(logits)                          # (B, heads)
+        grad_logits -= cfg.entropy_coef * (-(p_all * (logp_all + h[..., None])))
+        grad_logits /= batch
+        gw, gb = self.policy.backward(cache, grad_logits.reshape(batch, -1))
+        self.policy_opt.step(gw, gb)
+
+        # ---- value ----
+        values, vcache = self.value.forward(obs)
+        v = values[:, 0]
+        value_loss = 0.5 * float(((v - returns) ** 2).mean())
+        grad_v = ((v - returns) / batch)[:, None]
+        gw, gb = self.value.backward(vcache, grad_v)
+        self.value_opt.step(gw, gb)
+
+        return {"policy_loss": float(policy_loss), "value_loss": value_loss,
+                "entropy": float(entropy)}

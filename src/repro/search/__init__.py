@@ -1,0 +1,17 @@
+"""repro.search — black-box baselines: random, greedy (Huang 2013),
+genetic (DEAP stand-in), PSO, and the OpenTuner AUC-bandit ensemble."""
+
+from .base import SearchResult, SequenceEvaluator
+from .random_search import random_search
+from .greedy import greedy_search
+from .genetic import GAConfig, genetic_search
+from .pso import PSOConfig, pso_search
+from .opentuner import OpenTunerConfig, opentuner_search
+
+__all__ = [
+    "SearchResult", "SequenceEvaluator",
+    "random_search", "greedy_search",
+    "GAConfig", "genetic_search",
+    "PSOConfig", "pso_search",
+    "OpenTunerConfig", "opentuner_search",
+]

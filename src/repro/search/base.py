@@ -1,0 +1,68 @@
+"""Common scaffolding for the black-box phase-ordering searches.
+
+Each searcher optimizes a fixed-length vector of pass indices for one
+program, counting every simulator call; Figure 7's samples-per-program
+axis is exactly this counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hls.profiler import HLSCompilationError
+from ..ir.module import Module
+from ..passes.registry import NUM_TRANSFORMS
+from ..toolchain import HLSToolchain
+
+__all__ = ["SearchResult", "SequenceEvaluator"]
+
+
+@dataclass
+class SearchResult:
+    name: str
+    best_cycles: int
+    best_sequence: List[int]
+    samples: int
+    history: List[int] = field(default_factory=list)  # best-so-far per sample
+
+
+class SequenceEvaluator:
+    """Evaluate pass sequences on one program with sample accounting."""
+
+    def __init__(self, program: Module, toolchain: Optional[HLSToolchain] = None,
+                 penalty_factor: float = 4.0) -> None:
+        self.program = program
+        self.toolchain = toolchain or HLSToolchain()
+        self.samples = 0
+        self.best_cycles = np.iinfo(np.int64).max
+        self.best_sequence: List[int] = []
+        self.history: List[int] = []
+        self._baseline: Optional[int] = None
+        self.penalty_factor = penalty_factor
+
+    @property
+    def baseline_cycles(self) -> int:
+        if self._baseline is None:
+            self._baseline = self.toolchain.cycle_count_with_passes(self.program, [])
+        return self._baseline
+
+    def __call__(self, sequence: Sequence[int]) -> int:
+        seq = [int(a) % NUM_TRANSFORMS for a in sequence]
+        self.samples += 1
+        try:
+            cycles = self.toolchain.cycle_count_with_passes(self.program, seq)
+        except HLSCompilationError:
+            cycles = int(self.baseline_cycles * self.penalty_factor)
+        if cycles < self.best_cycles:
+            self.best_cycles = cycles
+            self.best_sequence = list(seq)
+        self.history.append(int(self.best_cycles))
+        return cycles
+
+    def result(self, name: str) -> SearchResult:
+        return SearchResult(name=name, best_cycles=int(self.best_cycles),
+                            best_sequence=self.best_sequence, samples=self.samples,
+                            history=self.history)

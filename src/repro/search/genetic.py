@@ -1,0 +1,81 @@
+"""Genetic algorithm over pass sequences — the Genetic-DEAP baseline.
+
+DEAP's canonical integer-vector GA: tournament selection, one/two-point
+crossover, per-gene uniform mutation, elitism. Individuals are length-N
+vectors of pass indices; fitness is the (negated) cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..ir.module import Module
+from ..passes.registry import NUM_TRANSFORMS
+from ..toolchain import HLSToolchain
+from .base import SearchResult, SequenceEvaluator
+
+__all__ = ["GAConfig", "genetic_search"]
+
+
+@dataclass
+class GAConfig:
+    population: int = 20
+    generations: int = 10
+    tournament: int = 3
+    crossover_prob: float = 0.8
+    mutation_prob: float = 0.15
+    two_point: bool = False
+    elitism: int = 2
+    sequence_length: int = 45
+
+
+def _crossover(rng: np.random.Generator, a: np.ndarray, b: np.ndarray,
+               two_point: bool) -> np.ndarray:
+    n = a.size
+    if two_point and n > 3:
+        i, j = sorted(rng.choice(np.arange(1, n), size=2, replace=False))
+        child = a.copy()
+        child[i:j] = b[i:j]
+    else:
+        cut = int(rng.integers(1, n))
+        child = np.concatenate([a[:cut], b[cut:]])
+    return child
+
+
+def genetic_search(program: Module, config: Optional[GAConfig] = None,
+                   toolchain: Optional[HLSToolchain] = None, seed: int = 0,
+                   evaluator: Optional[SequenceEvaluator] = None) -> SearchResult:
+    cfg = config or GAConfig()
+    rng = np.random.default_rng(seed)
+    evaluate = evaluator or SequenceEvaluator(program, toolchain)
+
+    pop = [rng.integers(0, NUM_TRANSFORMS, size=cfg.sequence_length)
+           for _ in range(cfg.population)]
+    fitness = np.array([evaluate(ind) for ind in pop], dtype=np.float64)
+
+    for _ in range(cfg.generations):
+        order = np.argsort(fitness)
+        elites = [pop[i].copy() for i in order[:cfg.elitism]]
+        children: List[np.ndarray] = list(elites)
+        while len(children) < cfg.population:
+            # tournament selection of two parents
+            def pick() -> np.ndarray:
+                contenders = rng.integers(0, len(pop), size=cfg.tournament)
+                winner = min(contenders, key=lambda i: fitness[i])
+                return pop[winner]
+
+            a, b = pick(), pick()
+            if rng.random() < cfg.crossover_prob:
+                child = _crossover(rng, a, b, cfg.two_point)
+            else:
+                child = a.copy()
+            mask = rng.random(cfg.sequence_length) < cfg.mutation_prob
+            child[mask] = rng.integers(0, NUM_TRANSFORMS, size=int(mask.sum()))
+            children.append(child)
+        pop = children
+        fitness = np.array([evaluate(ind) for ind in pop], dtype=np.float64)
+
+    return evaluate.result("Genetic-DEAP")

@@ -1,0 +1,45 @@
+"""Greedy insertion search (Huang et al., FCCM 2013).
+
+"Always inserts the pass that achieves the highest speedup at the best
+position (out of all possible positions it can be inserted to) in the
+current sequence." Each round tries every candidate pass at every
+insertion point of the current sequence and keeps the single best
+insertion; rounds repeat until no insertion improves or the length
+budget is reached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.module import Module
+from ..passes.registry import NUM_TRANSFORMS
+from ..toolchain import HLSToolchain
+from .base import SearchResult, SequenceEvaluator
+
+__all__ = ["greedy_search"]
+
+
+def greedy_search(program: Module, max_length: int = 8,
+                  candidate_passes: Optional[Sequence[int]] = None,
+                  toolchain: Optional[HLSToolchain] = None) -> SearchResult:
+    evaluate = SequenceEvaluator(program, toolchain)
+    candidates = list(candidate_passes) if candidate_passes is not None else list(range(NUM_TRANSFORMS))
+    current: List[int] = []
+    current_cycles = evaluate(current)
+
+    while len(current) < max_length:
+        best_insertion = None
+        best_cycles = current_cycles
+        for p in candidates:
+            for pos in range(len(current) + 1):
+                trial = current[:pos] + [p] + current[pos:]
+                cycles = evaluate(trial)
+                if cycles < best_cycles:
+                    best_cycles = cycles
+                    best_insertion = trial
+        if best_insertion is None:
+            break  # no insertion improves: greedy is stuck
+        current = best_insertion
+        current_cycles = best_cycles
+    return evaluate.result("Greedy")

@@ -1,0 +1,88 @@
+"""Particle swarm optimization over pass sequences.
+
+OpenTuner's ensemble includes "particle swarm optimization ... with three
+different crossover settings"; this module supplies the swarm. Positions
+are continuous length-N vectors decoded by rounding mod K; the crossover
+setting controls how a particle blends its personal best and the global
+best into its velocity update (the OpenTuner PSO variants differ in
+exactly this mixing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ir.module import Module
+from ..passes.registry import NUM_TRANSFORMS
+from .base import SearchResult, SequenceEvaluator
+
+__all__ = ["PSOConfig", "pso_step", "pso_search"]
+
+
+@dataclass
+class PSOConfig:
+    particles: int = 10
+    inertia: float = 0.6
+    cognitive: float = 1.4   # pull toward the particle's own best
+    social: float = 1.4      # pull toward the swarm's best
+    crossover: str = "blend"  # 'blend' | 'own-best' | 'global-best'
+    sequence_length: int = 45
+    velocity_clip: float = 8.0
+
+
+class _Swarm:
+    def __init__(self, cfg: PSOConfig, rng: np.random.Generator) -> None:
+        self.cfg = cfg
+        self.rng = rng
+        n, d = cfg.particles, cfg.sequence_length
+        self.positions = rng.uniform(0, NUM_TRANSFORMS, size=(n, d))
+        self.velocities = rng.uniform(-2, 2, size=(n, d))
+        self.best_positions = self.positions.copy()
+        self.best_fitness = np.full(n, np.inf)
+        self.global_best = self.positions[0].copy()
+        self.global_fitness = np.inf
+
+    def decode(self, position: np.ndarray) -> np.ndarray:
+        return np.mod(np.round(position).astype(np.int64), NUM_TRANSFORMS)
+
+    def step(self, evaluate) -> None:
+        cfg, rng = self.cfg, self.rng
+        for i in range(cfg.particles):
+            cycles = evaluate(self.decode(self.positions[i]))
+            if cycles < self.best_fitness[i]:
+                self.best_fitness[i] = cycles
+                self.best_positions[i] = self.positions[i].copy()
+            if cycles < self.global_fitness:
+                self.global_fitness = cycles
+                self.global_best = self.positions[i].copy()
+        r1 = rng.random(self.positions.shape)
+        r2 = rng.random(self.positions.shape)
+        if cfg.crossover == "own-best":
+            pull = cfg.cognitive * r1 * (self.best_positions - self.positions)
+        elif cfg.crossover == "global-best":
+            pull = cfg.social * r2 * (self.global_best[None, :] - self.positions)
+        else:  # blend
+            pull = (cfg.cognitive * r1 * (self.best_positions - self.positions)
+                    + cfg.social * r2 * (self.global_best[None, :] - self.positions))
+        self.velocities = np.clip(cfg.inertia * self.velocities + pull,
+                                  -cfg.velocity_clip, cfg.velocity_clip)
+        self.positions = np.clip(self.positions + self.velocities,
+                                 0, NUM_TRANSFORMS - 1e-9)
+
+
+def pso_step(swarm: _Swarm, evaluate) -> None:
+    swarm.step(evaluate)
+
+
+def pso_search(program: Module, iterations: int = 10, config: Optional[PSOConfig] = None,
+               seed: int = 0, evaluator: Optional[SequenceEvaluator] = None) -> SearchResult:
+    cfg = config or PSOConfig()
+    rng = np.random.default_rng(seed)
+    evaluate = evaluator or SequenceEvaluator(program)
+    swarm = _Swarm(cfg, rng)
+    for _ in range(iterations):
+        swarm.step(evaluate)
+    return evaluate.result(f"PSO-{cfg.crossover}")

@@ -1,0 +1,29 @@
+"""Random search: sample complete length-N pass sequences uniformly.
+
+The paper's ``random`` baseline "randomly generates a sequence of 45
+passes at once instead of sampling them one-by-one" — the honest
+dumb-luck lower bound every smarter method must beat per-sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ir.module import Module
+from ..passes.registry import NUM_TRANSFORMS
+from ..toolchain import HLSToolchain
+from .base import SearchResult, SequenceEvaluator
+
+__all__ = ["random_search"]
+
+
+def random_search(program: Module, budget: int = 100, sequence_length: int = 45,
+                  toolchain: Optional[HLSToolchain] = None, seed: int = 0) -> SearchResult:
+    rng = np.random.default_rng(seed)
+    evaluate = SequenceEvaluator(program, toolchain)
+    for _ in range(budget):
+        seq = rng.integers(0, NUM_TRANSFORMS, size=sequence_length)
+        evaluate(seq)
+    return evaluate.result("Random")

@@ -1,0 +1,141 @@
+"""HLSToolchain — the façade tying compiler, HLS backend and profiler
+together; the "simulator" the RL environment and all search baselines
+call into.
+
+A toolchain owns the pass registry, a profiler configuration, and a
+sample counter (the paper's key efficiency metric is *samples per
+program* = number of simulator invocations). Modules mutate in place when
+passes run, so the toolchain also provides deep-copy snapshots via the
+serializer-free :func:`clone_module`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .hls.delays import HLSConstraints
+from .hls.profiler import CycleProfiler, CycleReport, HLSCompilationError
+from .ir.cloning import clone_blocks
+from .ir.module import Function, Module
+from .ir.values import GlobalVariable
+from .passes import PassManager, create_pass_by_index, pass_name_for_index
+from .passes.pipelines import O3_PIPELINE
+from .passes.registry import NUM_ACTIONS, TERMINATE_INDEX
+
+__all__ = ["clone_module", "HLSToolchain"]
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module (globals, functions, bodies)."""
+    new = Module(module.source_name)
+    new.metadata = dict(module.metadata)
+    vmap: Dict = {}
+    for gv in module.globals.values():
+        init = gv.initializer
+        if isinstance(init, list):
+            init = list(init)
+        g2 = GlobalVariable(gv.name, gv.value_type, init, gv.is_constant, gv.linkage)
+        new.add_global(g2)
+        vmap[gv] = g2
+    # Create empty function shells first so calls can be remapped.
+    for func in module.functions.values():
+        f2 = Function(func.name, func.ftype, [a.name for a in func.args], func.linkage)
+        f2.attributes = set(func.attributes)
+        f2.metadata = dict(func.metadata)
+        new.add_function(f2)
+        vmap[func] = f2
+        for a_old, a_new in zip(func.args, f2.args):
+            vmap[a_old] = a_new
+    for func in module.functions.values():
+        f2 = vmap[func]
+        if func.is_declaration:
+            continue
+        blocks, _ = clone_blocks(func.blocks, f2, dict(vmap), suffix="")
+        # Retarget direct calls to the cloned functions.
+        for bb in blocks:
+            for inst in bb.instructions:
+                callee = getattr(inst, "callee", None)
+                if callee is not None and not isinstance(callee, str) and callee in vmap:
+                    inst.callee = vmap[callee]
+    return new
+
+
+class HLSToolchain:
+    """Compile-and-profile service with sample accounting."""
+
+    def __init__(self, constraints: Optional[HLSConstraints] = None,
+                 max_steps: int = 1_000_000) -> None:
+        self.profiler = CycleProfiler(constraints, max_steps=max_steps)
+        self.samples_taken = 0
+
+    # -- pass application ---------------------------------------------------
+    @staticmethod
+    def apply_passes(module: Module, actions: Sequence[Union[int, str]]) -> Module:
+        """Apply a pass sequence in place (indices or Table-1 names).
+
+        A ``-terminate`` action ends the sequence early, mirroring the RL
+        environment's semantics.
+        """
+        pm = PassManager()
+        for action in actions:
+            if isinstance(action, int):
+                if action == TERMINATE_INDEX:
+                    break
+                pm.run(module, [pass_name_for_index(action)])
+            else:
+                if action == "-terminate":
+                    break
+                pm.run(module, [action])
+        return module
+
+    def o3_sequence(self) -> List[str]:
+        return list(O3_PIPELINE)
+
+    # -- profiling -----------------------------------------------------------
+    def profile(self, module: Module, entry: str = "main") -> CycleReport:
+        self.samples_taken += 1
+        return self.profiler.profile(module, entry)
+
+    def cycle_count(self, module: Module, entry: str = "main") -> int:
+        return self.profile(module, entry).cycles
+
+    def cycle_count_with_passes(self, module: Module,
+                                actions: Sequence[Union[int, str]],
+                                entry: str = "main") -> int:
+        """Clone, optimize, profile — the one-shot evaluation primitive
+        used by every black-box search baseline."""
+        candidate = clone_module(module)
+        self.apply_passes(candidate, actions)
+        return self.cycle_count(candidate, entry)
+
+    def o0_cycles(self, module: Module) -> int:
+        return self.cycle_count_with_passes(module, [])
+
+    def o3_cycles(self, module: Module) -> int:
+        return self.cycle_count_with_passes(module, self.o3_sequence())
+
+    # -- alternative objectives (§5.1: "the reward could be defined as the
+    # negative of the area ... possible to co-optimize multiple objectives")
+    def area_score(self, module: Module) -> float:
+        from .hls.area import AreaEstimator
+
+        estimator = AreaEstimator(self.profiler.scheduler.constraints)
+        return estimator.estimate(module).score
+
+    def objective_value(self, module: Module, objective: str = "cycles",
+                        area_weight: float = 0.05, entry: str = "main") -> float:
+        """Scalar minimized by the agent: 'cycles', 'area', or 'cycles-area'
+        (a weighted co-optimization of both)."""
+        if objective == "cycles":
+            return float(self.cycle_count(module, entry))
+        if objective == "area":
+            self.samples_taken += 1
+            return self.area_score(module)
+        if objective == "cycles-area":
+            cycles = float(self.cycle_count(module, entry))
+            return cycles + area_weight * self.area_score(module)
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def reset_sample_counter(self) -> int:
+        taken, self.samples_taken = self.samples_taken, 0
+        return taken

@@ -1,0 +1,214 @@
+"""CFG, dominator, loop, alias, and call-graph analyses."""
+
+import pytest
+
+from repro.analysis import (
+    AliasResult,
+    CallGraph,
+    DominatorTree,
+    LoopInfo,
+    alias,
+    constant_offset,
+    critical_edges,
+    num_edges,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_edge,
+    underlying_object,
+)
+from repro.ir import Function, IRBuilder, Module
+from repro.ir import types as ty
+from tests.conftest import build_counted_loop_module
+
+
+def _diamond():
+    """entry -> (left|right) -> merge; returns (f, blocks dict)."""
+    m = Module("t")
+    f = m.add_function(Function("f", ty.function_type(ty.i32, [ty.i32])))
+    blocks = {n: f.add_block(n) for n in ("entry", "left", "right", "merge")}
+    b = IRBuilder(blocks["entry"])
+    cond = b.icmp("slt", f.args[0], b.const(0))
+    b.cbr(cond, blocks["left"], blocks["right"])
+    IRBuilder(blocks["left"]).br(blocks["merge"])
+    IRBuilder(blocks["right"]).br(blocks["merge"])
+    bm = IRBuilder(blocks["merge"])
+    phi = bm.phi(ty.i32)
+    phi.add_incoming(bm.const(1), blocks["left"])
+    phi.add_incoming(bm.const(2), blocks["right"])
+    bm.ret(phi)
+    return m, f, blocks
+
+
+class TestCFG:
+    def test_reachability(self):
+        m, f, blocks = _diamond()
+        dead = f.add_block("dead")
+        IRBuilder(dead).ret(IRBuilder(dead).const(0))
+        assert dead not in reachable_blocks(f)
+        assert len(reachable_blocks(f)) == 4
+
+    def test_remove_unreachable_fixes_phis(self):
+        m, f, blocks = _diamond()
+        dead = f.add_block("dead")
+        IRBuilder(dead).br(blocks["merge"])
+        phi = blocks["merge"].phis()[0]
+        phi.add_incoming(IRBuilder(dead).const(9), dead)
+        removed = remove_unreachable_blocks(f)
+        assert removed == 1
+        assert len(phi.incoming_blocks) == 2
+
+    def test_rpo_starts_at_entry(self):
+        m, f, blocks = _diamond()
+        order = reverse_postorder(f)
+        assert order[0] is blocks["entry"]
+        assert order[-1] is blocks["merge"]
+
+    def test_edge_count(self):
+        m, f, blocks = _diamond()
+        assert num_edges(f) == 4
+
+    def test_critical_edge_detection_and_split(self):
+        # entry cbr (a, merge); a br merge  => entry->merge is critical
+        m = Module("t")
+        f = m.add_function(Function("f", ty.function_type(ty.void, [ty.i32])))
+        entry, a, merge = f.add_block("entry"), f.add_block("a"), f.add_block("merge")
+        b = IRBuilder(entry)
+        b.cbr(b.icmp("eq", f.args[0], b.const(0)), a, merge)
+        IRBuilder(a).br(merge)
+        IRBuilder(merge).ret()
+        crits = critical_edges(f)
+        assert crits == [(entry, merge)]
+        mid = split_edge(entry, merge)
+        assert critical_edges(f) == []
+        assert mid in entry.successors()
+        assert merge in mid.successors()
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        m, f, blocks = _diamond()
+        dt = DominatorTree(f)
+        assert dt.idom[blocks["merge"]] is blocks["entry"]
+        assert dt.idom[blocks["left"]] is blocks["entry"]
+        assert dt.dominates_block(blocks["entry"], blocks["merge"])
+        assert not dt.dominates_block(blocks["left"], blocks["merge"])
+
+    def test_dominance_frontiers(self):
+        m, f, blocks = _diamond()
+        dt = DominatorTree(f)
+        df = dt.dominance_frontiers()
+        assert df[blocks["left"]] == {blocks["merge"]}
+        assert df[blocks["right"]] == {blocks["merge"]}
+        assert df[blocks["merge"]] == set()
+
+    def test_loop_header_dominates_body(self):
+        m = build_counted_loop_module()
+        f = m.get_function("main")
+        dt = DominatorTree(f)
+        by_name = {bb.name: bb for bb in f.blocks}
+        assert dt.dominates_block(by_name["cond"], by_name["body"])
+        assert dt.dominates_block(by_name["cond"], by_name["exit"])
+
+    def test_instruction_level_dominance(self):
+        m = build_counted_loop_module()
+        f = m.get_function("main")
+        dt = DominatorTree(f)
+        by_name = {bb.name: bb for bb in f.blocks}
+        first = by_name["body"].instructions[0]
+        later = by_name["body"].instructions[2]
+        assert dt.dominates(first, later)
+        assert not dt.dominates(later, first)
+
+
+class TestLoops:
+    def test_single_loop_discovered(self):
+        m = build_counted_loop_module()
+        f = m.get_function("main")
+        info = LoopInfo(f)
+        assert len(info.loops) == 1
+        loop = info.loops[0]
+        assert loop.header.name == "cond"
+        assert {bb.name for bb in loop.blocks} == {"cond", "body"}
+        assert loop.single_latch().name == "body"
+        assert loop.preheader().name == "entry"
+        assert [bb.name for bb in loop.exit_blocks()] == ["exit"]
+
+    def test_nested_loops(self, benchmarks):
+        f = benchmarks["matmul"].get_function("main")
+        info = LoopInfo(f)
+        depths = sorted(l.depth for l in info.loops)
+        assert max(depths) >= 3  # i/j/k nest
+
+    def test_induction_descriptor_trip_count(self):
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module(trip=10)
+        PassManager().run(m, ["-mem2reg"])
+        f = m.get_function("main")
+        info = LoopInfo(f)
+        desc = info.induction_descriptor(info.loops[0])
+        assert desc is not None
+        assert desc.trip_count() == 10
+
+
+class TestAlias:
+    def _setup(self):
+        m = Module("t")
+        f = m.add_function(Function("f", ty.function_type(ty.void, [])))
+        b = IRBuilder(f.add_block("entry"))
+        a1 = b.alloca(ty.array_type(ty.i32, 8), "a1")
+        a2 = b.alloca(ty.array_type(ty.i32, 8), "a2")
+        return b, a1, a2
+
+    def test_distinct_allocas_no_alias(self):
+        b, a1, a2 = self._setup()
+        assert alias(a1, a2) is AliasResult.NO_ALIAS
+
+    def test_same_pointer_must_alias(self):
+        b, a1, _ = self._setup()
+        assert alias(a1, a1) is AliasResult.MUST_ALIAS
+
+    def test_constant_geps_disambiguate(self):
+        b, a1, _ = self._setup()
+        g0 = b.gep(a1, [0, 0])
+        g1 = b.gep(a1, [0, 1])
+        g0b = b.gep(a1, [0, 0])
+        assert alias(g0, g1) is AliasResult.NO_ALIAS
+        assert alias(g0, g0b) is AliasResult.MUST_ALIAS
+
+    def test_variable_gep_may_alias(self):
+        b, a1, _ = self._setup()
+        m2 = Module("t2")
+        f2 = m2.add_function(Function("g", ty.function_type(ty.void, [ty.i32])))
+        b2 = IRBuilder(f2.add_block())
+        arr = b2.alloca(ty.array_type(ty.i32, 8))
+        gv = b2.gep(arr, [0, f2.args[0]])
+        g0 = b2.gep(arr, [0, 0])
+        assert alias(gv, g0) is AliasResult.MAY_ALIAS
+
+    def test_underlying_object_strips_geps(self):
+        b, a1, _ = self._setup()
+        g = b.gep(b.gep(a1, [0, 2]), [1])
+        assert underlying_object(g) is a1
+
+    def test_constant_offset_resolution(self):
+        b, a1, _ = self._setup()
+        g = b.gep(a1, [0, 3])
+        assert constant_offset(g) == (a1, 3)
+
+
+class TestCallGraph:
+    def test_edges_and_recursion(self, benchmarks):
+        cg = CallGraph(benchmarks["qsort"])
+        qs = benchmarks["qsort"].get_function("quicksort")
+        main = benchmarks["qsort"].get_function("main")
+        assert qs in cg.callees(main)
+        assert cg.is_self_recursive(qs)
+        assert not cg.is_recursive(main)
+
+    def test_bottom_up_order(self, benchmarks):
+        cg = CallGraph(benchmarks["blowfish"])
+        order = cg.bottom_up_order()
+        names = [f.name for f in order]
+        assert names.index("bf_f") < names.index("main")

@@ -1,0 +1,133 @@
+"""Experiment drivers at smoke scale: every figure/table regenerates and
+reports the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    get_scale,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_fig5_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from repro.experiments.config import ExperimentScale, _SMOKE
+from repro.experiments.reporting import format_bar_chart, format_heatmap, format_series
+
+
+class TestTables:
+    def test_table1_lists_all_46_slots(self):
+        text = render_table1()
+        assert "-loop-rotate" in text and "-terminate" in text
+        assert "45" in text
+
+    def test_table2_lists_all_features(self):
+        text = render_table2()
+        assert "Number of critical edges" in text
+        assert "55" in text
+
+    def test_table3_lists_agents(self):
+        text = render_table3()
+        for name in ("RL-PPO1", "RL-PPO2", "RL-PPO3", "RL-A3C", "RL-ES"):
+            assert name in text
+        assert "Multiple-Action" in text
+
+
+class TestReporting:
+    def test_bar_chart_renders(self):
+        text = format_bar_chart([("-O3", 0.0, 1), ("X", 0.25, 100)])
+        assert "-O3" in text and "25.0%" in text
+
+    def test_heatmap_renders(self):
+        m = np.eye(4)
+        text = format_heatmap(m, "rows", "cols")
+        assert "rows" in text and len(text.splitlines()) == 6
+
+    def test_series_renders(self):
+        text = format_series({"a": [1.0, 2.0, 3.0], "b": [0.5, 0.6, 0.7]}, points=3)
+        assert "a" in text and "b" in text
+
+
+class TestScales:
+    def test_env_scale_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert get_scale().name == "default"
+        with pytest.raises(ValueError):
+            get_scale("bogus")
+
+    def test_full_scale_matches_paper_budgets(self):
+        full = get_scale("full")
+        assert full.random_budget == 8400       # Figure 7's Random dot
+        assert full.n_train_programs == 100     # §6.2 training corpus
+        assert full.episode_length == 45        # pass length in Fig 7
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return _SMOKE
+
+
+class TestFig7Smoke:
+    @pytest.fixture(scope="class")
+    def result(self, benchmarks):
+        algorithms = ["-O0", "-O3", "RL-PPO2", "Greedy", "Random"]
+        two = {k: benchmarks[k] for k in ("gsm", "matmul")}
+        return run_fig7(benchmarks=two, scale=_SMOKE, algorithms=algorithms, seed=0)
+
+    def test_shape_o0_below_o3(self, result):
+        assert result.row("-O0").improvement_over_o3 < 0
+        assert result.row("-O3").improvement_over_o3 == 0.0
+
+    def test_searches_beat_o3(self, result):
+        assert result.row("Random").improvement_over_o3 > 0
+        assert result.row("Greedy").improvement_over_o3 > 0
+
+    def test_sample_accounting(self, result):
+        assert result.row("-O3").samples_per_program == 1
+        assert result.row("Greedy").samples_per_program > 10
+
+    def test_render_and_csv(self, result, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        text = result.render()
+        assert "Figure 7" in text
+        path = result.to_csv()
+        assert path.endswith("fig7.csv")
+
+
+class TestFig56Smoke:
+    def test_importance_analysis_runs(self, tiny_corpus):
+        result = run_fig5_fig6(tiny_corpus, scale=_SMOKE, seed=0)
+        assert result.dataset_size > 0
+        assert "Figure 5" in result.render_fig5()
+        assert "Figure 6" in result.render_fig6()
+        assert result.analysis.feature_importance.sum() > 0
+
+
+class TestFig8Smoke:
+    def test_three_variants_train(self, tiny_corpus):
+        result = run_fig8(tiny_corpus, scale=_SMOKE, seed=0)
+        assert set(result.curves) == {"filtered-norm1", "original-norm2", "filtered-norm2"}
+        for curve in result.curves.values():
+            assert len(curve) == _SMOKE.fig8_episodes
+        assert len(result.feature_indices) <= 24
+        assert "Figure 8" in result.render()
+
+
+class TestFig9Smoke:
+    def test_generalization_protocol(self, tiny_corpus, benchmarks):
+        two = {k: benchmarks[k] for k in ("gsm", "matmul")}
+        result = run_fig9(corpus=tiny_corpus, benchmarks=two, scale=_SMOKE,
+                          include_random_test=False, seed=0)
+        names = [r.algorithm for r in result.rows]
+        assert "RL-filtered-norm1" in names and "RL-filtered-norm2" in names
+        assert "Genetic-DEAP" in names and "OpenTuner" in names
+        # single-sample inference
+        for r in result.rows:
+            if r.algorithm.startswith("RL-"):
+                assert r.samples_per_program == 1.0
+        assert "Figure 9" in result.render()

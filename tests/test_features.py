@@ -1,0 +1,136 @@
+"""The 56 Table-2 features, validated on hand-crafted IR."""
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, NUM_FEATURES, extract_features
+from repro.ir import Function, IRBuilder, Module
+from repro.ir import types as ty
+from tests.conftest import build_counted_loop_module
+
+
+class TestShape:
+    def test_vector_shape_and_dtype(self, benchmarks):
+        f = extract_features(benchmarks["aes"])
+        assert f.shape == (NUM_FEATURES,)
+        assert f.dtype == np.int64
+        assert (f >= 0).all()
+
+    def test_table_has_56_names(self):
+        assert len(FEATURE_NAMES) == 56
+
+
+class TestCountsOnLoopModule:
+    @pytest.fixture()
+    def feats(self):
+        return extract_features(build_counted_loop_module())
+
+    def test_block_count(self, feats):
+        assert feats[50] == 4
+
+    def test_instruction_count(self, feats):
+        m = build_counted_loop_module()
+        assert feats[51] == m.instruction_count()
+
+    def test_opcode_counts(self, feats):
+        assert feats[27] == 2   # allocas: s, i
+        assert feats[37] == 4   # loads: iv, sv, iv2, rv
+        assert feats[45] == 4   # stores: 2 init + 2 in body
+        assert feats[26] == 2   # adds
+        assert feats[38] == 1   # mul
+        assert feats[35] == 1   # icmp
+        assert feats[41] == 1   # ret
+        assert feats[32] == 3   # br: entry->cond, cond cbr, body->cond
+
+    def test_branch_classification(self, feats):
+        assert feats[15] == 1   # one conditional branch
+        assert feats[23] == 2   # two unconditional
+
+    def test_edges(self, feats):
+        assert feats[18] == 4
+
+    def test_memory_instructions(self, feats):
+        assert feats[52] == feats[37] + feats[45] + feats[27]
+
+    def test_constant_occurrences(self, feats):
+        # constants 0 appear in the two init stores; constant 1 in the increment
+        assert feats[21] >= 2
+        assert feats[22] >= 1
+        assert feats[19] >= 4   # several i32 immediates
+
+    def test_binary_ops_with_constant_operand(self, feats):
+        assert feats[24] == 2   # mul iv,3 and add iv,1 (add sv,t has no const)
+
+    def test_functions(self, feats):
+        assert feats[53] == 1
+
+
+class TestPhiFeatures:
+    def test_phi_counts_after_mem2reg(self):
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module()
+        PassManager().run(m, ["-mem2reg"])
+        f = extract_features(m)
+        assert f[40] == 2           # phis for s and i in the loop header
+        assert f[14] == 2
+        assert f[54] == 4           # each phi has 2 incoming edges
+        assert f[11] == 1           # one block with 1-3 phis
+        assert f[13] == f[50] - 1   # all other blocks have none
+
+    def test_cast_and_unary_features(self):
+        m = Module("casts")
+        fn = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(fn.add_block("entry"))
+        v8 = b.trunc(b.const(300), ty.i8, "t")
+        v32 = b.sext(v8, ty.i32, "s")
+        vz = b.zext(v8, ty.i32, "z")
+        b.ret(b.add(v32, vz))
+        f = extract_features(m)
+        assert f[47] == 1 and f[42] == 1 and f[49] == 1
+        assert f[55] == 3  # three unary (cast) operations
+
+    def test_critical_edges_feature(self):
+        m = Module("crit")
+        fn = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32])))
+        entry, a, merge = fn.add_block("entry"), fn.add_block("a"), fn.add_block("m")
+        b = IRBuilder(entry)
+        b.cbr(b.icmp("eq", fn.args[0], b.const(0)), a, merge)
+        IRBuilder(a).br(merge)
+        IRBuilder(merge).ret(IRBuilder(merge).const(0))
+        f = extract_features(m)
+        assert f[17] == 1
+
+    def test_calls_returning_int(self, benchmarks):
+        f = extract_features(benchmarks["blowfish"])
+        assert f[16] >= 1  # bf_f returns i32
+        assert f[33] >= 1
+
+
+class TestFeatureReactivity:
+    """Features must move when passes change the program — the learning
+    signal the paper's agent depends on."""
+
+    def test_mem2reg_shifts_features(self):
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module()
+        before = extract_features(m)
+        PassManager().run(m, ["-mem2reg"])
+        after = extract_features(m)
+        assert after[37] < before[37]  # loads gone
+        assert after[45] < before[45]  # stores gone
+        assert after[40] > before[40]  # phis appeared
+
+    def test_extractor_cache_respects_version(self):
+        from repro.features import FeatureExtractor
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module()
+        fx = FeatureExtractor()
+        v0 = fx(m, version=0)
+        PassManager().run(m, ["-mem2reg"])
+        v0_again = fx(m, version=0)   # cached: same as before
+        v1 = fx(m, version=1)         # recomputed
+        assert (v0 == v0_again).all()
+        assert (v0 != v1).any()

@@ -1,0 +1,115 @@
+"""Decision trees, random forests, and the §4 importance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    analyze_importance,
+    collect_exploration_data,
+)
+from repro.passes.registry import NUM_TRANSFORMS, pass_index_for_name
+
+
+def _planted(n=400, d=8, seed=0):
+    """y depends only on features 2 and 5."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = ((X[:, 2] + 0.7 * X[:, 5]) > 0).astype(np.int64)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self):
+        X, y = _planted()
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        acc = (tree.predict(X) == y).mean()
+        assert acc > 0.9
+
+    def test_importance_concentrates_on_planted_features(self):
+        X, y = _planted()
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[2] + imp[5] > 0.8
+
+    def test_pure_leaf_short_circuit(self):
+        X = np.zeros((10, 3))
+        y = np.ones(10, dtype=np.int64)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == 1).all()
+
+    def test_max_depth_limits_tree(self):
+        X, y = _planted(n=200)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        acc_s = (shallow.predict(X) == y).mean()
+        acc_d = (deep.predict(X) == y).mean()
+        assert acc_d >= acc_s
+
+    def test_probabilities_in_range(self):
+        X, y = _planted(n=100)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        p = tree.predict_proba(X)
+        assert ((p >= 0) & (p <= 1)).all()
+
+
+class TestRandomForest:
+    def test_beats_or_matches_single_tree_on_noise(self):
+        rng = np.random.default_rng(1)
+        X, y = _planted(n=300, seed=1)
+        flip = rng.random(len(y)) < 0.15
+        y_noisy = np.where(flip, 1 - y, y)
+        X_test, y_test = _planted(n=300, seed=2)
+        tree = DecisionTreeClassifier(max_depth=10).fit(X, y_noisy)
+        forest = RandomForestClassifier(n_trees=15, max_depth=10, seed=0).fit(X, y_noisy)
+        acc_tree = (tree.predict(X_test) == y_test).mean()
+        acc_forest = forest.score(X_test, y_test)
+        assert acc_forest >= acc_tree - 0.02
+
+    def test_importances_average_over_trees(self):
+        X, y = _planted()
+        forest = RandomForestClassifier(n_trees=10, seed=0).fit(X, y)
+        imp = forest.feature_importances_
+        assert imp.shape == (8,)
+        assert imp[2] + imp[5] > 0.6
+
+    def test_deterministic_per_seed(self):
+        X, y = _planted(n=150)
+        a = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).feature_importances_
+        b = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).feature_importances_
+        assert np.allclose(a, b)
+
+
+class TestImportanceAnalysis:
+    @pytest.fixture(scope="class")
+    def dataset(self, tiny_corpus):
+        return collect_exploration_data(tiny_corpus, episodes=12, episode_length=8, seed=0)
+
+    def test_dataset_alignment(self, dataset):
+        n = len(dataset)
+        assert n == 12 * 8
+        assert dataset.features.shape == (n, 56)
+        assert dataset.histograms.shape[0] == n
+        assert set(np.unique(dataset.improved)) <= {0, 1}
+
+    def test_rewarding_passes_recorded(self, dataset):
+        """mem2reg-style passes must show improvements in the data."""
+        assert dataset.improved.sum() > 0
+
+    def test_analysis_matrices(self, dataset):
+        analysis = analyze_importance(dataset, n_trees=5, max_depth=4, min_samples=4)
+        assert analysis.feature_importance.shape == (NUM_TRANSFORMS, 56)
+        assert analysis.pass_importance.shape[0] == NUM_TRANSFORMS
+        assert analysis.feature_importance.sum() > 0
+
+    def test_filters_have_sane_shape(self, dataset):
+        analysis = analyze_importance(dataset, n_trees=5, max_depth=4, min_samples=4)
+        feats = analysis.select_features(top_k=20)
+        passes = analysis.select_passes(top_k=10)
+        assert len(feats) == 20 and all(0 <= i < 56 for i in feats)
+        assert len(passes) <= 11  # 10 + terminate
+        from repro.passes.registry import TERMINATE_INDEX
+
+        assert TERMINATE_INDEX in passes

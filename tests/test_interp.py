@@ -1,0 +1,135 @@
+"""Interpreter: memory model, externals, traces, limits, observables."""
+
+import pytest
+
+from repro.interp import (
+    Interpreter,
+    InterpreterLimitExceeded,
+    Memory,
+    MemPointer,
+    TrapError,
+    run_module,
+)
+from repro.ir import Function, GlobalVariable, IRBuilder, Module
+from repro.ir import types as ty
+from tests.conftest import build_counted_loop_module
+
+
+class TestMemory:
+    def test_allocate_load_store(self):
+        mem = Memory()
+        p = mem.allocate(4)
+        mem.store(p.advanced(2), 42)
+        assert mem.load(p.advanced(2)) == 42
+        assert mem.load(p) == 0
+
+    def test_bounds_checking(self):
+        mem = Memory()
+        p = mem.allocate(4)
+        with pytest.raises(TrapError):
+            mem.load(p.advanced(4))
+        with pytest.raises(TrapError):
+            mem.load(p.advanced(-1))
+
+    def test_freed_segment_traps(self):
+        mem = Memory()
+        p = mem.allocate(4)
+        mem.free(p)
+        with pytest.raises(TrapError):
+            mem.load(p)
+
+    def test_copy_and_fill(self):
+        mem = Memory()
+        a = mem.allocate_init([1, 2, 3, 4])
+        b = mem.allocate(4)
+        mem.copy(b, a, 4)
+        assert mem.segment_values(b.segment) == [1, 2, 3, 4]
+        mem.fill(b, 9, 2)
+        assert mem.segment_values(b.segment) == [9, 9, 3, 4]
+
+
+class TestExecution:
+    def test_loop_sum(self):
+        m = build_counted_loop_module(trip=10, body_mul=3)
+        res = run_module(m)
+        assert res.return_value == sum(i * 3 for i in range(10))
+
+    def test_block_counts_match_trip(self):
+        m = build_counted_loop_module(trip=7)
+        res = run_module(m)
+        by_name = {bb.name: c for bb, c in res.block_counts.items()}
+        assert by_name["body"] == 7
+        assert by_name["cond"] == 8  # one extra failing test
+        assert by_name["entry"] == 1 and by_name["exit"] == 1
+
+    def test_step_limit_enforced(self):
+        m = build_counted_loop_module(trip=1000)
+        with pytest.raises(InterpreterLimitExceeded):
+            run_module(m, max_steps=50)
+
+    def test_recursion_depth_limit(self):
+        m = Module("rec")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        inner = m.add_function(Function("inner", ty.function_type(ty.i32, [ty.i32])))
+        bb = inner.add_block("entry")
+        b = IRBuilder(bb)
+        # unconditional self recursion
+        r = b.call(inner, [inner.args[0]])
+        b.ret(r)
+        mb = IRBuilder(f.add_block("entry"))
+        mb.ret(mb.call(inner, [mb.const(1)]))
+        with pytest.raises(InterpreterLimitExceeded):
+            run_module(m)
+
+    def test_globals_initialized(self):
+        m = Module("g")
+        m.add_global(GlobalVariable("lut", ty.array_type(ty.i32, 3), [5, 6, 7]))
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.load(b.gep(m.globals["lut"], [0, 1])))
+        assert run_module(m).return_value == 6
+
+    def test_phi_simultaneous_evaluation(self):
+        """Swap phis must read pre-edge values simultaneously."""
+        m = Module("swap")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, loop, exit_ = f.add_block("entry"), f.add_block("loop"), f.add_block("exit")
+        be = IRBuilder(entry)
+        be.br(loop)
+        bl = IRBuilder(loop)
+        pa = bl.phi(ty.i32, "a")
+        pb = bl.phi(ty.i32, "b")
+        cnt = bl.phi(ty.i32, "cnt")
+        nc = bl.add(cnt, bl.const(1), "nc")
+        done = bl.icmp("sge", nc, bl.const(3), "done")
+        bl.cbr(done, exit_, loop)
+        pa.add_incoming(be.const(1), entry)
+        pb.add_incoming(be.const(2), entry)
+        cnt.add_incoming(be.const(0), entry)
+        pa.add_incoming(pb, loop)   # swap!
+        pb.add_incoming(pa, loop)
+        cnt.add_incoming(nc, loop)
+        bx = IRBuilder(exit_)
+        r = bx.sub(bx.mul(pa, bx.const(10)), pb)
+        bx.ret(r)
+        # iterations: (a,b) = (1,2) -> (2,1) -> (1,2); exits on the 3rd test,
+        # so the exit sees a=1, b=2 and returns 10*1 - 2 = 8.
+        assert run_module(m).return_value == 8
+
+    def test_externals(self):
+        m = Module("ext")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        s = b.call("sqrt", [b.fconst(9.0)], return_type=ty.f64)
+        b.ret(b.fptosi(s))
+        assert run_module(m).return_value == 3
+
+    def test_observable_stability(self):
+        m = build_counted_loop_module()
+        assert run_module(m).observable() == run_module(m).observable()
+
+    def test_benchmarks_deterministic(self, benchmarks):
+        for name, module in benchmarks.items():
+            r1 = run_module(module, max_steps=3_000_000)
+            r2 = run_module(module, max_steps=3_000_000)
+            assert r1.observable() == r2.observable(), name

@@ -1,0 +1,86 @@
+"""Region cloning — the machinery under inlining/unrolling/unswitching."""
+
+import pytest
+
+from repro.ir import Function, IRBuilder, Module, clone_blocks, clone_instruction
+from repro.ir import types as ty
+from repro.ir.values import Value
+
+
+def _diamond_func():
+    m = Module("c")
+    f = m.add_function(Function("f", ty.function_type(ty.i32, [ty.i32])))
+    entry, t, e, merge = (f.add_block(n) for n in ("entry", "t", "e", "merge"))
+    b = IRBuilder(entry)
+    x = b.add(f.args[0], b.const(1), "x")
+    b.cbr(b.icmp("sgt", x, b.const(0), "c"), t, e)
+    bt = IRBuilder(t)
+    vt = bt.mul(x, bt.const(2), "vt")
+    bt.br(merge)
+    be = IRBuilder(e)
+    ve = be.mul(x, be.const(3), "ve")
+    be.br(merge)
+    bm = IRBuilder(merge)
+    phi = bm.phi(ty.i32, "p")
+    phi.add_incoming(vt, t)
+    phi.add_incoming(ve, e)
+    bm.ret(phi)
+    return m, f, (entry, t, e, merge)
+
+
+class TestCloneInstruction:
+    def test_operands_remapped_through_vmap(self):
+        m, f, (entry, *_ ) = _diamond_func()
+        x = entry.instructions[0]
+        new_arg = f.args[0]
+        clone = clone_instruction(x, {x.lhs: new_arg})
+        assert clone.lhs is new_arg
+        assert clone.opcode == "add"
+        clone.drop_all_references()
+
+    def test_unmapped_operands_point_to_originals(self):
+        m, f, (entry, *_ ) = _diamond_func()
+        x = entry.instructions[0]
+        clone = clone_instruction(x, {})
+        assert clone.lhs is x.lhs
+        clone.drop_all_references()
+
+    def test_metadata_copied(self):
+        m, f, (entry, *_ ) = _diamond_func()
+        x = entry.instructions[0]
+        x.metadata["dbg"] = "line9"
+        clone = clone_instruction(x, {})
+        assert clone.metadata == {"dbg": "line9"}
+        clone.drop_all_references()
+
+
+class TestCloneBlocks:
+    def test_full_region_clone_is_consistent(self):
+        m, f, blocks = _diamond_func()
+        entry, t, e, merge = blocks
+        new_blocks, vmap = clone_blocks([t, e, merge], f, suffix=".dup")
+        assert len(new_blocks) == 3
+        # intra-region references remapped
+        merge_clone = vmap[merge]
+        phi_clone = merge_clone.phis()[0]
+        assert set(phi_clone.incoming_blocks) == {vmap[t], vmap[e]}
+        # references to values outside the region stay put (x in entry)
+        t_clone = vmap[t]
+        mul_clone = t_clone.instructions[0]
+        assert mul_clone.lhs is entry.instructions[0]
+
+    def test_clone_branch_targets_inside_region_remapped(self):
+        m, f, blocks = _diamond_func()
+        entry, t, e, merge = blocks
+        new_blocks, vmap = clone_blocks([t, merge], f)
+        t_clone = vmap[t]
+        assert t_clone.terminator.successors() == [vmap[merge]]
+
+    def test_caller_seeded_vmap_respected(self):
+        m, f, blocks = _diamond_func()
+        entry, t, e, merge = blocks
+        x = entry.instructions[0]
+        replacement = f.args[0]
+        new_blocks, vmap = clone_blocks([t], f, vmap={x: replacement})
+        mul_clone = vmap[t].instructions[0]
+        assert mul_clone.lhs is replacement

@@ -1,0 +1,127 @@
+"""Scalar semantics: the shared folding functions are the single source
+of truth; property-test them against Python reference semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import types as ty
+from repro.ir.folding import eval_cast, eval_fcmp, eval_icmp, eval_int_binop
+
+i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+small = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestIntBinops:
+    @given(i32s, i32s)
+    def test_add_wraps(self, a, b):
+        assert eval_int_binop("add", ty.i32, a, b) == ty.i32.wrap(a + b)
+
+    @given(i32s, i32s)
+    def test_mul_wraps(self, a, b):
+        assert eval_int_binop("mul", ty.i32, a, b) == ty.i32.wrap(a * b)
+
+    @given(small, small)
+    def test_sdiv_truncates_toward_zero(self, a, b):
+        r = eval_int_binop("sdiv", ty.i32, a, b)
+        if b == 0:
+            assert r == 0
+        else:
+            assert r == int(a / b)
+
+    @given(small, small)
+    def test_srem_sign_follows_dividend(self, a, b):
+        r = eval_int_binop("srem", ty.i32, a, b)
+        if b == 0:
+            assert r == 0
+        else:
+            assert r == a - b * int(a / b)
+            if r != 0:
+                assert (r < 0) == (a < 0)
+
+    @given(i32s, st.integers(min_value=0, max_value=100))
+    def test_shl_masks_amount(self, a, amt):
+        r = eval_int_binop("shl", ty.i32, a, amt)
+        assert r == ty.i32.wrap((a & 0xFFFFFFFF) << (amt % 32))
+
+    @given(i32s, st.integers(min_value=0, max_value=31))
+    def test_ashr_preserves_sign(self, a, amt):
+        r = eval_int_binop("ashr", ty.i32, a, amt)
+        assert r == a >> amt
+
+    @given(i32s, st.integers(min_value=0, max_value=31))
+    def test_lshr_is_unsigned(self, a, amt):
+        r = eval_int_binop("lshr", ty.i32, a, amt)
+        assert r == ty.i32.wrap((a & 0xFFFFFFFF) >> amt)
+
+    @given(i32s, i32s)
+    def test_udiv_unsigned(self, a, b):
+        r = eval_int_binop("udiv", ty.i32, a, b)
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assert r == (0 if ub == 0 else ty.i32.wrap(ua // ub))
+
+    @given(i32s, i32s)
+    def test_bitwise_ops(self, a, b):
+        assert eval_int_binop("and", ty.i32, a, b) == ty.i32.wrap(a & b)
+        assert eval_int_binop("or", ty.i32, a, b) == ty.i32.wrap(a | b)
+        assert eval_int_binop("xor", ty.i32, a, b) == ty.i32.wrap(a ^ b)
+
+    def test_division_by_zero_is_total(self):
+        for op in ("sdiv", "udiv", "srem", "urem"):
+            assert eval_int_binop(op, ty.i32, 42, 0) == 0
+
+
+class TestICmp:
+    @given(i32s, i32s)
+    def test_signed_predicates(self, a, b):
+        assert eval_icmp("slt", ty.i32, a, b) == (a < b)
+        assert eval_icmp("sge", ty.i32, a, b) == (a >= b)
+        assert eval_icmp("eq", ty.i32, a, b) == (a == b)
+
+    @given(i32s, i32s)
+    def test_unsigned_predicates(self, a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assert eval_icmp("ult", ty.i32, a, b) == (ua < ub)
+        assert eval_icmp("uge", ty.i32, a, b) == (ua >= ub)
+
+    def test_signedness_matters(self):
+        # -1 is the largest unsigned value
+        assert eval_icmp("slt", ty.i32, -1, 1)
+        assert not eval_icmp("ult", ty.i32, -1, 1)
+
+
+class TestCasts:
+    @given(i32s)
+    def test_trunc_to_i8(self, a):
+        assert eval_cast("trunc", ty.i32, ty.i8, a) == ty.i8.wrap(a)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_sext_preserves_value(self, a):
+        assert eval_cast("sext", ty.i8, ty.i32, a) == a
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_zext_uses_unsigned(self, a):
+        assert eval_cast("zext", ty.i8, ty.i32, a) == (a & 0xFF)
+
+    def test_fptosi_truncates(self):
+        assert eval_cast("fptosi", ty.f64, ty.i32, 2.9) == 2
+        assert eval_cast("fptosi", ty.f64, ty.i32, -2.9) == -2
+
+    def test_fptosi_of_nan_is_defined(self):
+        assert eval_cast("fptosi", ty.f64, ty.i32, math.nan) == 0
+        assert eval_cast("fptosi", ty.f64, ty.i32, math.inf) == 0
+
+    @given(small)
+    def test_sitofp(self, a):
+        assert eval_cast("sitofp", ty.i32, ty.f64, a) == float(a)
+
+
+class TestFCmp:
+    def test_nan_unordered(self):
+        for pred in ("oeq", "one", "olt", "ole", "ogt", "oge"):
+            assert not eval_fcmp(pred, math.nan, 1.0)
+
+    def test_ordered_basic(self):
+        assert eval_fcmp("olt", 1.0, 2.0)
+        assert eval_fcmp("oge", 2.0, 2.0)

@@ -1,0 +1,170 @@
+"""Instruction construction, classification, CFG edges, phi surgery."""
+
+import pytest
+
+from repro.ir import (
+    BranchInst,
+    Function,
+    IRBuilder,
+    Module,
+    PhiNode,
+    SwitchInst,
+)
+from repro.ir import types as ty
+
+
+def _func(params=(ty.i32, ty.i32)):
+    m = Module("t")
+    f = m.add_function(Function("f", ty.function_type(ty.i32, list(params))))
+    return m, f
+
+
+class TestConstruction:
+    def test_binop_type_follows_lhs(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        add = b.add(f.args[0], f.args[1])
+        assert add.type is ty.i32
+
+    def test_unknown_binop_rejected(self):
+        from repro.ir.instructions import BinaryOperator
+
+        m, f = _func()
+        with pytest.raises(ValueError):
+            BinaryOperator("bogus", f.args[0], f.args[1])
+
+    def test_icmp_yields_i1(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        c = b.icmp("slt", f.args[0], f.args[1])
+        assert c.type is ty.i1
+
+    def test_load_requires_pointer(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        with pytest.raises(TypeError):
+            b.load(f.args[0])
+
+    def test_gep_type_computation(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        arr = b.alloca(ty.array_type(ty.i32, 8), "arr")
+        g = b.gep(arr, [0, 3])
+        assert g.type.pointee is ty.i32
+        assert g.element_strides() == [8, 1]
+
+    def test_gep_rejects_scalar_descent(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        p = b.alloca(ty.i32, "p")
+        with pytest.raises(TypeError):
+            b.gep(p, [0, 1])
+
+
+class TestClassification:
+    def test_terminators(self):
+        m, f = _func()
+        bb1, bb2 = f.add_block(), f.add_block()
+        b = IRBuilder(bb1)
+        br = b.br(bb2)
+        assert br.is_terminator
+        b2 = IRBuilder(bb2)
+        ret = b2.ret(b2.const(0))
+        assert ret.is_terminator
+
+    def test_memory_classification(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        p = b.alloca(ty.i32)
+        ld = b.load(p)
+        st = b.store(b.const(1), p)
+        assert ld.may_read_memory() and not ld.may_write_memory()
+        assert st.may_write_memory() and st.may_have_side_effects()
+        assert p.is_memory_op
+
+    def test_pure_external_call(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        call = b.call("sqrt", [b.fconst(4.0)], return_type=ty.f64)
+        assert call.is_pure()
+        assert not call.may_write_memory()
+
+    def test_memset_call_writes(self):
+        m, f = _func()
+        b = IRBuilder(f.add_block())
+        p = b.alloca(ty.array_type(ty.i32, 4))
+        g = b.gep(p, [0, 0])
+        call = b.call("llvm.memset", [g, b.const(0), b.const(4)], return_type=ty.void)
+        assert call.may_write_memory()
+
+
+class TestControlFlow:
+    def test_branch_successors(self):
+        m, f = _func()
+        a, t, e = f.add_block("a"), f.add_block("t"), f.add_block("e")
+        b = IRBuilder(a)
+        cond = b.icmp("eq", f.args[0], b.const(0))
+        br = b.cbr(cond, t, e)
+        assert br.successors() == [t, e]
+        assert br.is_conditional
+
+    def test_replace_successor(self):
+        m, f = _func()
+        a, t, e, n = (f.add_block(x) for x in "aten")
+        b = IRBuilder(a)
+        br = b.cbr(b.icmp("eq", f.args[0], b.const(0)), t, e)
+        br.replace_successor(t, n)
+        assert br.successors() == [n, e]
+
+    def test_make_unconditional_drops_condition_use(self):
+        m, f = _func()
+        a, t, e = f.add_block("a"), f.add_block("t"), f.add_block("e")
+        b = IRBuilder(a)
+        cond = b.icmp("eq", f.args[0], b.const(0))
+        br = b.cbr(cond, t, e)
+        br.make_unconditional(t)
+        assert not br.is_conditional
+        assert not cond.is_used
+
+    def test_switch_successors(self):
+        m, f = _func()
+        a, d, c1, c2 = (f.add_block(x) for x in ("a", "d", "c1", "c2"))
+        b = IRBuilder(a)
+        sw = b.switch(f.args[0], d)
+        sw.add_case(b.const(1), c1)
+        sw.add_case(b.const(2), c2)
+        assert sw.successors() == [d, c1, c2]
+        sw.replace_successor(c1, c2)
+        assert sw.successors() == [d, c2, c2]
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        m, f = _func()
+        a, b1, merge = f.add_block("a"), f.add_block("b1"), f.add_block("m")
+        builder = IRBuilder(merge)
+        phi = builder.phi(ty.i32, "p")
+        phi.add_incoming(f.args[0], a)
+        phi.add_incoming(f.args[1], b1)
+        assert phi.incoming_value_for(a) is f.args[0]
+        phi.set_incoming_value_for(a, f.args[1])
+        assert phi.incoming_value_for(a) is f.args[1]
+        phi.remove_incoming(b1)
+        assert len(phi.incoming_blocks) == 1
+        assert f.args[1].num_uses == 1
+
+    def test_phis_stay_at_front(self):
+        m, f = _func()
+        bb = f.add_block()
+        b = IRBuilder(bb)
+        b.add(f.args[0], f.args[1])
+        phi = b.phi(ty.i32)
+        assert bb.instructions[0] is phi
+        assert bb.phis() == [phi]
+
+    def test_missing_edge_raises(self):
+        m, f = _func()
+        a, merge = f.add_block("a"), f.add_block("m")
+        phi = IRBuilder(merge).phi(ty.i32)
+        with pytest.raises(KeyError):
+            phi.incoming_value_for(a)

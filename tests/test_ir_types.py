@@ -1,0 +1,85 @@
+"""Type-system invariants: interning, sizes, wrapping."""
+
+import pytest
+
+from repro.ir import types as ty
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert ty.int_type(32) is ty.i32
+        assert ty.int_type(17) is ty.int_type(17)
+
+    def test_pointer_types_are_interned(self):
+        assert ty.pointer_type(ty.i32) is ty.pointer_type(ty.i32)
+
+    def test_array_types_are_interned(self):
+        assert ty.array_type(ty.i32, 8) is ty.array_type(ty.i32, 8)
+        assert ty.array_type(ty.i32, 8) is not ty.array_type(ty.i32, 9)
+
+    def test_function_types_are_interned(self):
+        a = ty.function_type(ty.i32, [ty.i32, ty.i32])
+        b = ty.function_type(ty.i32, [ty.i32, ty.i32])
+        assert a is b
+
+    def test_nested_types(self):
+        inner = ty.array_type(ty.i32, 4)
+        outer = ty.array_type(inner, 3)
+        assert outer.size_slots == 12
+        assert outer.element is inner
+
+
+class TestSizes:
+    def test_scalars_take_one_slot(self):
+        assert ty.i1.size_slots == 1
+        assert ty.i32.size_slots == 1
+        assert ty.f64.size_slots == 1
+        assert ty.pointer_type(ty.i32).size_slots == 1
+
+    def test_array_size(self):
+        assert ty.array_type(ty.i32, 16).size_slots == 16
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            ty.void.size_slots
+
+
+class TestIntSemantics:
+    def test_wrap_positive_overflow(self):
+        assert ty.i8.wrap(130) == -126
+
+    def test_wrap_negative(self):
+        assert ty.i8.wrap(-130) == 126
+
+    def test_wrap_identity_in_range(self):
+        assert ty.i32.wrap(12345) == 12345
+        assert ty.i32.wrap(-12345) == -12345
+
+    def test_i1_wrap(self):
+        assert ty.i1.wrap(1) == -1 or ty.i1.wrap(1) in (0, 1, -1)
+        assert ty.i1.wrap(0) == 0
+
+    def test_bounds(self):
+        assert ty.i32.max_signed == 2**31 - 1
+        assert ty.i32.min_signed == -(2**31)
+        assert ty.i16.mask == 0xFFFF
+
+    def test_classification(self):
+        assert ty.i32.is_int and ty.i32.is_scalar
+        assert ty.f64.is_float and not ty.f64.is_int
+        assert ty.pointer_type(ty.i32).is_pointer
+        assert ty.array_type(ty.i32, 2).is_array
+        assert not ty.array_type(ty.i32, 2).is_scalar
+        assert ty.void.is_void
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            ty.int_type(0)
+        with pytest.raises(ValueError):
+            ty.int_type(256)
+
+    def test_str_forms(self):
+        assert str(ty.i32) == "i32"
+        assert str(ty.f64) == "double"
+        assert str(ty.pointer_type(ty.i32)) == "i32*"
+        assert str(ty.array_type(ty.i8, 4)) == "[4 x i8]"

@@ -1,0 +1,72 @@
+"""Alternative objectives (§5.1 extension) and the command-line interface."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.passes.registry import pass_index_for_name
+from repro.rl.env import PhaseOrderEnv
+from repro.toolchain import HLSToolchain
+
+
+class TestObjectives:
+    def test_objective_values(self, benchmarks, toolchain):
+        m = benchmarks["mpeg2"]
+        cycles = toolchain.objective_value(m, "cycles")
+        area = toolchain.objective_value(m, "area")
+        combo = toolchain.objective_value(m, "cycles-area", area_weight=0.1)
+        assert cycles > 0 and area > 0
+        assert combo == pytest.approx(cycles + 0.1 * area)
+
+    def test_unknown_objective_rejected(self, benchmarks, toolchain):
+        with pytest.raises(ValueError):
+            toolchain.objective_value(benchmarks["mpeg2"], "power")
+
+    def test_area_objective_env_rewards_area_reduction(self, benchmarks):
+        env = PhaseOrderEnv([benchmarks["mpeg2"]], episode_length=3,
+                            objective="area", seed=0)
+        env.reset()
+        # mem2reg removes loads/stores/allocas: less BRAM + fewer units.
+        action = env.action_indices.index(pass_index_for_name("-mem2reg"))
+        _, reward, _, info = env.step(action)
+        assert reward > 0
+
+    def test_env_rejects_unknown_objective(self, benchmarks):
+        with pytest.raises(ValueError):
+            PhaseOrderEnv([benchmarks["mpeg2"]], objective="power")
+
+    def test_objectives_disagree_on_unrolling(self, benchmarks, toolchain):
+        """-loop-unroll trades area for cycles; the two objectives must
+        rank the transformation oppositely."""
+        m = benchmarks["matmul"]
+        from repro.toolchain import clone_module
+
+        before = clone_module(m)
+        toolchain.apply_passes(before, ["-mem2reg", "-loop-rotate", "-simplifycfg"])
+        after = clone_module(m)
+        toolchain.apply_passes(after, ["-mem2reg", "-loop-rotate", "-loop-unroll",
+                                       "-instcombine", "-simplifycfg", "-adce"])
+        d_cycles = toolchain.objective_value(before, "cycles") - toolchain.objective_value(after, "cycles")
+        d_area = toolchain.objective_value(before, "area") - toolchain.objective_value(after, "area")
+        assert d_cycles > 0   # unrolling (plus cleanup) helps cycles
+        assert d_area < 0     # but duplicated datapath costs area
+
+
+class TestCLI:
+    def test_tables_command(self, capsys):
+        assert cli_main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+    def test_compile_command(self, capsys):
+        assert cli_main(["compile", "gsm", "--passes", "-mem2reg -simplifycfg"]) == 0
+        out = capsys.readouterr().out
+        assert "gsm" in out and "cycles" in out
+
+    def test_compile_defaults_to_o3(self, capsys):
+        assert cli_main(["compile", "matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "+" in out  # improvement percentage rendered
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["compile", "fft"])

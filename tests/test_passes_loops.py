@@ -1,0 +1,411 @@
+"""Loop passes: simplify, rotate, licm, unroll, deletion, idiom, reduce,
+indvars, lcssa, unswitch — including the paper's ordering interactions."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.hls import CycleProfiler
+from repro.interp import run_module
+from repro.ir import Function, GlobalVariable, IRBuilder, Module, verify_module
+from repro.ir import types as ty
+from repro.passes import PassManager, create_pass
+from repro.toolchain import HLSToolchain, clone_module
+from tests.conftest import build_counted_loop_module
+
+
+def _prepare_loop(trip=10):
+    """Promoted (mem2reg'd) counted loop — canonical loop-pass input."""
+    m = build_counted_loop_module(trip=trip)
+    PassManager().run(m, ["-mem2reg"])
+    return m
+
+
+def _cycles(m):
+    return CycleProfiler(max_steps=3_000_000).profile(clone_module(m)).cycles
+
+
+class TestLoopSimplify:
+    def test_creates_preheader(self):
+        # Two entries into the header: entry and a second path.
+        m = Module("ls")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, pre2, header, body, exit_ = (f.add_block(n) for n in
+                                            ("entry", "pre2", "header", "body", "exit"))
+        b = IRBuilder(entry)
+        b.cbr(b.icmp("slt", f.args[0], b.const(0)), pre2, header)
+        IRBuilder(pre2).br(header)
+        bh = IRBuilder(header)
+        phi = bh.phi(ty.i32, "i")
+        phi.add_incoming(bh.const(0), entry)
+        phi.add_incoming(bh.const(5), pre2)
+        cmp_ = bh.icmp("slt", phi, bh.const(10))
+        bh.cbr(cmp_, body, exit_)
+        bb2 = IRBuilder(body)
+        nxt = bb2.add(phi, bb2.const(1))
+        phi.add_incoming(nxt, body)
+        bb2.br(header)
+        IRBuilder(exit_).ret(phi)
+        before = run_module(m, args=[1]).return_value
+        create_pass("-loop-simplify").run(m)
+        verify_module(m)
+        info = LoopInfo(f)
+        assert info.loops[0].preheader() is not None
+        assert run_module(m, args=[1]).return_value == before
+        assert run_module(m, args=[-1]).return_value == run_module(m, args=[-1]).return_value
+
+    def test_idempotent(self, loop_module):
+        PassManager().run(loop_module, ["-mem2reg"])
+        p = create_pass("-loop-simplify")
+        p.run(loop_module)
+        assert not create_pass("-loop-simplify").run(loop_module)
+
+
+class TestLoopRotate:
+    def test_rotation_reduces_cycles(self):
+        """Rotation's per-iteration win shows once -simplifycfg merges the
+        canonicalization scaffolding (the same synergy LLVM relies on)."""
+        plain = _prepare_loop()
+        PassManager().run(plain, ["-simplifycfg"])
+        rotated = _prepare_loop()
+        changed = create_pass("-loop-rotate").run(rotated)
+        verify_module(rotated)
+        assert changed
+        PassManager().run(rotated, ["-simplifycfg"])
+        assert run_module(rotated).return_value == sum(i * 3 for i in range(10))
+        assert _cycles(rotated) < _cycles(plain)
+
+    def test_rotated_loop_is_bottom_tested(self):
+        m = _prepare_loop()
+        create_pass("-loop-rotate").run(m)
+        f = m.get_function("main")
+        info = LoopInfo(f)
+        loop = info.loops[0]
+        # after rotation the latch must be the exiting block
+        assert set(loop.exiting_blocks()) == {loop.single_latch()}
+
+    def test_rotation_then_simplifycfg_merges_body(self):
+        m = _prepare_loop()
+        PassManager().run(m, ["-loop-rotate", "-simplifycfg"])
+        verify_module(m)
+        assert run_module(m).return_value == sum(i * 3 for i in range(10))
+
+    def test_rotate_is_stable(self):
+        m = _prepare_loop()
+        create_pass("-loop-rotate").run(m)
+        again = create_pass("-loop-rotate").run(m)
+        assert not again  # already rotated
+
+
+class TestLoopUnroll:
+    def test_full_unroll_after_rotate(self):
+        m = _prepare_loop(trip=8)
+        PassManager().run(m, ["-loop-rotate", "-loop-unroll"])
+        verify_module(m)
+        assert run_module(m).return_value == sum(i * 3 for i in range(8))
+        assert LoopInfo(m.get_function("main")).loops == []  # loop is gone
+
+    def test_unroll_without_rotate_does_nothing(self):
+        """The paper's §4.2 ordering interaction: -loop-unroll needs the
+        do-while shape that -loop-rotate creates."""
+        m = _prepare_loop(trip=8)
+        changed = create_pass("-loop-unroll").run(m)
+        # loop-simplify runs implicitly, but the while-shaped loop itself
+        # must not unroll
+        assert LoopInfo(m.get_function("main")).loops != []
+
+    def test_unroll_improves_cycles(self):
+        m = _prepare_loop(trip=8)
+        rotated = clone_module(m)
+        PassManager().run(rotated, ["-loop-rotate"])
+        unrolled = clone_module(rotated)
+        PassManager().run(unrolled, ["-loop-unroll", "-instcombine", "-simplifycfg", "-adce"])
+        assert _cycles(unrolled) < _cycles(rotated)
+
+    def test_trip_count_limit_respected(self):
+        m = _prepare_loop(trip=200)  # above the 32-iteration limit
+        PassManager().run(m, ["-loop-rotate", "-loop-unroll"])
+        assert LoopInfo(m.get_function("main")).loops != []
+
+    def test_unrolled_semantics_various_trips(self):
+        for trip in (1, 2, 5, 16):
+            m = _prepare_loop(trip=trip)
+            expected = sum(i * 3 for i in range(trip))
+            PassManager().run(m, ["-loop-rotate", "-loop-unroll", "-simplifycfg"])
+            verify_module(m)
+            assert run_module(m).return_value == expected, trip
+
+
+class TestLICM:
+    def _loop_with_invariant(self):
+        """for i: s += (a*b) — a*b is loop-invariant."""
+        m = Module("licm")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32, ty.i32]), linkage="external"))
+        entry, header, body, exit_ = (f.add_block(n) for n in ("entry", "header", "body", "exit"))
+        b = IRBuilder(entry)
+        b.br(header)
+        bh = IRBuilder(header)
+        iv = bh.phi(ty.i32, "i")
+        acc = bh.phi(ty.i32, "acc")
+        iv.add_incoming(b.const(0), entry)
+        acc.add_incoming(b.const(0), entry)
+        bh.cbr(bh.icmp("slt", iv, bh.const(10)), body, exit_)
+        bb = IRBuilder(body)
+        inv = bb.mul(f.args[0], f.args[1], "inv")   # invariant!
+        acc2 = bb.add(acc, inv, "acc2")
+        iv2 = bb.add(iv, bb.const(1), "iv2")
+        iv.add_incoming(iv2, body)
+        acc.add_incoming(acc2, body)
+        bb.br(header)
+        IRBuilder(exit_).ret(acc)
+        return m, f, body
+
+    def test_invariant_hoisted_to_preheader(self):
+        m, f, body = self._loop_with_invariant()
+        create_pass("-licm").run(m)
+        verify_module(m)
+        assert not any(i.opcode == "mul" for i in body.instructions)
+
+    def test_loads_of_invariant_address_hoisted(self):
+        m = Module("licm2")
+        gv = GlobalVariable("g", ty.i32, 42)
+        m.add_global(gv)
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, header, body, exit_ = (f.add_block(n) for n in ("entry", "header", "body", "exit"))
+        b = IRBuilder(entry)
+        b.br(header)
+        bh = IRBuilder(header)
+        iv = bh.phi(ty.i32, "i")
+        acc = bh.phi(ty.i32, "acc")
+        iv.add_incoming(b.const(0), entry)
+        acc.add_incoming(b.const(0), entry)
+        bh.cbr(bh.icmp("slt", iv, bh.const(5)), body, exit_)
+        bb = IRBuilder(body)
+        v = bb.load(gv, "gval")      # no stores in loop -> hoistable
+        acc2 = bb.add(acc, v)
+        iv2 = bb.add(iv, bb.const(1))
+        iv.add_incoming(iv2, body)
+        acc.add_incoming(acc2, body)
+        bb.br(header)
+        IRBuilder(exit_).ret(acc)
+        before = run_module(m).return_value
+        create_pass("-licm").run(m)
+        verify_module(m)
+        assert not any(i.opcode == "load" for i in body.instructions)
+        assert run_module(m).return_value == before == 210
+
+    def test_store_in_loop_blocks_load_hoist(self):
+        m = Module("licm3")
+        gv = GlobalVariable("g", ty.i32, 1, linkage="external")
+        m.add_global(gv)
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, header, body, exit_ = (f.add_block(n) for n in ("entry", "header", "body", "exit"))
+        b = IRBuilder(entry)
+        b.br(header)
+        bh = IRBuilder(header)
+        iv = bh.phi(ty.i32, "i")
+        iv.add_incoming(b.const(0), entry)
+        bh.cbr(bh.icmp("slt", iv, bh.const(5)), body, exit_)
+        bb = IRBuilder(body)
+        v = bb.load(gv, "gval")
+        bb.store(bb.add(v, bb.const(1)), gv)  # g grows every iteration
+        iv2 = bb.add(iv, bb.const(1))
+        iv.add_incoming(iv2, body)
+        bb.br(header)
+        IRBuilder(exit_).ret(bb.const(0) if False else iv)
+        before = run_module(m).observable()
+        create_pass("-licm").run(m)
+        assert any(i.opcode == "load" for i in body.instructions)
+        assert run_module(m).observable() == before
+
+
+class TestLoopDeletion:
+    def test_dead_loop_removed(self):
+        m = _prepare_loop()
+        f = m.get_function("main")
+        # make the result unused: return a constant instead
+        exit_bb = next(bb for bb in f.blocks if bb.name == "exit")
+        term = exit_bb.terminator
+        old = term.return_value
+        term.set_operand(0, IRBuilder(exit_bb).const(5))
+        PassManager().run(m, ["-adce", "-loop-deletion"])
+        verify_module(m)
+        assert LoopInfo(f).loops == []
+        assert run_module(m).return_value == 5
+
+    def test_loop_with_store_kept(self, benchmarks):
+        m = clone_module(benchmarks["matmul"])
+        PassManager().run(m, ["-mem2reg", "-loop-deletion"])
+        assert LoopInfo(m.get_function("main")).loops != []
+
+
+class TestLoopIdiom:
+    def _memset_loop(self, n=16):
+        m = Module("idiom")
+        gv = GlobalVariable("buf", ty.array_type(ty.i32, n), [1] * n, linkage="external")
+        m.add_global(gv)
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, body, exit_ = (f.add_block(x) for x in ("entry", "body", "exit"))
+        b = IRBuilder(entry)
+        b.br(body)
+        bb = IRBuilder(body)
+        iv = bb.phi(ty.i32, "i")
+        iv.add_incoming(b.const(0), entry)
+        g = bb.gep(gv, [0, iv])
+        bb.store(bb.const(0), g)
+        nxt = bb.add(iv, bb.const(1), "nxt")
+        iv.add_incoming(nxt, body)
+        bb.cbr(bb.icmp("slt", nxt, bb.const(n)), body, exit_)
+        IRBuilder(exit_).ret(IRBuilder(exit_).const(0))
+        return m, f
+
+    def test_memset_recognized(self):
+        m, f = self._memset_loop()
+        before = run_module(m).observable()
+        changed = create_pass("-loop-idiom").run(m)
+        verify_module(m)
+        assert changed
+        calls = [i for i in f.instructions() if i.opcode == "call"]
+        assert any(c.callee_name == "llvm.memset" for c in calls)
+        assert run_module(m).observable() == before
+        assert LoopInfo(f).loops == []
+
+    def test_burst_engine_saves_cycles(self):
+        m, f = self._memset_loop(n=32)
+        base = _cycles(m)
+        create_pass("-loop-idiom").run(m)
+        assert _cycles(m) < base
+
+    def test_non_idiom_loop_untouched(self):
+        m = _prepare_loop()
+        changed = create_pass("-loop-idiom").run(m)
+        assert LoopInfo(m.get_function("main")).loops != []
+
+
+class TestLoopReduce:
+    def test_mul_by_constant_strength_reduced(self):
+        m = _prepare_loop()  # body computes i*3
+        f = m.get_function("main")
+        create_pass("-loop-reduce").run(m)
+        verify_module(m)
+        info = LoopInfo(f)
+        loop = info.loops[0]
+        assert not any(i.opcode == "mul" for bb in loop.blocks for i in bb.instructions)
+        assert run_module(m).return_value == sum(i * 3 for i in range(10))
+
+
+class TestIndVars:
+    def test_sle_canonicalized_to_slt(self):
+        m = Module("iv")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, header, body, exit_ = (f.add_block(n) for n in ("entry", "header", "body", "exit"))
+        b = IRBuilder(entry)
+        b.br(header)
+        bh = IRBuilder(header)
+        iv = bh.phi(ty.i32, "i")
+        iv.add_incoming(b.const(0), entry)
+        cmp_ = bh.icmp("sle", iv, bh.const(9), "c")
+        bh.cbr(cmp_, body, exit_)
+        bb = IRBuilder(body)
+        nxt = bb.add(iv, bb.const(1))
+        iv.add_incoming(nxt, body)
+        bb.br(header)
+        IRBuilder(exit_).ret(iv)
+        before = run_module(m).return_value
+        create_pass("-indvars").run(m)
+        verify_module(m)
+        conds = [i for i in f.instructions() if i.opcode == "icmp"]
+        assert conds[0].predicate == "slt"
+        assert conds[0].rhs.value == 10
+        assert run_module(m).return_value == before
+
+    def test_dead_iv_removed(self):
+        m = _prepare_loop()
+        f = m.get_function("main")
+        # add a second, unused IV
+        info = LoopInfo(f)
+        loop = info.loops[0]
+        header = loop.header
+        latch = loop.single_latch()
+        bh = IRBuilder(header)
+        from repro.ir import PhiNode, BinaryOperator, ConstantInt
+
+        dead = PhiNode(ty.i32, "dead")
+        header.insert_at_front(dead)
+        upd = BinaryOperator("add", dead, ConstantInt(ty.i32, 2), "dead.next")
+        upd.insert_before(latch.terminator)
+        dead.add_incoming(ConstantInt(ty.i32, 0), loop.preheader())
+        dead.add_incoming(upd, latch)
+        create_pass("-indvars").run(m)
+        verify_module(m)
+        assert "dead" not in [i.name for i in f.instructions()]
+
+
+class TestLCSSA:
+    def test_exit_phi_inserted(self):
+        m = _prepare_loop()
+        f = m.get_function("main")
+        changed = create_pass("-lcssa").run(m)
+        verify_module(m)
+        exit_bb = next(bb for bb in f.blocks if bb.name == "exit")
+        assert changed
+        assert exit_bb.phis()
+        assert run_module(m).return_value == sum(i * 3 for i in range(10))
+
+
+class TestLoopUnswitch:
+    def _unswitchable(self):
+        """Loop whose body branches on a loop-invariant flag; the result
+        is observed through an external global, so no loop value escapes."""
+        m = Module("us")
+        gv = GlobalVariable("out", ty.i32, 0, linkage="external")
+        m.add_global(gv)
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, header, t, e, latch, exit_ = (f.add_block(n) for n in
+                                             ("entry", "header", "t", "e", "latch", "exit"))
+        b = IRBuilder(entry)
+        flag = b.icmp("sgt", f.args[0], b.const(0), "flag")
+        b.br(header)
+        bh = IRBuilder(header)
+        iv = bh.phi(ty.i32, "i")
+        iv.add_incoming(b.const(0), entry)
+        bh.cbr(flag, t, e)  # invariant condition!
+        bt = IRBuilder(t)
+        bt.store(bt.add(bt.load(gv), bt.const(2)), gv)
+        bt.br(latch)
+        be = IRBuilder(e)
+        be.store(be.add(be.load(gv), be.const(5)), gv)
+        be.br(latch)
+        bl = IRBuilder(latch)
+        iv2 = bl.add(iv, bl.const(1))
+        cmp_ = bl.icmp("slt", iv2, bl.const(6))
+        iv.add_incoming(iv2, latch)
+        bl.cbr(cmp_, header, exit_)
+        bx = IRBuilder(exit_)
+        bx.ret(bx.const(0))
+        verify_module(m)
+        return m, f, header
+
+    def test_unswitch_versions_loop_and_preserves_semantics(self):
+        m, f, header = self._unswitchable()
+        before_t = run_module(m, args=[5]).observable()
+        before_f = run_module(m, args=[-5]).observable()
+        changed = create_pass("-loop-unswitch").run(m)
+        verify_module(m)
+        assert changed
+        assert run_module(m, args=[5]).observable() == before_t
+        assert run_module(m, args=[-5]).observable() == before_f
+        # the invariant branch is now decided by constants inside each version
+        from repro.ir import ConstantInt
+
+        terms = [bb.terminator for bb in f.blocks
+                 if bb.terminator is not None and bb.terminator.opcode == "br"
+                 and bb.terminator.is_conditional
+                 and isinstance(bb.terminator.condition, ConstantInt)]
+        assert len(terms) >= 2
+
+    def test_simplifycfg_cleans_unswitched_versions(self):
+        m, f, header = self._unswitchable()
+        before = run_module(m, args=[5]).observable()
+        PassManager().run(m, ["-loop-unswitch", "-simplifycfg"])
+        verify_module(m)
+        assert run_module(m, args=[5]).observable() == before

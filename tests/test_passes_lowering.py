@@ -1,0 +1,298 @@
+"""Lowering/cleanup passes: lowerswitch, loweratomic, lower-expect,
+break-crit-edges, strip, sink, codegenprepare, simplifycfg, jump-threading,
+plus the registry and -O3 pipeline."""
+
+import pytest
+
+from repro.analysis import critical_edges
+from repro.interp import run_module
+from repro.ir import Function, GlobalVariable, IRBuilder, Module, verify_module
+from repro.ir import types as ty
+from repro.passes import (
+    NUM_ACTIONS,
+    O3_PIPELINE,
+    PASS_TABLE,
+    PassManager,
+    TERMINATE_INDEX,
+    create_pass,
+    create_pass_by_index,
+)
+from repro.toolchain import HLSToolchain, clone_module
+
+
+class TestLowerSwitch:
+    def _switch_module(self):
+        m = Module("sw")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry = f.add_block("entry")
+        cases = [f.add_block(f"c{i}") for i in range(3)]
+        default = f.add_block("default")
+        b = IRBuilder(entry)
+        sw = b.switch(f.args[0], default)
+        for i, bb in enumerate(cases):
+            sw.add_case(b.const(i * 10), bb)
+            IRBuilder(bb).ret(IRBuilder(bb).const(i + 1))
+        IRBuilder(default).ret(IRBuilder(default).const(-1))
+        return m, f
+
+    def test_switch_becomes_branch_chain(self):
+        m, f = self._switch_module()
+        results = {v: run_module(m, args=[v]).return_value for v in (0, 10, 20, 5)}
+        create_pass("-lowerswitch").run(m)
+        verify_module(m)
+        ops = [i.opcode for i in f.instructions()]
+        assert "switch" not in ops
+        assert ops.count("icmp") == 3
+        for v, expected in results.items():
+            assert run_module(m, args=[v]).return_value == expected
+
+    def test_feature_shift(self):
+        from repro.features import extract_features
+
+        m, f = self._switch_module()
+        before = extract_features(m)
+        create_pass("-lowerswitch").run(m)
+        after = extract_features(m)
+        assert after[35] > before[35]  # icmps appeared
+
+
+class TestLowerAtomicAndExpect:
+    def test_loweratomic_clears_volatile_marked_atomic(self):
+        m = Module("la")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(ty.i32)
+        st = b.store(b.const(1), p, volatile=True)
+        st.metadata["atomic"] = True
+        ld = b.load(p, volatile=True)
+        ld.metadata["atomic"] = True
+        b.ret(ld)
+        create_pass("-loweratomic").run(m)
+        assert not st.is_volatile and not ld.is_volatile
+
+    def test_loweratomic_keeps_true_volatile(self):
+        m = Module("la2")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(ty.i32)
+        st = b.store(b.const(1), p, volatile=True)  # no atomic metadata
+        b.ret(b.const(0))
+        create_pass("-loweratomic").run(m)
+        assert st.is_volatile
+
+    def test_lower_expect_strips_hint(self):
+        m = Module("le")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        t, e = None, None
+        entry = f.add_block("entry")
+        then_bb, else_bb = f.add_block("t"), f.add_block("e")
+        b = IRBuilder(entry)
+        c = b.icmp("sgt", f.args[0], b.const(0))
+        hinted = b.call("llvm.expect.i1", [c, b.const(1, ty.i1)], return_type=ty.i1)
+        b.cbr(hinted, then_bb, else_bb)
+        IRBuilder(then_bb).ret(IRBuilder(then_bb).const(1))
+        IRBuilder(else_bb).ret(IRBuilder(else_bb).const(0))
+        create_pass("-lower-expect").run(m)
+        verify_module(m)
+        assert not any(i.opcode == "call" for i in f.instructions())
+        assert run_module(m, args=[5]).return_value == 1
+
+
+class TestBreakCritEdges:
+    def test_all_critical_edges_split(self, benchmarks):
+        m = clone_module(benchmarks["dhrystone"])
+        before = run_module(m, max_steps=3_000_000).observable()
+        create_pass("-break-crit-edges").run(m)
+        verify_module(m)
+        for f in m.defined_functions():
+            assert critical_edges(f) == []
+        assert run_module(m, max_steps=3_000_000).observable() == before
+
+
+class TestStrip:
+    def _with_metadata(self):
+        m = Module("md")
+        m.metadata["ident"] = "test"
+        m.metadata["dbg.file"] = "t.c"
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        f.metadata["prof"] = "hot"
+        f.metadata["dbg"] = "main"
+        b = IRBuilder(f.add_block("entry"))
+        v = b.add(b.const(1), b.const(2))
+        v.metadata["dbg"] = "line1"
+        v.metadata["tbaa"] = "int"
+        b.ret(v)
+        return m, f, v
+
+    def test_strip_removes_everything(self):
+        m, f, v = self._with_metadata()
+        create_pass("-strip").run(m)
+        assert not m.metadata and not f.metadata and not v.metadata
+
+    def test_strip_nondebug_keeps_debug(self):
+        m, f, v = self._with_metadata()
+        create_pass("-strip-nondebug").run(m)
+        assert "dbg.file" in m.metadata and "ident" not in m.metadata
+        assert f.metadata == {"dbg": "main"}
+        assert v.metadata == {"dbg": "line1"}
+
+
+class TestSink:
+    def test_pure_op_sinks_to_sole_user_block(self):
+        m = Module("sink")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, cold, exit_ = f.add_block("entry"), f.add_block("cold"), f.add_block("exit")
+        b = IRBuilder(entry)
+        expensive = b.mul(f.args[0], b.const(1234), "exp")
+        b.cbr(b.icmp("sgt", f.args[0], b.const(0)), cold, exit_)
+        bc = IRBuilder(cold)
+        bc.ret(bc.add(expensive, bc.const(1)))
+        IRBuilder(exit_).ret(IRBuilder(exit_).const(0))
+        before_pos = run_module(m, args=[2]).return_value
+        create_pass("-sink").run(m)
+        verify_module(m)
+        assert expensive.parent is cold
+        assert run_module(m, args=[2]).return_value == before_pos
+        assert run_module(m, args=[-2]).return_value == 0
+
+    def test_sink_reduces_cycles_on_untaken_path(self, toolchain):
+        m = Module("sink2")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, cold, exit_ = f.add_block("entry"), f.add_block("cold"), f.add_block("exit")
+        b = IRBuilder(entry)
+        slow = b.sdiv(b.const(1000), b.const(7), "slow")  # 16-cycle divider
+        b.cbr(b.icmp("sgt", b.const(0), b.const(1)), cold, exit_)  # never taken
+        bc = IRBuilder(cold)
+        bc.ret(slow)
+        IRBuilder(exit_).ret(IRBuilder(exit_).const(0))
+        base = toolchain.cycle_count_with_passes(m, [])
+        sunk = toolchain.cycle_count_with_passes(m, ["-sink"])
+        assert sunk < base
+
+    def test_never_sinks_into_loop(self, loop_module):
+        from repro.passes import PassManager
+
+        PassManager().run(loop_module, ["-mem2reg"])
+        f = loop_module.get_function("main")
+        body = next(bb for bb in f.blocks if bb.name == "body")
+        entry = f.entry
+        # value in preheader used only in the loop body must stay outside
+        b = IRBuilder(entry)
+        hoisted = b.mul(b.const(3), b.const(7), "pre")
+        hoisted.remove_from_parent()
+        hoisted.insert_before(entry.terminator)
+        mul = next(i for i in body.instructions if i.opcode == "mul")
+        mul.set_operand(1, hoisted)
+        create_pass("-sink").run(loop_module)
+        assert hoisted.parent is entry
+
+
+class TestCodeGenPrepare:
+    def test_gep_duplicated_into_user_blocks(self):
+        m = Module("cgp")
+        gv = GlobalVariable("arr", ty.array_type(ty.i32, 8), list(range(8)))
+        m.add_global(gv)
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, a, b_blk = f.add_block("entry"), f.add_block("a"), f.add_block("b")
+        b = IRBuilder(entry)
+        g = b.gep(gv, [0, 3], "addr")
+        b.cbr(b.icmp("sgt", f.args[0], b.const(0)), a, b_blk)
+        ba = IRBuilder(a)
+        ba.ret(ba.load(g))
+        bb2 = IRBuilder(b_blk)
+        st = bb2.store(bb2.const(5), g)
+        bb2.ret(bb2.const(0))
+        before = run_module(m, args=[1]).observable()
+        create_pass("-codegenprepare").run(m)
+        verify_module(m)
+        geps_a = [i for i in a.instructions if i.opcode == "gep"]
+        geps_b = [i for i in b_blk.instructions if i.opcode == "gep"]
+        assert geps_a and geps_b
+        assert run_module(m, args=[1]).observable() == before
+
+
+class TestSimplifyCFGAndJumpThreading:
+    def test_simplifycfg_collapses_constant_diamond(self):
+        m = Module("scfg")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        entry, t, e, merge = (f.add_block(n) for n in ("entry", "t", "e", "m"))
+        b = IRBuilder(entry)
+        b.cbr(b.const(1, ty.i1), t, e)
+        IRBuilder(t).br(merge)
+        IRBuilder(e).br(merge)
+        bm = IRBuilder(merge)
+        phi = bm.phi(ty.i32)
+        phi.add_incoming(bm.const(10), t)
+        phi.add_incoming(bm.const(20), e)
+        bm.ret(phi)
+        create_pass("-simplifycfg").run(m)
+        verify_module(m)
+        assert len(f.blocks) == 1
+        assert run_module(m).return_value == 10
+
+    def test_jump_threading_threads_constant_phi(self):
+        # pred1 passes 1, pred2 passes 0 into a phi driving a branch.
+        m = Module("jt")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, p1, p2, test, yes, no = (f.add_block(n) for n in
+                                        ("entry", "p1", "p2", "test", "yes", "no"))
+        b = IRBuilder(entry)
+        b.cbr(b.icmp("sgt", f.args[0], b.const(0)), p1, p2)
+        IRBuilder(p1).br(test)
+        IRBuilder(p2).br(test)
+        bt = IRBuilder(test)
+        phi = bt.phi(ty.i1, "flag")
+        phi.add_incoming(bt.const(1, ty.i1), p1)
+        phi.add_incoming(bt.const(0, ty.i1), p2)
+        bt.cbr(phi, yes, no)
+        IRBuilder(yes).ret(IRBuilder(yes).const(100))
+        IRBuilder(no).ret(IRBuilder(no).const(200))
+        for v, expected in ((5, 100), (-5, 200)):
+            assert run_module(m, args=[v]).return_value == expected
+        changed = create_pass("-jump-threading").run(m)
+        verify_module(m)
+        assert changed
+        for v, expected in ((5, 100), (-5, 200)):
+            assert run_module(m, args=[v]).return_value == expected
+        # both predecessors bypass the test block entirely
+        assert p1.successors()[0] is yes
+        assert p2.successors()[0] is no
+
+
+class TestRegistryAndPipelines:
+    def test_table1_shape(self):
+        assert len(PASS_TABLE) == 46
+        assert PASS_TABLE.count("-functionattrs") == 2  # the paper's duplicate
+        assert PASS_TABLE[TERMINATE_INDEX] == "-terminate"
+        assert PASS_TABLE[23] == "-loop-rotate"
+        assert PASS_TABLE[38] == "-mem2reg"
+        assert PASS_TABLE[33] == "-loop-unroll"
+
+    def test_every_slot_constructible(self):
+        for i in range(NUM_ACTIONS):
+            p = create_pass_by_index(i)
+            assert p.name == PASS_TABLE[i]
+
+    def test_terminate_is_noop(self, benchmarks):
+        m = clone_module(benchmarks["gsm"])
+        before = run_module(m, max_steps=3_000_000).observable()
+        assert not create_pass("-terminate").run(m)
+        assert run_module(m, max_steps=3_000_000).observable() == before
+
+    def test_o3_improves_every_benchmark(self, benchmarks, toolchain):
+        for name, module in benchmarks.items():
+            o0 = toolchain.o0_cycles(module)
+            o3 = toolchain.o3_cycles(module)
+            assert o3 < o0, f"{name}: O3 {o3} !< O0 {o0}"
+
+    def test_o3_preserves_every_benchmark(self, benchmarks):
+        for name, module in benchmarks.items():
+            m = clone_module(module)
+            before = run_module(m, max_steps=3_000_000).observable()
+            PassManager().run(m, O3_PIPELINE)
+            verify_module(m)
+            assert run_module(m, max_steps=3_000_000).observable() == before, name
+
+    def test_o3_pipeline_only_uses_table1_passes(self):
+        for name in O3_PIPELINE:
+            assert name in PASS_TABLE

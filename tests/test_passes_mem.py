@@ -1,0 +1,184 @@
+"""Memory passes: mem2reg (SSA construction), sroa/scalarrepl, memcpyopt."""
+
+import pytest
+
+from repro.hls import CycleProfiler
+from repro.interp import run_module
+from repro.ir import Function, IRBuilder, Module, verify_module
+from repro.ir import types as ty
+from repro.passes import PassManager, create_pass
+from tests.conftest import build_counted_loop_module
+
+
+def _opcodes(f):
+    return [i.opcode for i in f.instructions()]
+
+
+class TestMem2Reg:
+    def test_loop_module_fully_promoted(self, loop_module):
+        create_pass("-mem2reg").run(loop_module)
+        f = loop_module.get_function("main")
+        ops = _opcodes(f)
+        assert "alloca" not in ops and "load" not in ops and "store" not in ops
+        assert ops.count("phi") == 2
+        verify_module(loop_module)
+        assert run_module(loop_module).return_value == sum(i * 3 for i in range(10))
+
+    def test_diamond_gets_phi(self):
+        m = Module("d")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        entry, t, e, merge = (f.add_block(n) for n in ("entry", "t", "e", "m"))
+        b = IRBuilder(entry)
+        p = b.alloca(ty.i32)
+        b.store(b.const(0), p)
+        b.cbr(b.icmp("slt", f.args[0], b.const(0)), t, e)
+        bt = IRBuilder(t)
+        bt.store(bt.const(1), p)
+        bt.br(merge)
+        be = IRBuilder(e)
+        be.store(be.const(2), p)
+        be.br(merge)
+        bm = IRBuilder(merge)
+        bm.ret(bm.load(p))
+        create_pass("-mem2reg").run(m)
+        verify_module(m)
+        assert len(merge.phis()) == 1
+        assert "alloca" not in _opcodes(f)
+
+    def test_load_before_store_becomes_undef(self):
+        m = Module("u")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(ty.i32)
+        v = b.load(p, "uninit")
+        b.ret(v)
+        create_pass("-mem2reg").run(m)
+        verify_module(m)
+        # undef reads as 0 in the interpreter
+        assert run_module(m).return_value == 0
+
+    def test_escaped_alloca_not_promoted(self):
+        m = Module("esc")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(ty.i32)
+        b.store(b.const(3), p)
+        # address used by a GEP -> not a simple load/store alloca
+        g = b.gep(b.alloca(ty.array_type(ty.i32, 2)), [0, 0])
+        b.store(b.load(p), g)
+        b.ret(b.load(g))
+        before_allocas = _opcodes(f).count("alloca")
+        create_pass("-mem2reg").run(m)
+        # scalar p promoted; array alloca kept
+        assert _opcodes(f).count("alloca") == 1
+        assert run_module(m).return_value == 3
+
+    def test_volatile_blocks_promotion(self):
+        m = Module("vol")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(ty.i32)
+        b.store(b.const(3), p, volatile=True)
+        b.ret(b.load(p))
+        create_pass("-mem2reg").run(m)
+        assert "alloca" in _opcodes(f)
+
+    def test_cycle_reduction_on_benchmarks(self, benchmarks, toolchain):
+        """mem2reg is the highest-leverage single pass for cycles."""
+        from repro.toolchain import clone_module
+
+        for name in ("matmul", "sha"):
+            base = toolchain.cycle_count_with_passes(benchmarks[name], [])
+            promoted = toolchain.cycle_count_with_passes(benchmarks[name], ["-mem2reg"])
+            assert promoted < base * 0.8, name
+
+
+class TestScalarRepl:
+    def _const_index_module(self):
+        m = Module("sr")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.array_type(ty.i32, 4), "arr")
+        for i in range(4):
+            b.store(b.const(i * 10), b.gep(arr, [0, i]))
+        total = b.load(b.gep(arr, [0, 1]), "t1")
+        total = b.add(total, b.load(b.gep(arr, [0, 3])))
+        b.ret(total)
+        return m, f
+
+    def test_sroa_splits_and_promotes(self):
+        m, f = self._const_index_module()
+        create_pass("-sroa").run(m)
+        verify_module(m)
+        ops = _opcodes(f)
+        assert "gep" not in ops
+        assert "alloca" not in ops  # split then fully promoted
+        assert run_module(m).return_value == 40
+
+    def test_scalarrepl_splits_without_promoting(self):
+        m, f = self._const_index_module()
+        create_pass("-scalarrepl").run(m)
+        verify_module(m)
+        ops = _opcodes(f)
+        assert "gep" not in ops
+        assert ops.count("alloca") >= 2  # per-element scalars remain
+        assert run_module(m).return_value == 40
+
+    def test_scalarrepl_ssa_promotes(self):
+        m, f = self._const_index_module()
+        create_pass("-scalarrepl-ssa").run(m)
+        ops = _opcodes(f)
+        assert "alloca" not in ops
+        assert run_module(m).return_value == 40
+
+    def test_variable_index_blocks_split(self):
+        m = Module("vi")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, [ty.i32]), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.array_type(ty.i32, 4), "arr")
+        b.store(b.const(1), b.gep(arr, [0, f.args[0]]))  # dynamic index
+        b.ret(b.load(b.gep(arr, [0, 0])))
+        create_pass("-sroa").run(m)
+        assert any(i.opcode == "gep" for i in f.instructions())
+
+
+class TestMemCpyOpt:
+    def test_store_run_becomes_memset(self):
+        m = Module("ms")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.array_type(ty.i32, 8), "arr")
+        for i in range(6):
+            b.store(b.const(7), b.gep(arr, [0, i]))
+        b.ret(b.load(b.gep(arr, [0, 3])))
+        before = run_module(m).return_value
+        create_pass("-memcpyopt").run(m)
+        verify_module(m)
+        calls = [i for i in f.instructions() if i.opcode == "call"]
+        assert any(c.callee_name == "llvm.memset" for c in calls)
+        assert run_module(m).return_value == before == 7
+
+    def test_different_values_not_merged(self):
+        m = Module("ms2")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.array_type(ty.i32, 8), "arr")
+        for i in range(6):
+            b.store(b.const(i), b.gep(arr, [0, i]))  # varying values
+        b.ret(b.load(b.gep(arr, [0, 3])))
+        create_pass("-memcpyopt").run(m)
+        assert not any(i.opcode == "call" for i in f.instructions())
+
+    def test_memset_forwarding_to_load(self):
+        m = Module("fw")
+        f = m.add_function(Function("main", ty.function_type(ty.i32, []), linkage="external"))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.array_type(ty.i32, 8), "arr")
+        g = b.gep(arr, [0, 0])
+        b.call("llvm.memset", [g, b.const(9), b.const(8)], return_type=ty.void)
+        b.ret(b.load(b.gep(arr, [0, 5])))
+        create_pass("-memcpyopt").run(m)
+        from repro.ir import ConstantInt
+
+        rv = f.entry.terminator.return_value
+        assert isinstance(rv, ConstantInt) and rv.value == 9

@@ -1,0 +1,315 @@
+"""Scalar optimization passes: instcombine, sccp, gvn, early-cse, adce,
+dse, reassociate, correlated-propagation — behavior tests on crafted IR."""
+
+import pytest
+
+from repro.interp import run_module
+from repro.ir import Function, IRBuilder, Module
+from repro.ir import types as ty
+from repro.passes import PassManager, create_pass
+
+
+def _func(params=(ty.i32,), ret=ty.i32, name="main"):
+    m = Module("t")
+    f = m.add_function(Function(name, ty.function_type(ret, list(params)), linkage="external"))
+    return m, f, IRBuilder(f.add_block("entry"))
+
+
+def _opcodes(f):
+    return [i.opcode for i in f.instructions()]
+
+
+class TestInstCombine:
+    def test_constant_folding(self):
+        m, f, b = _func(params=())
+        b.ret(b.add(b.const(2), b.const(3)))
+        create_pass("-instcombine").run(m)
+        term = f.entry.terminator
+        from repro.ir import ConstantInt
+
+        assert isinstance(term.return_value, ConstantInt)
+        assert term.return_value.value == 5
+
+    def test_mul_pow2_becomes_shift(self):
+        m, f, b = _func()
+        b.ret(b.mul(f.args[0], b.const(8)))
+        create_pass("-instcombine").run(m)
+        assert "shl" in _opcodes(f) and "mul" not in _opcodes(f)
+
+    def test_udiv_pow2_becomes_lshr(self):
+        m, f, b = _func()
+        b.ret(b.udiv(f.args[0], b.const(16)))
+        create_pass("-instcombine").run(m)
+        assert "lshr" in _opcodes(f) and "udiv" not in _opcodes(f)
+
+    def test_urem_pow2_becomes_mask(self):
+        m, f, b = _func()
+        b.ret(b.urem(f.args[0], b.const(8)))
+        create_pass("-instcombine").run(m)
+        assert "and" in _opcodes(f) and "urem" not in _opcodes(f)
+
+    def test_sdiv_pow2_not_reduced(self):
+        """sdiv by power of two needs rounding fixup; must stay intact."""
+        m, f, b = _func()
+        b.ret(b.sdiv(f.args[0], b.const(4)))
+        create_pass("-instcombine").run(m)
+        assert "sdiv" in _opcodes(f)
+
+    def test_add_zero_removed(self):
+        m, f, b = _func()
+        b.ret(b.add(f.args[0], b.const(0)))
+        create_pass("-instcombine").run(m)
+        assert "add" not in _opcodes(f)
+
+    def test_constant_reassociation(self):
+        m, f, b = _func()
+        b.ret(b.add(b.add(f.args[0], b.const(3)), b.const(4)))
+        create_pass("-instcombine").run(m)
+        adds = [i for i in f.instructions() if i.opcode == "add"]
+        assert len(adds) == 1
+        from repro.ir import ConstantInt
+
+        assert isinstance(adds[0].rhs, ConstantInt) and adds[0].rhs.value == 7
+
+    def test_double_cast_folded(self):
+        m, f, b = _func()
+        t = b.trunc(f.args[0], ty.i8)
+        z = b.zext(t, ty.i16)
+        z2 = b.zext(z, ty.i32)
+        b.ret(z2)
+        create_pass("-instcombine").run(m)
+        zexts = [i for i in f.instructions() if i.opcode == "zext"]
+        assert len(zexts) == 1
+
+    def test_preserves_semantics(self):
+        m, f, b = _func(params=())
+        v = b.const(37)
+        x = b.mul(b.add(v, b.const(3)), b.const(8))
+        y = b.udiv(x, b.const(4))
+        b.ret(b.xor(b.xor(y, b.const(-1)), b.const(-1)))
+        before = run_module(m).return_value
+        create_pass("-instcombine").run(m)
+        assert run_module(m).return_value == before
+
+
+class TestSCCP:
+    def test_constant_branch_folded(self):
+        m, f, b = _func(params=())
+        func = f
+        then_bb = func.add_block("then")
+        else_bb = func.add_block("else")
+        cond = b.icmp("slt", b.const(1), b.const(2))
+        b.cbr(cond, then_bb, else_bb)
+        IRBuilder(then_bb).ret(IRBuilder(then_bb).const(10))
+        IRBuilder(else_bb).ret(IRBuilder(else_bb).const(20))
+        create_pass("-sccp").run(m)
+        create_pass("-simplifycfg").run(m)
+        assert run_module(m).return_value == 10
+        assert len(func.blocks) == 1
+
+    def test_propagates_through_phi(self):
+        # Both arms assign the same constant -> phi is constant.
+        m, f, b = _func()
+        func = f
+        then_bb, else_bb, merge = (func.add_block(n) for n in ("t", "e", "m"))
+        b.cbr(b.icmp("slt", f.args[0], b.const(0)), then_bb, else_bb)
+        IRBuilder(then_bb).br(merge)
+        IRBuilder(else_bb).br(merge)
+        bm = IRBuilder(merge)
+        phi = bm.phi(ty.i32)
+        phi.add_incoming(bm.const(7), then_bb)
+        phi.add_incoming(bm.const(7), else_bb)
+        bm.ret(bm.add(phi, bm.const(1)))
+        create_pass("-sccp").run(m)
+        term = merge.terminator
+        from repro.ir import ConstantInt
+
+        assert isinstance(term.return_value, ConstantInt)
+        assert term.return_value.value == 8
+
+    def test_infeasible_path_ignored(self):
+        # if (0) x = 99; else x = 5; return x  -> 5 even though 99 flows in a phi
+        m, f, b = _func(params=())
+        func = f
+        then_bb, else_bb, merge = (func.add_block(n) for n in ("t", "e", "m"))
+        b.cbr(b.const(0, ty.i1), then_bb, else_bb)
+        IRBuilder(then_bb).br(merge)
+        IRBuilder(else_bb).br(merge)
+        bm = IRBuilder(merge)
+        phi = bm.phi(ty.i32)
+        phi.add_incoming(bm.const(99), then_bb)
+        phi.add_incoming(bm.const(5), else_bb)
+        bm.ret(phi)
+        create_pass("-sccp").run(m)
+        from repro.ir import ConstantInt
+
+        rv = merge.terminator.return_value
+        assert isinstance(rv, ConstantInt) and rv.value == 5
+
+
+class TestCSE:
+    @pytest.mark.parametrize("pass_name", ["-early-cse", "-gvn"])
+    def test_duplicate_expression_eliminated(self, pass_name):
+        m, f, b = _func(params=(ty.i32, ty.i32))
+        x = b.add(f.args[0], f.args[1], "x")
+        y = b.add(f.args[0], f.args[1], "y")
+        b.ret(b.mul(x, y))
+        create_pass(pass_name).run(m)
+        adds = [i for i in f.instructions() if i.opcode == "add"]
+        assert len(adds) == 1
+
+    def test_gvn_commutative_matching(self):
+        m, f, b = _func(params=(ty.i32, ty.i32))
+        x = b.add(f.args[0], f.args[1], "x")
+        y = b.add(f.args[1], f.args[0], "y")  # swapped operands
+        b.ret(b.mul(x, y))
+        create_pass("-gvn").run(m)
+        adds = [i for i in f.instructions() if i.opcode == "add"]
+        assert len(adds) == 1
+
+    @pytest.mark.parametrize("pass_name", ["-early-cse", "-gvn"])
+    def test_store_to_load_forwarding(self, pass_name):
+        m, f, b = _func()
+        p = b.alloca(ty.i32)
+        b.store(f.args[0], p)
+        v = b.load(p, "v")
+        b.ret(v)
+        create_pass(pass_name).run(m)
+        assert "load" not in _opcodes(f)
+
+    @pytest.mark.parametrize("pass_name", ["-early-cse", "-gvn"])
+    def test_clobbered_load_not_forwarded(self, pass_name):
+        m, f, b = _func(params=(ty.i32, ty.pointer_type(ty.i32)))
+        p = b.alloca(ty.i32)
+        # p escapes via a store of its address -> unknown writes may alias
+        slot = b.alloca(ty.pointer_type(ty.i32))
+        b.store(p, slot)
+        b.store(f.args[0], p)
+        b.store(b.const(9), f.args[1])  # may alias p (escaped)
+        v = b.load(p, "v")
+        b.ret(v)
+        create_pass(pass_name).run(m)
+        assert "load" in _opcodes(f)
+
+    def test_gvn_no_alias_refinement_beats_early_cse(self):
+        """A store to a *different* alloca must not kill availability in
+        GVN (alias-refined) but conservatively does in early-cse."""
+        m, f, b = _func()
+        p = b.alloca(ty.i32, "p")
+        q = b.alloca(ty.i32, "q")
+        b.store(f.args[0], p)
+        b.store(b.const(5), q)   # no-alias clobber
+        v = b.load(p, "v")
+        b.ret(v)
+        m2 = None
+        create_pass("-gvn").run(m)
+        assert "load" not in _opcodes(f)  # forwarded through the q-store
+
+    def test_readnone_call_cse(self):
+        m, f, b = _func(ret=ty.f64, params=(ty.f64,))
+        c1 = b.call("sqrt", [f.args[0]], return_type=ty.f64)
+        c2 = b.call("sqrt", [f.args[0]], return_type=ty.f64)
+        b.ret(b.fadd(c1, c2))
+        create_pass("-early-cse").run(m)
+        calls = [i for i in f.instructions() if i.opcode == "call"]
+        assert len(calls) == 1
+
+
+class TestDCE:
+    def test_adce_removes_dead_chain(self):
+        m, f, b = _func()
+        dead1 = b.add(f.args[0], b.const(1), "d1")
+        dead2 = b.mul(dead1, b.const(2), "d2")  # uses dead1; both dead
+        b.ret(f.args[0])
+        create_pass("-adce").run(m)
+        assert _opcodes(f) == ["ret"]
+
+    def test_adce_keeps_side_effects(self):
+        m, f, b = _func()
+        p = b.alloca(ty.i32)
+        b.store(f.args[0], p)
+        b.ret(f.args[0])
+        create_pass("-adce").run(m)
+        assert "store" in _opcodes(f)
+
+    def test_adce_removes_unused_load(self):
+        m, f, b = _func()
+        p = b.alloca(ty.i32)
+        b.store(b.const(1), p)
+        b.load(p, "unused")
+        b.ret(f.args[0])
+        create_pass("-adce").run(m)
+        assert "load" not in _opcodes(f)
+
+
+class TestDSE:
+    def test_overwritten_store_removed(self):
+        m, f, b = _func()
+        p = b.alloca(ty.i32)
+        b.store(b.const(1), p)
+        b.store(b.const(2), p)
+        b.ret(b.load(p))
+        create_pass("-dse").run(m)
+        stores = [i for i in f.instructions() if i.opcode == "store"]
+        assert len(stores) == 1
+        assert run_module(m).return_value == 2
+
+    def test_intervening_load_blocks_dse(self):
+        m, f, b = _func()
+        p = b.alloca(ty.i32)
+        b.store(b.const(1), p)
+        v = b.load(p, "v")
+        b.store(b.const(2), p)
+        b.ret(v)
+        create_pass("-dse").run(m)
+        stores = [i for i in f.instructions() if i.opcode == "store"]
+        assert len(stores) == 2
+
+    def test_never_loaded_alloca_stores_removed(self):
+        m, f, b = _func()
+        p = b.alloca(ty.array_type(ty.i32, 4))
+        g = b.gep(p, [0, 1])
+        b.store(b.const(5), g)
+        b.ret(f.args[0])
+        create_pass("-dse").run(m)
+        assert "store" not in _opcodes(f)
+
+
+class TestReassociate:
+    def test_constants_folded_across_chain(self):
+        m, f, b = _func()
+        v = b.add(b.add(b.add(f.args[0], b.const(1)), b.const(2)), b.const(3))
+        b.ret(v)
+        create_pass("-reassociate").run(m)
+        adds = [i for i in f.instructions() if i.opcode == "add"]
+        assert len(adds) == 1  # x + 6
+
+    def test_balanced_tree_reduces_depth(self):
+        m, f, b = _func(params=(ty.i32,) * 4)
+        a0, a1, a2, a3 = f.args
+        v = b.add(b.add(b.add(a0, a1), a2), a3)  # left-leaning depth 3
+        b.ret(v)
+        from repro.hls import Scheduler
+
+        states_before = Scheduler().schedule_function(f).total_states()
+        create_pass("-reassociate").run(m)
+        states_after = Scheduler().schedule_function(f).total_states()
+        assert states_after <= states_before
+
+
+class TestCorrelatedPropagation:
+    def test_eq_constant_propagates_into_then_block(self):
+        m, f, b = _func()
+        func = f
+        then_bb, else_bb = func.add_block("t"), func.add_block("e")
+        cond = b.icmp("eq", f.args[0], b.const(7))
+        b.cbr(cond, then_bb, else_bb)
+        bt = IRBuilder(then_bb)
+        bt.ret(bt.add(f.args[0], bt.const(1)))  # x is known 7 here
+        IRBuilder(else_bb).ret(IRBuilder(else_bb).const(0))
+        create_pass("-correlated-propagation").run(m)
+        create_pass("-instcombine").run(m)
+        from repro.ir import ConstantInt
+
+        rv = then_bb.terminator.return_value
+        assert isinstance(rv, ConstantInt) and rv.value == 8

@@ -1,0 +1,128 @@
+"""NumPy network layer: gradient checks against finite differences,
+Adam behaviour, distribution utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl.nn import (
+    MLP,
+    Adam,
+    categorical_entropy,
+    log_softmax,
+    sample_categorical,
+    softmax,
+)
+
+
+class TestMLPForward:
+    def test_shapes(self):
+        net = MLP([4, 8, 3], seed=0)
+        out = net(np.ones(4))
+        assert out.shape == (1, 3)
+        out = net(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_deterministic_per_seed(self):
+        a = MLP([4, 8, 2], seed=7)(np.ones(4))
+        b = MLP([4, 8, 2], seed=7)(np.ones(4))
+        assert np.allclose(a, b)
+
+    def test_flat_roundtrip(self):
+        net = MLP([3, 5, 2], seed=1)
+        flat = net.get_flat()
+        assert flat.size == net.num_params
+        x = np.arange(3.0)
+        before = net(x).copy()
+        net.set_flat(np.zeros_like(flat))
+        assert np.allclose(net(x), 0.0)
+        net.set_flat(flat)
+        assert np.allclose(net(x), before)
+
+
+class TestGradientCheck:
+    def test_backward_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = MLP([4, 6, 3], seed=3)
+        x = rng.normal(size=(5, 4))
+        grad_out = rng.normal(size=(5, 3))
+
+        def loss() -> float:
+            return float((net(x) * grad_out).sum())
+
+        out, cache = net.forward(x)
+        gw, gb = net.backward(cache, grad_out)
+
+        eps = 1e-6
+        for li in range(len(net.weights)):
+            w = net.weights[li]
+            for idx in [(0, 0), (w.shape[0] - 1, w.shape[1] - 1), (0, w.shape[1] // 2)]:
+                orig = w[idx]
+                w[idx] = orig + eps
+                up = loss()
+                w[idx] = orig - eps
+                down = loss()
+                w[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert gw[li][idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+            b = net.biases[li]
+            orig = b[0]
+            b[0] = orig + eps
+            up = loss()
+            b[0] = orig - eps
+            down = loss()
+            b[0] = orig
+            numeric = (up - down) / (2 * eps)
+            assert gb[li][0] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        net = MLP([2, 4, 1], seed=5)
+        opt = Adam(net, lr=0.05)
+        x = np.array([[1.0, -1.0], [0.5, 2.0], [-1.5, 0.3]])
+        target = np.array([[1.0], [2.0], [3.0]])
+        losses = []
+        for _ in range(150):
+            out, cache = net.forward(x)
+            grad = (out - target) / len(x)
+            losses.append(float(((out - target) ** 2).mean()))
+            gw, gb = net.backward(cache, grad)
+            opt.step(gw, gb)
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_gradient_clipping(self):
+        net = MLP([2, 2], seed=0)
+        opt = Adam(net, lr=0.1)
+        huge = [np.full_like(w, 1e9) for w in net.weights]
+        huge_b = [np.full_like(b, 1e9) for b in net.biases]
+        before = net.get_flat().copy()
+        opt.step(huge, huge_b, max_grad_norm=0.5)
+        delta = np.abs(net.get_flat() - before).max()
+        assert delta < 1.0  # clipped step stays small
+
+
+class TestDistributions:
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_normalizes(self, logits):
+        p = softmax(np.array(logits))
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_log_softmax_consistent(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+    def test_entropy_bounds(self):
+        uniform = np.zeros((1, 4))
+        peaked = np.array([[100.0, 0.0, 0.0, 0.0]])
+        assert categorical_entropy(uniform)[0] == pytest.approx(np.log(4))
+        assert categorical_entropy(peaked)[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_sampling_follows_distribution(self):
+        rng = np.random.default_rng(0)
+        logits = np.log(np.array([0.7, 0.2, 0.1]))
+        draws = [int(sample_categorical(rng, logits[None, :])[0]) for _ in range(3000)]
+        freq0 = draws.count(0) / len(draws)
+        assert 0.63 < freq0 < 0.77

@@ -1,0 +1,118 @@
+"""Black-box search baselines: correctness of the search loops, sample
+accounting, reproducibility, and the expected quality ordering."""
+
+import numpy as np
+import pytest
+
+from repro.passes.registry import NUM_TRANSFORMS
+from repro.search import (
+    GAConfig,
+    OpenTunerConfig,
+    PSOConfig,
+    SequenceEvaluator,
+    genetic_search,
+    greedy_search,
+    opentuner_search,
+    pso_search,
+    random_search,
+)
+from repro.toolchain import HLSToolchain
+
+
+class TestSequenceEvaluator:
+    def test_counts_samples_and_tracks_best(self, benchmarks):
+        ev = SequenceEvaluator(benchmarks["gsm"])
+        c1 = ev([])
+        c2 = ev([38])  # -mem2reg
+        assert ev.samples == 2
+        assert ev.best_cycles == min(c1, c2)
+        assert ev.history == [c1, min(c1, c2)]
+
+    def test_indices_wrap_modulo_transforms(self, benchmarks):
+        ev = SequenceEvaluator(benchmarks["gsm"])
+        a = ev([38])
+        b = ev([38 + NUM_TRANSFORMS])
+        assert a == b
+
+    def test_result_snapshot(self, benchmarks):
+        ev = SequenceEvaluator(benchmarks["gsm"])
+        ev([38, 31])
+        r = ev.result("X")
+        assert r.name == "X" and r.samples == 1
+        assert r.best_sequence == [38, 31]
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, benchmarks):
+        r = random_search(benchmarks["gsm"], budget=12, sequence_length=6, seed=0)
+        assert r.samples == 12
+
+    def test_reproducible(self, benchmarks):
+        a = random_search(benchmarks["gsm"], budget=8, sequence_length=6, seed=5)
+        b = random_search(benchmarks["gsm"], budget=8, sequence_length=6, seed=5)
+        assert a.best_cycles == b.best_cycles
+        assert a.best_sequence == b.best_sequence
+
+    def test_history_monotone(self, benchmarks):
+        r = random_search(benchmarks["gsm"], budget=15, sequence_length=6, seed=1)
+        assert all(b <= a for a, b in zip(r.history, r.history[1:]))
+
+
+class TestGreedy:
+    def test_improves_over_empty_sequence(self, benchmarks, toolchain):
+        base = toolchain.cycle_count_with_passes(benchmarks["gsm"], [])
+        r = greedy_search(benchmarks["gsm"], max_length=2,
+                          candidate_passes=[38, 31, 26, 30])
+        assert r.best_cycles < base
+        assert len(r.best_sequence) <= 2
+
+    def test_insertion_positions_explored(self, benchmarks):
+        r = greedy_search(benchmarks["gsm"], max_length=2, candidate_passes=[38, 23])
+        # round 1: 2 passes x 1 position; round 2: 2 x 2 (+1 initial)
+        assert r.samples >= 1 + 2 + 4
+
+
+class TestGenetic:
+    def test_runs_generations(self, benchmarks):
+        cfg = GAConfig(population=6, generations=3, sequence_length=8)
+        r = genetic_search(benchmarks["gsm"], cfg, seed=0)
+        assert r.samples == 6 * 4  # initial + 3 generations
+        assert len(r.best_sequence) == 8
+
+    def test_elitism_never_regresses(self, benchmarks):
+        cfg = GAConfig(population=6, generations=4, sequence_length=6, elitism=2)
+        r = genetic_search(benchmarks["gsm"], cfg, seed=1)
+        assert all(b <= a for a, b in zip(r.history, r.history[1:]))
+
+
+class TestPSO:
+    @pytest.mark.parametrize("crossover", ["blend", "own-best", "global-best"])
+    def test_variants_run(self, benchmarks, crossover):
+        cfg = PSOConfig(particles=4, crossover=crossover, sequence_length=6)
+        r = pso_search(benchmarks["gsm"], iterations=3, config=cfg, seed=0)
+        assert r.samples == 12
+        assert r.best_cycles < np.iinfo(np.int64).max
+
+
+class TestOpenTuner:
+    def test_bandit_runs_all_rounds(self, benchmarks):
+        cfg = OpenTunerConfig(rounds=8, sequence_length=6)
+        r = opentuner_search(benchmarks["gsm"], cfg, seed=0)
+        assert r.samples > 8  # each round evaluates at least one candidate
+        assert r.name == "OpenTuner"
+
+    def test_finds_improvement(self, benchmarks, toolchain):
+        base = toolchain.cycle_count_with_passes(benchmarks["matmul"], [])
+        cfg = OpenTunerConfig(rounds=16, sequence_length=8)
+        r = opentuner_search(benchmarks["matmul"], cfg, seed=0)
+        assert r.best_cycles < base
+
+
+class TestQualityOrdering:
+    def test_search_beats_random_per_sample(self, benchmarks):
+        """With matched budgets, OpenTuner should not lose badly to pure
+        random sampling (the paper's premise for smart search)."""
+        module = benchmarks["matmul"]
+        ot = opentuner_search(module, OpenTunerConfig(rounds=14, sequence_length=8), seed=3)
+        rnd = random_search(module, budget=ot.samples, sequence_length=8, seed=3)
+        assert ot.best_cycles <= rnd.best_cycles * 1.2
