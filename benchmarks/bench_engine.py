@@ -1,0 +1,160 @@
+"""Evaluation-engine throughput: evaluations/sec with and without the
+engine on a repeated-prefix GA-population workload.
+
+The workload replays what a generational GA actually asks the simulator
+for: elites re-evaluated every generation (exact repeats → memo hits) and
+children that mutate the tail of an elite (shared prefixes → trie hits).
+Both paths score the *same* sequence list; the bench asserts the cached
+results are bit-identical to the uncached ones and that the engine is at
+least ``MIN_SPEEDUP``× faster, then appends a trajectory record to
+``BENCH_engine.json`` (github-action-benchmark style, one entry per run)
+so future PRs can track throughput regressions.
+
+Run via pytest (``pytest benchmarks/bench_engine.py``) or standalone
+(``python benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.passes.registry import NUM_TRANSFORMS
+from repro.toolchain import HLSToolchain
+
+MIN_SPEEDUP = 3.0
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_engine.json")
+
+# GA workload shape: modest next to the paper's 45x150-generation budgets
+# (so the uncached baseline stays tractable) but long enough to measure
+# steady-state behaviour rather than first-generation warm-up.
+POPULATION = 10
+GENERATIONS = 20
+ELITES = 4
+SEQUENCE_LENGTH = 45
+MUTATE_TAIL = 8  # children keep the first 37 passes of their elite parent
+
+
+def ga_workload(seed: int = 1) -> List[List[int]]:
+    """The evaluation-order sequence stream of a generational GA."""
+    rng = np.random.default_rng(seed)
+    pop = [list(rng.integers(0, NUM_TRANSFORMS, size=SEQUENCE_LENGTH))
+           for _ in range(POPULATION)]
+    stream: List[List[int]] = [[int(a) for a in ind] for ind in pop]
+    for _ in range(GENERATIONS):
+        elites = pop[:ELITES]
+        children = []
+        for i in range(POPULATION - ELITES):
+            parent = elites[i % ELITES]
+            child = list(parent)
+            tail = rng.integers(0, NUM_TRANSFORMS, size=MUTATE_TAIL)
+            child[SEQUENCE_LENGTH - MUTATE_TAIL:] = [int(a) for a in tail]
+            children.append(child)
+        pop = [list(e) for e in elites] + children
+        stream.extend([int(a) for a in ind] for ind in pop)
+    return stream
+
+
+def run_uncached(program, stream) -> Dict:
+    tc = HLSToolchain(use_engine=False)
+    t0 = time.perf_counter()
+    values = [tc.cycle_count_with_passes(program, seq) for seq in stream]
+    elapsed = time.perf_counter() - t0
+    return {"values": values, "seconds": elapsed, "samples": tc.samples_taken}
+
+
+def run_engine(program, stream) -> Dict:
+    tc = HLSToolchain()
+    t0 = time.perf_counter()
+    values: List[int] = []
+    # generation-sized batches, as GA/PSO submit them
+    for start in range(0, len(stream), POPULATION):
+        batch = stream[start:start + POPULATION]
+        values.extend(int(v) for v in tc.engine.evaluate_batch(program, batch))
+    elapsed = time.perf_counter() - t0
+    return {"values": values, "seconds": elapsed, "samples": tc.samples_taken,
+            "cache": tc.engine.cache_info()}
+
+
+def run_bench(program) -> Dict:
+    stream = ga_workload()
+    uncached = run_uncached(program, stream)
+    engine = run_engine(program, stream)
+    assert engine["values"] == uncached["values"], \
+        "cached evaluation diverged from the uncached path"
+    n = len(stream)
+    result = {
+        "evaluations": n,
+        "uncached_evals_per_sec": n / uncached["seconds"],
+        "engine_evals_per_sec": n / engine["seconds"],
+        "speedup": uncached["seconds"] / engine["seconds"],
+        "uncached_samples": uncached["samples"],
+        "engine_samples": engine["samples"],
+        "cache": engine["cache"],
+    }
+    return result
+
+
+def append_trajectory(result: Dict) -> None:
+    """BENCH_engine.json keeps one github-action-benchmark style entry
+    list per run, newest last, so regressions show up as a trajectory."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    history.append([
+        {"name": "engine_evals_per_sec", "unit": "evals/s",
+         "value": round(result["engine_evals_per_sec"], 3)},
+        {"name": "uncached_evals_per_sec", "unit": "evals/s",
+         "value": round(result["uncached_evals_per_sec"], 3)},
+        {"name": "engine_speedup", "unit": "x",
+         "value": round(result["speedup"], 3)},
+        {"name": "engine_samples", "unit": "simulator samples",
+         "value": result["engine_samples"]},
+        {"name": "uncached_samples", "unit": "simulator samples",
+         "value": result["uncached_samples"]},
+    ])
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    lines = [
+        f"GA workload: {result['evaluations']} evaluations "
+        f"({POPULATION}x{GENERATIONS + 1} generations, len {SEQUENCE_LENGTH})",
+        f"uncached : {result['uncached_evals_per_sec']:.2f} evals/s "
+        f"({result['uncached_samples']} simulator samples)",
+        f"engine   : {result['engine_evals_per_sec']:.2f} evals/s "
+        f"({result['engine_samples']} simulator samples)",
+        f"speedup  : {result['speedup']:.2f}x (floor {MIN_SPEEDUP}x)",
+        f"cache    : {result['cache']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_engine_throughput_on_ga_workload(benchmarks):
+    from .conftest import emit
+
+    result = run_bench(benchmarks["gsm"])
+    emit("BENCH engine — prefix-trie/memo throughput on GA workload",
+         _render(result))
+    append_trajectory(result)
+    assert result["speedup"] >= MIN_SPEEDUP, _render(result)
+    # cache hits must not count as simulator samples
+    assert result["engine_samples"] < result["uncached_samples"]
+
+
+if __name__ == "__main__":
+    from repro.programs import chstone
+
+    result = run_bench(chstone.build("gsm"))
+    print(_render(result))
+    append_trajectory(result)
+    if result["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(f"speedup {result['speedup']:.2f}x below {MIN_SPEEDUP}x floor")

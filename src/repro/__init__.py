@@ -5,6 +5,8 @@ of HLS-generated circuits, using deep RL plus random-forest feature/pass
 filtering. This package reimplements the paper's system *and* every
 substrate it stands on:
 
+- :mod:`repro.engine` — the memoized prefix-trie evaluation engine behind
+  the toolchain, every search baseline and both RL environments
 - :mod:`repro.ir` — an LLVM-like IR (types, SSA values, CFGs, builder)
 - :mod:`repro.analysis` — dominators, loops, alias, call graph
 - :mod:`repro.interp` — an IR interpreter producing software traces
@@ -31,4 +33,5 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = ["ir", "analysis", "interp", "passes", "hls", "features",
-           "programs", "rl", "search", "forest", "experiments", "toolchain"]
+           "programs", "rl", "search", "forest", "experiments", "toolchain",
+           "engine"]

@@ -1,0 +1,333 @@
+"""The EvaluationEngine — the single evaluation primitive of the repro.
+
+Wraps an :class:`~repro.toolchain.HLSToolchain` with three cache layers
+(result memo, prefix-trie snapshots, and — inside the profiler —
+incremental scheduling) plus a ``concurrent.futures`` batch API. See the
+package docstring for the cache-key/invalidation contract.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..hls.profiler import HLSCompilationError
+from ..ir.cloning import clone_module
+from ..ir.module import Module
+from ..passes import PassManager
+from ..passes.registry import TERMINATE_INDEX, pass_name_for_index
+from .memo import FAILED, EngineStats, ResultMemo
+from .trie import NodeBudget, PrefixTrie, SnapshotLRU
+
+__all__ = ["EvaluationEngine", "canonicalize_sequence"]
+
+Action = Union[int, str]
+Element = Union[int, str]
+
+
+def canonicalize_sequence(actions: Sequence[Action]) -> Tuple[Element, ...]:
+    """Terminate-truncate and index-normalize a pass sequence.
+
+    Integer actions stay integers (``-terminate``'s index ends the
+    sequence, mirroring the RL environment); Table-1 names collapse onto
+    their first table index so name- and index-addressed evaluations share
+    cache entries. Names outside the table are kept verbatim.
+    """
+    from ..passes.registry import PASS_TABLE
+
+    out: List[Element] = []
+    for action in actions:
+        if isinstance(action, str):
+            if action == "-terminate":
+                break
+            try:
+                out.append(PASS_TABLE.index(action))
+            except ValueError:
+                out.append(action)
+        else:
+            index = int(action)
+            if index == TERMINATE_INDEX:
+                break
+            out.append(index)
+    return tuple(out)
+
+
+class _ProgramState:
+    __slots__ = ("program", "trie")
+
+    def __init__(self, program: Module, lru: SnapshotLRU, min_visits: int,
+                 budget: NodeBudget) -> None:
+        self.program = program
+        self.trie = PrefixTrie(program, lru, min_visits, budget)
+
+
+class EvaluationEngine:
+    """Memoized, prefix-sharing, batchable sequence evaluation.
+
+    Parameters
+    ----------
+    toolchain:         the HLSToolchain doing the actual compile/profile
+                       work (also the sample-accounting authority).
+    max_trie_nodes:    engine-wide bound on cached module snapshots.
+    max_memo_entries:  bound on memoized (sequence → objective) results.
+    snapshot_min_visits: how often a prefix must be walked before its
+                       snapshot is worth storing (1 = always).
+    snapshot_stride:   snapshots are stored only at every ``stride``-th
+                       prefix depth (plus the full-sequence node), so one
+                       long materialization doesn't pay a module clone
+                       per pass applied.
+    max_workers:       thread-pool width for :meth:`evaluate_batch`
+                       (``REPRO_ENGINE_WORKERS`` overrides; ≤1 = serial).
+    """
+
+    def __init__(self, toolchain, max_trie_nodes: int = 256,
+                 max_memo_entries: int = 8192,
+                 snapshot_min_visits: int = 2,
+                 snapshot_stride: int = 8,
+                 max_workers: Optional[int] = None) -> None:
+        self.toolchain = toolchain
+        if max_workers is None:
+            try:
+                max_workers = int(os.environ.get("REPRO_ENGINE_WORKERS", ""))
+            except ValueError:
+                max_workers = min(4, os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+        self.snapshot_min_visits = snapshot_min_visits
+        self.snapshot_stride = max(1, snapshot_stride)
+        self.stats = EngineStats()
+        self._memo = ResultMemo(max_memo_entries)
+        self._lru = SnapshotLRU(max_trie_nodes)
+        # Structure nodes are ~two orders of magnitude lighter than module
+        # snapshots; 64 nodes of bookkeeping per allowed snapshot keeps the
+        # tries bounded without starving prefix tracking.
+        self._node_budget = NodeBudget(max_trie_nodes * 64)
+        self._programs: Dict[int, _ProgramState] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    # -- program registry ---------------------------------------------------
+    def _state_for(self, program: Module) -> _ProgramState:
+        with self._lock:
+            state = self._programs.get(id(program))
+            if state is None:
+                state = _ProgramState(program, self._lru, self.snapshot_min_visits,
+                                      self._node_budget)
+                self._programs[id(program)] = state
+            return state
+
+    @staticmethod
+    def _key(program: Module, canonical: Tuple[Element, ...], objective: str,
+             area_weight: float, entry: str) -> Tuple:
+        return (id(program), canonical, objective, area_weight, entry)
+
+    # -- single evaluation --------------------------------------------------
+    def evaluate(self, program: Module, actions: Sequence[Action],
+                 objective: str = "cycles", area_weight: float = 0.05,
+                 entry: str = "main") -> float:
+        """Objective value of ``program`` after ``actions``. Memo hits do
+        not touch the toolchain (no simulator sample); misses clone from
+        the deepest cached prefix and pay only the suffix."""
+        value, _ = self._evaluate(program, actions, objective, area_weight,
+                                  entry, want_module=False)
+        return value
+
+    def evaluate_with_module(self, program: Module, actions: Sequence[Action],
+                             objective: str = "cycles", area_weight: float = 0.05,
+                             entry: str = "main") -> Tuple[float, Module]:
+        """Like :meth:`evaluate` but also materializes (and returns) the
+        optimized module — callers may mutate it freely."""
+        return self._evaluate(program, actions, objective, area_weight,
+                              entry, want_module=True)
+
+    def _evaluate(self, program: Module, actions: Sequence[Action],
+                  objective: str, area_weight: float, entry: str,
+                  want_module: bool) -> Tuple[float, Optional[Module]]:
+        canonical = canonicalize_sequence(actions)
+        key = self._key(program, canonical, objective, area_weight, entry)
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.stats.memo_hits += 1
+        if cached is FAILED:
+            raise HLSCompilationError(
+                f"sequence {canonical!r} is memoized as failing HLS compilation")
+        if cached is not None and not want_module:
+            return cached, None
+
+        state = self._state_for(program)
+        try:
+            module = self._materialize(state, canonical)
+        except HLSCompilationError:
+            with self._lock:
+                self._memo.put(key, FAILED)
+                self.stats.failures_memoized += 1
+            raise
+        if cached is not None:
+            return cached, module
+
+        with self._lock:
+            self.stats.memo_misses += 1
+        try:
+            value = self.toolchain.objective_value(module, objective,
+                                                   area_weight=area_weight,
+                                                   entry=entry)
+        except HLSCompilationError:
+            with self._lock:
+                self._memo.put(key, FAILED)
+                self.stats.failures_memoized += 1
+            raise
+        with self._lock:
+            self._memo.put(key, value)
+        return value, module
+
+    def evaluate_prepared(self, program: Module, actions: Sequence[Action],
+                          module: Module, objective: str = "cycles",
+                          area_weight: float = 0.05, entry: str = "main") -> float:
+        """Evaluate a module the caller already optimized to ``actions``
+        (the incremental RL-environment path: the env applies one pass per
+        step to its own working module, so the engine must not re-apply the
+        sequence). Memo hits skip profiling; either way the trie learns the
+        prefix so black-box searches can reuse RL-explored sequences."""
+        canonical = canonicalize_sequence(actions)
+        key = self._key(program, canonical, objective, area_weight, entry)
+        state = self._state_for(program)
+        with self._lock:
+            path = state.trie.walk(canonical)
+            # only the *full-sequence* node may take this module as its
+            # snapshot (the walk can stop short on node-budget exhaustion)
+            node = path[-1] if path and len(path) == len(canonical) else None
+            want_snap = node is not None and state.trie.want_snapshot(node)
+            cached = self._memo.get(key)
+            if cached is not None and cached is not FAILED:
+                self.stats.memo_hits += 1
+        if want_snap:
+            snapshot = clone_module(module)
+            with self._lock:
+                if state.trie.store_snapshot(node, snapshot):
+                    self.stats.snapshots_stored += 1
+        if cached is FAILED:
+            raise HLSCompilationError(
+                f"sequence {canonical!r} is memoized as failing HLS compilation")
+        if cached is not None:
+            return cached
+        with self._lock:
+            self.stats.memo_misses += 1
+        try:
+            value = self.toolchain.objective_value(module, objective,
+                                                   area_weight=area_weight,
+                                                   entry=entry)
+        except HLSCompilationError:
+            with self._lock:
+                self._memo.put(key, FAILED)
+                self.stats.failures_memoized += 1
+            raise
+        with self._lock:
+            self._memo.put(key, value)
+        return value
+
+    # -- batch evaluation ---------------------------------------------------
+    def evaluate_batch(self, program: Module, sequences: Sequence[Sequence[Action]],
+                       objective: str = "cycles", area_weight: float = 0.05,
+                       entry: str = "main") -> List[Optional[float]]:
+        """Score a whole population. Returns one value per input sequence,
+        ``None`` where the sequence fails HLS compilation (callers apply
+        their own penalty). Duplicate sequences are evaluated once; cache
+        misses run on a persistent thread pool.
+
+        Results are identical at any worker count. Worker threads trade
+        some duplicated work on *cold* shared prefixes (two concurrent
+        misses may each apply a prefix the trie would let sequential
+        evaluation share) for an asynchronous API; the simulator is pure
+        Python, so set ``REPRO_ENGINE_WORKERS=1`` for strictly minimal
+        work on a GIL-bound build."""
+        self.stats.batches += 1
+        keyed = [canonicalize_sequence(seq) for seq in sequences]
+        unique: Dict[Tuple[Element, ...], Optional[float]] = {}
+        for canonical in keyed:
+            unique.setdefault(canonical, None)
+
+        def run_one(canonical: Tuple[Element, ...]) -> Optional[float]:
+            try:
+                return self.evaluate(program, canonical, objective=objective,
+                                     area_weight=area_weight, entry=entry)
+            except HLSCompilationError:
+                return None
+
+        pending = list(unique)
+        if self.max_workers > 1 and len(pending) > 1:
+            with self._lock:
+                if self._pool is None:  # persistent: one pool per engine
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-engine")
+                pool = self._pool
+            for canonical, value in zip(pending, pool.map(run_one, pending)):
+                unique[canonical] = value
+        else:
+            for canonical in pending:
+                unique[canonical] = run_one(canonical)
+        return [unique[canonical] for canonical in keyed]
+
+    # -- materialization ----------------------------------------------------
+    def materialize(self, program: Module, actions: Sequence[Action]) -> Module:
+        """A fresh module equal to ``program`` with ``actions`` applied,
+        built from the deepest cached prefix (no profiling, no sample)."""
+        return self._materialize(self._state_for(program),
+                                 canonicalize_sequence(actions))
+
+    def _materialize(self, state: _ProgramState,
+                     canonical: Tuple[Element, ...]) -> Module:
+        trie = state.trie
+        with self._lock:
+            depth, source = trie.deepest_snapshot(canonical)
+            path = trie.walk(canonical)
+            if depth > 0:
+                self.stats.trie_hits += 1
+                self.stats.passes_saved += depth
+            # The deepest prefix other evaluations have walked too is the
+            # divergence frontier — for population-based searches it is
+            # exactly the shared parent prefix, so that is where a
+            # snapshot earns its clone. Below it, stride points bound the
+            # reapply distance; beyond it the path is (so far) private.
+            shared_depth = 0
+            for i, node in enumerate(path):
+                if node.visits >= self.snapshot_min_visits:
+                    shared_depth = i + 1
+        module = clone_module(source)
+        pm = PassManager()
+        for i in range(depth, len(canonical)):
+            element = canonical[i]
+            name = pass_name_for_index(element) if isinstance(element, int) else element
+            pm.run(module, [name])
+            d = i + 1
+            on_grid = d == shared_depth or (d < shared_depth and d % self.snapshot_stride == 0)
+            with self._lock:
+                self.stats.passes_applied += 1
+                node = path[i] if i < len(path) else None  # budget-truncated walk
+                want_snap = node is not None and on_grid and trie.want_snapshot(node)
+            if want_snap:
+                snapshot = clone_module(module)
+                with self._lock:
+                    if trie.store_snapshot(node, snapshot):
+                        self.stats.snapshots_stored += 1
+        return module
+
+    # -- introspection ------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        info = self.stats.as_dict()
+        info["memo_entries"] = len(self._memo)
+        info["snapshot_nodes"] = len(self._lru)
+        info["snapshot_evictions"] = self._lru.evictions
+        info["trie_nodes"] = self._node_budget.used
+        info["programs"] = len(self._programs)
+        return info
+
+    def clear(self) -> None:
+        """Drop every cached result, snapshot and trie (keeps statistics)."""
+        with self._lock:
+            self._memo.clear()
+            self._programs.clear()
+            self._lru = SnapshotLRU(self._lru.max_nodes)
+            self._node_budget = NodeBudget(self._node_budget.max_nodes)

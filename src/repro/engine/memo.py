@@ -1,0 +1,74 @@
+"""Result memo and cache-statistics bookkeeping for the evaluation engine."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["EngineStats", "ResultMemo", "FAILED"]
+
+# Sentinel memo value for sequences that raised HLSCompilationError —
+# re-evaluating a known-broken sequence must not burn a simulator sample.
+FAILED = object()
+
+
+@dataclass
+class EngineStats:
+    """Cache-hit accounting, reported alongside ``samples_taken``."""
+
+    memo_hits: int = 0
+    memo_misses: int = 0
+    trie_hits: int = 0            # evaluations that cloned a non-root snapshot
+    passes_saved: int = 0         # prefix passes skipped thanks to the trie
+    passes_applied: int = 0       # suffix passes actually run
+    snapshots_stored: int = 0
+    failures_memoized: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "trie_hits": self.trie_hits,
+            "passes_saved": self.passes_saved,
+            "passes_applied": self.passes_applied,
+            "snapshots_stored": self.snapshots_stored,
+            "failures_memoized": self.failures_memoized,
+            "batches": self.batches,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+
+class ResultMemo:
+    """LRU map from evaluation keys to objective values (or FAILED)."""
+
+    _MISSING = object()
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Any:
+        """The cached value, FAILED, or None when absent."""
+        value = self._entries.get(key, self._MISSING)
+        if value is self._MISSING:
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

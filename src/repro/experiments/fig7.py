@@ -101,21 +101,23 @@ def run_fig7(benchmarks: Optional[Dict[str, Module]] = None,
                 cycles, n = o3[name], 1
             elif algo == "Random":
                 r = random_search(module, budget=cfg.random_budget,
-                                  sequence_length=cfg.episode_length, seed=prog_seed)
+                                  sequence_length=cfg.episode_length, seed=prog_seed,
+                                  toolchain=toolchain)
                 cycles, n = r.best_cycles, r.samples
             elif algo == "Greedy":
-                r = greedy_search(module, max_length=cfg.greedy_max_length)
+                r = greedy_search(module, max_length=cfg.greedy_max_length,
+                                  toolchain=toolchain)
                 cycles, n = r.best_cycles, r.samples
             elif algo == "Genetic-DEAP":
                 r = genetic_search(module, GAConfig(population=cfg.ga_population,
                                                     generations=cfg.ga_generations,
                                                     sequence_length=cfg.episode_length),
-                                   seed=prog_seed)
+                                   seed=prog_seed, toolchain=toolchain)
                 cycles, n = r.best_cycles, r.samples
             elif algo == "OpenTuner":
                 r = opentuner_search(module, OpenTunerConfig(rounds=cfg.opentuner_rounds,
                                                              sequence_length=cfg.episode_length),
-                                     seed=prog_seed)
+                                     seed=prog_seed, toolchain=toolchain)
                 cycles, n = r.best_cycles, r.samples
             elif algo in ("RL-PPO1", "RL-PPO2", "RL-A3C", "RL-PPO3", "RL-ES"):
                 episodes = cfg.es_episodes if algo == "RL-ES" else (

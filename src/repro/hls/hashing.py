@@ -1,0 +1,127 @@
+"""Structural hashing of function bodies for incremental scheduling.
+
+The scheduler's output for a function depends only on (a) the function's
+instruction stream — opcodes, result/operand types, predicates,
+volatility, GEP index structure — (b) the *intra-function* def-use
+topology (which operands are same-block defs and in what order, which
+drives chaining and resource contention), (c) memory provenance (alias
+queries walk GEP chains back to allocas/globals/arguments and, for
+globals, whether their address escapes anywhere in the module), and
+(d) callee facts (external callee names select timing-library entries;
+callee ``readonly``/``readnone`` attributes gate memory-dependence
+edges).
+
+:func:`structural_key` encodes exactly that closure into a hashable
+tuple, deliberately ignoring value *names* so that clones of the same
+function (``clone_module`` renames every instruction) and structurally
+identical functions across pass applications produce the same key. Two
+functions with equal keys have isomorphic bodies under the encoding and
+therefore identical block schedules, which is what makes the profiler's
+per-function schedule cache sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.alias import _escapes
+from ..ir.instructions import (
+    AllocaInst,
+    BranchInst,
+    CallInst,
+    FCmpInst,
+    ICmpInst,
+    InvokeInst,
+    LoadInst,
+    PhiNode,
+    StoreInst,
+    SwitchInst,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+__all__ = ["structural_key"]
+
+
+def _encode_callee(callee, escapes_memo: Dict) -> Tuple:
+    if isinstance(callee, str):
+        return ("x", callee)
+    # Callee attributes decide may_read/may_write for the memory-ordering
+    # edges; declarations are timed by name through the external library.
+    return ("f", callee.name, callee.is_declaration,
+            tuple(sorted(callee.attributes)))
+
+
+def structural_key(func: Function,
+                   escapes_memo: Optional[Dict[Value, bool]] = None) -> Tuple:
+    """A hashable, name-independent key capturing the schedule inputs.
+
+    ``escapes_memo`` memoizes the module-wide "does this global's address
+    escape" query across the functions of one module traversal.
+    """
+    if escapes_memo is None:
+        escapes_memo = {}
+    ids: Dict[Value, int] = {}
+    for i, bb in enumerate(func.blocks):
+        ids[bb] = i
+    n = 0
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            ids[inst] = n
+            n += 1
+
+    def enc(v: Value) -> Tuple:
+        local = ids.get(v)
+        if local is not None:
+            kind = "b" if isinstance(v, BasicBlock) else "i"
+            return (kind, local)
+        if isinstance(v, ConstantInt):
+            return ("ci", v.value, str(v.type))
+        if isinstance(v, ConstantFloat):
+            return ("cf", repr(v.value))
+        if isinstance(v, UndefValue):
+            return ("u", str(v.type))
+        if isinstance(v, GlobalVariable):
+            escapes = escapes_memo.get(v)
+            if escapes is None:
+                escapes = escapes_memo.setdefault(v, _escapes(v))
+            return ("g", v.name, v.is_constant, str(v.value_type), escapes)
+        if isinstance(v, Argument):
+            return ("a", v.index)
+        if isinstance(v, Function):
+            return _encode_callee(v, escapes_memo)
+        return ("?", str(v.type))  # conservative: distinct per stringification
+
+    blocks = []
+    for bb in func.blocks:
+        insts = []
+        for inst in bb.instructions:
+            extra: Tuple = ()
+            if isinstance(inst, (ICmpInst, FCmpInst)):
+                extra = (inst.predicate,)
+            elif isinstance(inst, (LoadInst, StoreInst)):
+                extra = (inst.is_volatile,)
+            elif isinstance(inst, AllocaInst):
+                extra = (str(inst.allocated_type), inst.allocated_type.size_slots)
+            elif isinstance(inst, InvokeInst):
+                extra = (_encode_callee(inst.callee, escapes_memo),
+                         enc(inst.normal_dest), enc(inst.unwind_dest))
+            elif isinstance(inst, CallInst):
+                extra = (_encode_callee(inst.callee, escapes_memo),)
+            elif isinstance(inst, PhiNode):
+                extra = tuple(enc(b) for b in inst.incoming_blocks)
+            elif isinstance(inst, SwitchInst):
+                extra = tuple((c.value, enc(b)) for c, b in inst.cases) + (enc(inst.default),)
+            elif isinstance(inst, BranchInst):
+                extra = tuple(enc(t) for t in inst.successors())
+            insts.append((inst.opcode, str(inst.type), extra,
+                          tuple(enc(op) for op in inst.operands)))
+        blocks.append(tuple(insts))
+    return (str(func.ftype), tuple(str(a.type) for a in func.args), tuple(blocks))

@@ -10,19 +10,34 @@ schedule is static. This module reproduces exactly that computation:
 The interpreter supplies the visit counts; the scheduler supplies the
 states. ``llvm.memset``/``llvm.memcpy`` transfer a dynamic number of
 elements, so their per-element burst cost is added from the trace.
+
+Two memoization layers make repeated profiling cheap:
+
+* **Incremental scheduling** — per-function FSM state counts are cached
+  under a structural hash of the function body (:mod:`.hashing`), so a
+  pass that mutates one function only forces that function to be
+  rescheduled; everything else (and every clone of it) hits the cache.
+* **Burst-slot memo** — the static mean burst length of
+  ``llvm.memset``/``llvm.memcpy`` call sites is cached per
+  ``(module, Module.version)``, so back-to-back profiles of an
+  unmutated module stop rescanning every instruction.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..interp.interpreter import ExecutionResult, Interpreter
 from ..interp.state import InterpreterLimitExceeded, TrapError
 from ..ir.instructions import CallInst
-from ..ir.module import Module
+from ..ir.module import BasicBlock, Module
 from .delays import HLSConstraints, TimingLibrary
-from .scheduler import ModuleSchedule, Scheduler
+from .hashing import structural_key
+from .scheduler import Scheduler
 
 __all__ = ["CycleReport", "HLSCompilationError", "CycleProfiler"]
 
@@ -54,41 +69,77 @@ class CycleProfiler:
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
                  library: Optional[TimingLibrary] = None,
-                 max_steps: int = 1_000_000) -> None:
+                 max_steps: int = 1_000_000,
+                 schedule_cache_size: int = 512) -> None:
         self.scheduler = Scheduler(constraints, library)
         self.constraints = self.scheduler.constraints
         self.max_steps = max_steps
+        # structural key -> per-block state counts (block order positional)
+        self._schedule_cache: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        self._schedule_cache_size = schedule_cache_size
+        self.schedule_cache_hits = 0
+        self.schedule_cache_misses = 0
+        # module -> (Module.version, {intrinsic: mean burst slots})
+        self._burst_cache: "weakref.WeakKeyDictionary[Module, Tuple[int, Dict[str, int]]]" = (
+            weakref.WeakKeyDictionary())
+        self._lock = threading.Lock()
 
     def profile(self, module: Module, entry: str = "main") -> CycleReport:
         try:
-            schedule = self.scheduler.schedule_module(module)
+            block_states = self._module_block_states(module)
         except Exception as exc:  # scheduling failure = HLS failure
             raise HLSCompilationError(f"scheduling failed: {exc}") from exc
         try:
             execution = Interpreter(module, max_steps=self.max_steps).run(entry)
         except (TrapError, InterpreterLimitExceeded) as exc:
             raise HLSCompilationError(f"execution failed: {exc}") from exc
-        return self._combine(module, schedule, execution)
+        return self._combine(module, block_states, execution)
 
-    def _combine(self, module: Module, schedule: ModuleSchedule,
+    # -- incremental scheduling ---------------------------------------------
+    def _module_block_states(self, module: Module) -> Dict[BasicBlock, int]:
+        """FSM state count per block, rescheduling only functions whose
+        structural hash is not already cached."""
+        states: Dict[BasicBlock, int] = {}
+        escapes_memo: Dict = {}
+        for func in module.defined_functions():
+            if self._schedule_cache_size <= 0:
+                counts = self.scheduler.function_state_counts(func)
+            else:
+                key = structural_key(func, escapes_memo)
+                with self._lock:
+                    counts = self._schedule_cache.get(key)
+                    if counts is not None:
+                        self._schedule_cache.move_to_end(key)
+                        self.schedule_cache_hits += 1
+                if counts is None:
+                    counts = self.scheduler.function_state_counts(func)
+                    with self._lock:
+                        self.schedule_cache_misses += 1
+                        self._schedule_cache[key] = counts
+                        while len(self._schedule_cache) > self._schedule_cache_size:
+                            self._schedule_cache.popitem(last=False)
+            for bb, n in zip(func.blocks, counts):
+                states[bb] = n
+        return states
+
+    def _combine(self, module: Module, block_states: Dict[BasicBlock, int],
                  execution: ExecutionResult) -> CycleReport:
         cycles = 0
         states_by_block: Dict[str, int] = {}
         visits_by_block: Dict[str, int] = {}
-        for func, fsched in schedule.functions.items():
-            for bb, bsched in fsched.blocks.items():
-                visits = execution.block_counts.get(bb, 0)
-                states_by_block[f"{func.name}:{bb.name}"] = bsched.num_states
-                visits_by_block[f"{func.name}:{bb.name}"] = visits
-                cycles += visits * bsched.num_states
+        for bb, num_states in block_states.items():
+            visits = execution.block_counts.get(bb, 0)
+            label = f"{bb.parent.name}:{bb.name}" if bb.parent is not None else bb.name
+            states_by_block[label] = num_states
+            visits_by_block[label] = visits
+            cycles += visits * num_states
 
         # Dynamic burst costs: one extra cycle per transferred slot beyond
         # the scheduled setup latency, recovered from the dynamic trace.
         for name in _DYNAMIC_BURST:
             count = execution.call_counts.get(name, 0)
             if count:
-                avg_burst = _estimate_burst_slots(module, name)
-                cycles += count * avg_burst
+                cycles += count * self._burst_slots(module, name)
 
         return CycleReport(
             cycles=cycles,
@@ -97,6 +148,21 @@ class CycleProfiler:
             execution=execution,
             frequency_mhz=self.constraints.frequency_mhz,
         )
+
+    # -- burst-slot memo ----------------------------------------------------
+    def _burst_slots(self, module: Module, intrinsic: str) -> int:
+        version = module.version
+        with self._lock:
+            entry = self._burst_cache.get(module)
+            if entry is None or entry[0] != version:
+                entry = (version, {})
+                self._burst_cache[module] = entry
+            cached = entry[1].get(intrinsic)
+        if cached is None:
+            cached = _estimate_burst_slots(module, intrinsic)
+            with self._lock:
+                entry[1][intrinsic] = cached
+        return cached
 
 
 def _estimate_burst_slots(module: Module, intrinsic: str) -> int:

@@ -110,6 +110,14 @@ class Scheduler:
     def schedule_function(self, func: Function) -> FunctionSchedule:
         return FunctionSchedule(func, {bb: self.schedule_block(bb) for bb in func.blocks})
 
+    def function_state_counts(self, func: Function) -> List[int]:
+        """Per-block FSM state counts in block order — the only piece of a
+        schedule the cycle profiler consumes, and the unit the profiler's
+        structural-hash cache stores (block identity is positional, so the
+        counts transfer across clones of the same function)."""
+        fsched = self.schedule_function(func)
+        return [fsched.blocks[bb].num_states for bb in func.blocks]
+
     # -- core algorithm --------------------------------------------------------
     def schedule_block(self, block: BasicBlock) -> BlockSchedule:
         period = self.constraints.clock_period_ns

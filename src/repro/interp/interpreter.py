@@ -96,6 +96,11 @@ class Interpreter:
         self.block_counts: Dict[BasicBlock, int] = {}
         self.call_counts: Dict[str, int] = {}
         self.output: List[int] = []
+        # Per-block execution plans: (phis, [(handler, inst), ...]). The
+        # module is static for the lifetime of one interpreter, so handler
+        # bindings are computed once per block instead of running an
+        # isinstance chain per executed instruction.
+        self._block_plans: Dict[BasicBlock, Tuple[List[PhiNode], List[Tuple]]] = {}
         self._globals: Dict[GlobalVariable, MemPointer] = {}
         # Only externally visible globals are *observable* memory: internal
         # globals are like locals (LLVM may delete or fold them), so the
@@ -169,115 +174,165 @@ class Interpreter:
 
     def _run_block(self, func: Function, frame: _Frame, block: BasicBlock,
                    prev_block: Optional[BasicBlock], depth: int):
+        plan = self._block_plans.get(block)
+        if plan is None:
+            phis = block.phis()
+            plan = (phis, [(self._handler_for(inst.__class__), inst)
+                           for inst in block.instructions[len(phis):]])
+            self._block_plans[block] = plan
+        phis, body = plan
+
         # Phis first, evaluated simultaneously from the predecessor edge.
-        phis = block.phis()
         if phis:
             assert prev_block is not None, "phi in entry block"
             staged = [(phi, self._value(frame, phi.incoming_value_for(prev_block))) for phi in phis]
             for phi, value in staged:
                 frame.values[phi] = value
 
-        for inst in block.instructions[len(phis):]:
+        for handler, inst in body:
             self.steps += 1
             if self.steps > self.max_steps:
                 raise InterpreterLimitExceeded(f"step budget exhausted in @{func.name}")
-            result = self._execute(frame, inst, depth)
+            result = handler(self, frame, inst, depth)
             if result is not None:
                 return result
         raise TrapError(f"block {block.name} fell through without terminator")
 
-    def _execute(self, frame: _Frame, inst: Instruction, depth: int):
-        if isinstance(inst, BinaryOperator):
-            a = self._value(frame, inst.lhs)
-            b = self._value(frame, inst.rhs)
-            if inst.opcode in ("fadd", "fsub", "fmul", "fdiv"):
-                frame.values[inst] = eval_float_binop(inst.opcode, float(a), float(b))
-            else:
-                frame.values[inst] = eval_int_binop(inst.opcode, inst.type, int(a), int(b))
-            return None
-        if isinstance(inst, FNegInst):
-            frame.values[inst] = -float(self._value(frame, inst.operand))
-            return None
-        if isinstance(inst, ICmpInst):
-            a = self._value(frame, inst.lhs)
-            b = self._value(frame, inst.rhs)
-            if isinstance(a, MemPointer) or isinstance(b, MemPointer):
-                res = self._pointer_compare(inst.predicate, a, b)
-            else:
-                res = eval_icmp(inst.predicate, inst.lhs.type, int(a), int(b))  # type: ignore[arg-type]
-            frame.values[inst] = 1 if res else 0
-            return None
-        if isinstance(inst, FCmpInst):
-            a = float(self._value(frame, inst.lhs))
-            b = float(self._value(frame, inst.rhs))
-            frame.values[inst] = 1 if eval_fcmp(inst.predicate, a, b) else 0
-            return None
-        if isinstance(inst, SelectInst):
+    # -- instruction handlers (opcode-indexed dispatch) --------------------
+    # Handlers share the _execute contract: mutate the frame and return
+    # None, or return a ("ret", value) / ("br", block) control transfer.
+    def _exec_binary(self, frame: _Frame, inst: Instruction, depth: int):
+        a = self._value(frame, inst.lhs)
+        b = self._value(frame, inst.rhs)
+        if inst.opcode in ("fadd", "fsub", "fmul", "fdiv"):
+            frame.values[inst] = eval_float_binop(inst.opcode, float(a), float(b))
+        else:
+            frame.values[inst] = eval_int_binop(inst.opcode, inst.type, int(a), int(b))
+        return None
+
+    def _exec_fneg(self, frame: _Frame, inst: Instruction, depth: int):
+        frame.values[inst] = -float(self._value(frame, inst.operand))
+        return None
+
+    def _exec_icmp(self, frame: _Frame, inst: Instruction, depth: int):
+        a = self._value(frame, inst.lhs)
+        b = self._value(frame, inst.rhs)
+        if isinstance(a, MemPointer) or isinstance(b, MemPointer):
+            res = self._pointer_compare(inst.predicate, a, b)
+        else:
+            res = eval_icmp(inst.predicate, inst.lhs.type, int(a), int(b))  # type: ignore[arg-type]
+        frame.values[inst] = 1 if res else 0
+        return None
+
+    def _exec_fcmp(self, frame: _Frame, inst: Instruction, depth: int):
+        a = float(self._value(frame, inst.lhs))
+        b = float(self._value(frame, inst.rhs))
+        frame.values[inst] = 1 if eval_fcmp(inst.predicate, a, b) else 0
+        return None
+
+    def _exec_select(self, frame: _Frame, inst: Instruction, depth: int):
+        cond = self._value(frame, inst.condition)
+        frame.values[inst] = self._value(frame, inst.true_value if cond else inst.false_value)
+        return None
+
+    def _exec_alloca(self, frame: _Frame, inst: Instruction, depth: int):
+        ptr = self.memory.allocate(inst.allocated_type.size_slots)
+        frame.allocas.append(ptr)
+        frame.values[inst] = ptr
+        return None
+
+    def _exec_load(self, frame: _Frame, inst: Instruction, depth: int):
+        ptr = self._value(frame, inst.pointer)
+        if not isinstance(ptr, MemPointer):
+            raise TrapError("load through non-pointer")
+        frame.values[inst] = self.memory.load(ptr)
+        return None
+
+    def _exec_store(self, frame: _Frame, inst: Instruction, depth: int):
+        ptr = self._value(frame, inst.pointer)
+        if not isinstance(ptr, MemPointer):
+            raise TrapError("store through non-pointer")
+        self.memory.store(ptr, self._value(frame, inst.value))
+        return None
+
+    def _exec_gep(self, frame: _Frame, inst: Instruction, depth: int):
+        base = self._value(frame, inst.pointer)
+        if not isinstance(base, MemPointer):
+            raise TrapError("gep on non-pointer")
+        offset = 0
+        for idx, stride in zip(inst.indices, inst.element_strides()):
+            offset += int(self._value(frame, idx)) * stride
+        frame.values[inst] = base.advanced(offset)
+        return None
+
+    def _exec_call(self, frame: _Frame, inst: Instruction, depth: int):
+        frame.values[inst] = self._do_call(frame, inst.callee, inst.args, depth)
+        return None
+
+    def _exec_invoke(self, frame: _Frame, inst: Instruction, depth: int):
+        # The substrate has no unwinding sources; invoke always takes
+        # the normal edge (matching -prune-eh's model).
+        frame.values[inst] = self._do_call(frame, inst.callee, inst.args, depth)
+        return ("br", inst.normal_dest)
+
+    def _exec_cast(self, frame: _Frame, inst: Instruction, depth: int):
+        src = self._value(frame, inst.operand)
+        if isinstance(src, MemPointer):
+            if inst.opcode == "bitcast":
+                frame.values[inst] = src
+                return None
+            raise TrapError(f"{inst.opcode} of pointer value")
+        frame.values[inst] = eval_cast(inst.opcode, inst.operand.type, inst.type, src)
+        return None
+
+    def _exec_return(self, frame: _Frame, inst: Instruction, depth: int):
+        rv = inst.return_value
+        return ("ret", self._value(frame, rv) if rv is not None else None)
+
+    def _exec_branch(self, frame: _Frame, inst: Instruction, depth: int):
+        if inst.is_conditional:
             cond = self._value(frame, inst.condition)
-            frame.values[inst] = self._value(frame, inst.true_value if cond else inst.false_value)
-            return None
-        if isinstance(inst, AllocaInst):
-            ptr = self.memory.allocate(inst.allocated_type.size_slots)
-            frame.allocas.append(ptr)
-            frame.values[inst] = ptr
-            return None
-        if isinstance(inst, LoadInst):
-            ptr = self._value(frame, inst.pointer)
-            if not isinstance(ptr, MemPointer):
-                raise TrapError("load through non-pointer")
-            frame.values[inst] = self.memory.load(ptr)
-            return None
-        if isinstance(inst, StoreInst):
-            ptr = self._value(frame, inst.pointer)
-            if not isinstance(ptr, MemPointer):
-                raise TrapError("store through non-pointer")
-            self.memory.store(ptr, self._value(frame, inst.value))
-            return None
-        if isinstance(inst, GEPInst):
-            base = self._value(frame, inst.pointer)
-            if not isinstance(base, MemPointer):
-                raise TrapError("gep on non-pointer")
-            offset = 0
-            for idx, stride in zip(inst.indices, inst.element_strides()):
-                offset += int(self._value(frame, idx)) * stride
-            frame.values[inst] = base.advanced(offset)
-            return None
-        if isinstance(inst, CallInst):
-            frame.values[inst] = self._do_call(frame, inst.callee, inst.args, depth)
-            return None
-        if isinstance(inst, InvokeInst):
-            # The substrate has no unwinding sources; invoke always takes
-            # the normal edge (matching -prune-eh's model).
-            frame.values[inst] = self._do_call(frame, inst.callee, inst.args, depth)
-            return ("br", inst.normal_dest)
-        if isinstance(inst, CastInst):
-            src = self._value(frame, inst.operand)
-            if isinstance(src, MemPointer):
-                if inst.opcode == "bitcast":
-                    frame.values[inst] = src
-                    return None
-                raise TrapError(f"{inst.opcode} of pointer value")
-            frame.values[inst] = eval_cast(inst.opcode, inst.operand.type, inst.type, src)
-            return None
-        if isinstance(inst, ReturnInst):
-            rv = inst.return_value
-            return ("ret", self._value(frame, rv) if rv is not None else None)
-        if isinstance(inst, BranchInst):
-            if inst.is_conditional:
-                cond = self._value(frame, inst.condition)
-                return ("br", inst.true_target if cond else inst.false_target)
-            return ("br", inst.true_target)
-        if isinstance(inst, SwitchInst):
-            value = int(self._value(frame, inst.condition))
-            for const, target in inst.cases:
-                if const.value == value:
-                    return ("br", target)
-            return ("br", inst.default)
-        if isinstance(inst, UnreachableInst):
-            raise TrapError("executed unreachable")
-        if isinstance(inst, PhiNode):  # pragma: no cover - handled in _run_block
-            raise TrapError("phi executed out of order")
+            return ("br", inst.true_target if cond else inst.false_target)
+        return ("br", inst.true_target)
+
+    def _exec_switch(self, frame: _Frame, inst: Instruction, depth: int):
+        value = int(self._value(frame, inst.condition))
+        for const, target in inst.cases:
+            if const.value == value:
+                return ("br", target)
+        return ("br", inst.default)
+
+    def _exec_unreachable(self, frame: _Frame, inst: Instruction, depth: int):
+        raise TrapError("executed unreachable")
+
+    def _exec_phi(self, frame: _Frame, inst: Instruction, depth: int):  # pragma: no cover
+        raise TrapError("phi executed out of order")
+
+    def _exec_unknown(self, frame: _Frame, inst: Instruction, depth: int):
         raise TrapError(f"cannot execute opcode {inst.opcode}")
+
+    # Exact-class handler table, resolved through the subclass-aware cache
+    # below so instruction subclasses inherit their base handler.
+    _HANDLER_BASES = None  # populated lazily after class body (needs methods)
+    _DISPATCH: Dict[type, object] = {}
+
+    @classmethod
+    def _handler_for(cls, klass: type):
+        handler = Interpreter._DISPATCH.get(klass)
+        if handler is None:
+            for base, fn in Interpreter._HANDLER_BASES:
+                if issubclass(klass, base):
+                    handler = fn
+                    break
+            else:
+                handler = Interpreter._exec_unknown
+            Interpreter._DISPATCH[klass] = handler
+        return handler
+
+    def _execute(self, frame: _Frame, inst: Instruction, depth: int):
+        """Single-instruction dispatch (kept for direct callers; the hot
+        loop binds handlers per block in :meth:`_run_block`)."""
+        return self._handler_for(inst.__class__)(self, frame, inst, depth)
 
     def _do_call(self, frame: _Frame, callee, arg_values, depth: int) -> Scalar:
         args = [self._value(frame, a) for a in arg_values]
@@ -309,6 +364,29 @@ class Interpreter:
         if pred in ("uge", "sge"):
             return ka >= kb
         raise TrapError(f"unsupported pointer comparison {pred}")
+
+
+# The isinstance-ordered handler table (mirrors the former _execute chain);
+# defined after the class body so the method objects exist.
+Interpreter._HANDLER_BASES = (
+    (BinaryOperator, Interpreter._exec_binary),
+    (FNegInst, Interpreter._exec_fneg),
+    (ICmpInst, Interpreter._exec_icmp),
+    (FCmpInst, Interpreter._exec_fcmp),
+    (SelectInst, Interpreter._exec_select),
+    (AllocaInst, Interpreter._exec_alloca),
+    (LoadInst, Interpreter._exec_load),
+    (StoreInst, Interpreter._exec_store),
+    (GEPInst, Interpreter._exec_gep),
+    (CallInst, Interpreter._exec_call),
+    (InvokeInst, Interpreter._exec_invoke),
+    (CastInst, Interpreter._exec_cast),
+    (ReturnInst, Interpreter._exec_return),
+    (BranchInst, Interpreter._exec_branch),
+    (SwitchInst, Interpreter._exec_switch),
+    (UnreachableInst, Interpreter._exec_unreachable),
+    (PhiNode, Interpreter._exec_phi),
+)
 
 
 def run_module(module: Module, entry: str = "main", args: Optional[List[Scalar]] = None,

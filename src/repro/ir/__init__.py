@@ -57,7 +57,7 @@ from .instructions import (
 )
 from .module import BasicBlock, Function, Module
 from .builder import IRBuilder
-from .cloning import clone_blocks, clone_instruction
+from .cloning import clone_blocks, clone_instruction, clone_module
 from .printer import function_to_str, module_to_str
 from .verifier import VerificationError, verify_function, verify_module
 
@@ -76,7 +76,7 @@ __all__ = [
     # containers
     "BasicBlock", "Function", "Module",
     # tools
-    "IRBuilder", "clone_blocks", "clone_instruction",
+    "IRBuilder", "clone_blocks", "clone_instruction", "clone_module",
     "function_to_str", "module_to_str",
     "VerificationError", "verify_function", "verify_module",
 ]

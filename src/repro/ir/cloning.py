@@ -31,10 +31,10 @@ from .instructions import (
     SwitchInst,
     UnreachableInst,
 )
-from .module import BasicBlock, Function
-from .values import Value
+from .module import BasicBlock, Function, Module
+from .values import GlobalVariable, Value
 
-__all__ = ["clone_instruction", "clone_blocks"]
+__all__ = ["clone_instruction", "clone_blocks", "clone_module"]
 
 
 def _mapped(value: Value, vmap: Dict[Value, Value]) -> Value:
@@ -165,3 +165,43 @@ def clone_blocks(
                     clone.replace_successor(t, vmap[t])  # type: ignore[arg-type]
 
     return new_blocks, vmap
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module (globals, functions, bodies).
+
+    The clone shares no mutable state with the original: globals get fresh
+    initializer lists, functions fresh attribute sets and metadata dicts,
+    and direct calls are retargeted to the cloned functions.
+    """
+    new = Module(module.source_name)
+    new.metadata = dict(module.metadata)
+    vmap: Dict = {}
+    for gv in module.globals.values():
+        init = gv.initializer
+        if isinstance(init, list):
+            init = list(init)
+        g2 = GlobalVariable(gv.name, gv.value_type, init, gv.is_constant, gv.linkage)
+        new.add_global(g2)
+        vmap[gv] = g2
+    # Create empty function shells first so calls can be remapped.
+    for func in module.functions.values():
+        f2 = Function(func.name, func.ftype, [a.name for a in func.args], func.linkage)
+        f2.attributes = set(func.attributes)
+        f2.metadata = dict(func.metadata)
+        new.add_function(f2)
+        vmap[func] = f2
+        for a_old, a_new in zip(func.args, f2.args):
+            vmap[a_old] = a_new
+    for func in module.functions.values():
+        f2 = vmap[func]
+        if func.is_declaration:
+            continue
+        blocks, _ = clone_blocks(func.blocks, f2, dict(vmap), suffix="")
+        # Retarget direct calls to the cloned functions.
+        for bb in blocks:
+            for inst in bb.instructions:
+                callee = getattr(inst, "callee", None)
+                if callee is not None and not isinstance(callee, str) and callee in vmap:
+                    inst.callee = vmap[callee]
+    return new

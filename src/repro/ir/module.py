@@ -170,9 +170,16 @@ class Function(Value):
 
 
 class Module(Value):
-    """A translation unit: functions + global variables + module metadata."""
+    """A translation unit: functions + global variables + module metadata.
 
-    __slots__ = ("functions", "globals", "metadata", "source_name")
+    ``version`` is a monotonically increasing mutation counter bumped by
+    the PassManager after every pass run; module-keyed memos (e.g. the
+    profiler's burst-slot cache) use ``(module, version)`` as their key so
+    they invalidate automatically when a transform touches the module.
+    """
+
+    __slots__ = ("functions", "globals", "metadata", "source_name", "version",
+                 "__weakref__")
 
     def __init__(self, name: str = "module") -> None:
         super().__init__(ty.void, name)
@@ -180,6 +187,7 @@ class Module(Value):
         self.globals: Dict[str, GlobalVariable] = {}
         self.metadata: Dict[str, object] = {}
         self.source_name = name
+        self.version = 0
 
     def add_function(self, func: Function) -> Function:
         if func.name in self.functions:

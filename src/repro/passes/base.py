@@ -78,6 +78,9 @@ class PassManager:
         for item in passes:
             p = create_pass(item) if isinstance(item, str) else item
             changed |= bool(p.run(module))
+            # Conservatively bump the mutation counter even for no-op runs:
+            # module-keyed memos must never survive an untracked mutation.
+            module.version += 1
             self.applied.append(p.name)
             if self.verify_each:
                 verify_module(module)

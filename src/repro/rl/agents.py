@@ -115,8 +115,7 @@ def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
                 update_every: int = 2, **kwargs) -> TrainResult:
     """Train one configuration; returns best-found sequence + bookkeeping."""
     env, agent = make_agent(name, programs, **kwargs)
-    toolchain = env.toolchain
-    toolchain.reset_sample_counter()
+    env.toolchain.reset_sample_counter()
 
     best_cycles = np.inf
     best_sequence: List[int] = []
@@ -142,9 +141,23 @@ def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
             episode_rewards.append(total)
             return total
 
+        def evaluate_population(thetas) -> List[float]:
+            # The ES generation's population-scoring seam: one
+            # engine-backed episode per perturbed weight vector, in
+            # antithetic order. Episodes share the env and must stay
+            # sequential, so today this is trajectory-identical to the
+            # serial path (the memo still answers revisited sequences
+            # sample-free); a vectorized-env implementation would swap in
+            # a parallel scorer here without touching ESAgent.
+            scores = []
+            for theta in thetas:
+                agent.policy.set_flat(theta)
+                scores.append(evaluate())
+            return scores
+
         generations = max(1, episodes // (2 * agent.config.population))
         for _ in range(generations):
-            agent.train_step(evaluate)
+            agent.train_step(evaluate, evaluate_batch=evaluate_population)
     elif name == "RL-PPO3":
         assert isinstance(agent, PPOAgent)
         rollout = Rollout()
@@ -183,7 +196,11 @@ def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
         agent_name=name,
         best_cycles=int(best_cycles),
         best_sequence=best_sequence,
-        samples=toolchain.reset_sample_counter(),
+        # Candidate evaluations, the same unit SequenceEvaluator.samples
+        # reports for the black-box rows — Figure 7 compares one axis.
+        # (env.toolchain.samples_taken holds the true, cache-discounted
+        # simulator-invocation count.)
+        samples=int(env.evaluations),
         episode_rewards=episode_rewards,
         agent=agent,
         env=env,

@@ -24,7 +24,7 @@ from ..features.extractor import extract_features
 from ..features.table import NUM_FEATURES
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
-from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX, pass_name_for_index
+from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
 from ..toolchain import HLSToolchain, clone_module
 from .normalization import normalize_features, normalize_reward
 
@@ -94,6 +94,10 @@ class PhaseOrderEnv:
         self.best_cycles = 0
         self.best_sequence: List[int] = []
         self._program_index = 0
+        # Candidate evaluations requested across the env's lifetime — the
+        # paper's samples-per-program unit (one per reset/step, whether the
+        # engine answered from cache or the simulator).
+        self.evaluations = 0
 
     # -- dimensions -----------------------------------------------------------
     @property
@@ -111,7 +115,18 @@ class PhaseOrderEnv:
 
     # -- gym protocol ------------------------------------------------------------
     def _measure(self) -> float:
+        """Objective value of the working module. Engine-backed: the env
+        applies passes incrementally to its own module, so the engine is
+        handed the already-optimized module (``evaluate_prepared``) — a
+        memo hit (a sequence any episode explored before) answers without
+        burning a simulator sample."""
         assert self.module is not None
+        self.evaluations += 1
+        engine = self.toolchain.engine
+        if engine is not None:
+            return engine.evaluate_prepared(
+                self.programs[self._program_index], tuple(self.applied),
+                self.module, objective=self.objective)
         return self.toolchain.objective_value(self.module, self.objective)
 
     def reset(self, program_index: Optional[int] = None) -> np.ndarray:
@@ -226,6 +241,11 @@ class MultiActionEnv:
         self.best_cycles = 0
         self.best_sequence: List[int] = []
         self._program_index = 0
+        # -O0 cycles per program index: resets must not re-profile the
+        # unoptimized base program every episode.
+        self._initial_cycles_cache: Dict[int, int] = {}
+        # candidate evaluations (one per reset/step full-sequence score)
+        self.evaluations = 0
 
     @property
     def num_slots(self) -> int:
@@ -246,13 +266,39 @@ class MultiActionEnv:
         base = self.programs[program_index]
         self.indices = np.full(self.sequence_length, NUM_ACTIONS // 2, dtype=np.int64)
         self.steps = 0
-        self.module = clone_module(base)
-        self.toolchain.apply_passes(self.module, [int(i) for i in self.indices])
-        self.prev_cycles = self.toolchain.cycle_count(self.module)
-        self.initial_cycles = self.toolchain.cycle_count_with_passes(base, [])
+        self.prev_cycles = self._evaluate_indices(base)
+        self.initial_cycles = self._initial_cycles_for(program_index)
         self.best_cycles = self.prev_cycles
         self.best_sequence = [int(i) for i in self.indices]
         return self._observe()
+
+    def _evaluate_indices(self, base: Module) -> int:
+        """Evaluate the current full index vector, leaving the optimized
+        module in ``self.module`` for feature observation."""
+        self.evaluations += 1
+        sequence = [int(i) for i in self.indices]
+        engine = self.toolchain.engine
+        if engine is not None:
+            try:
+                cycles, self.module = engine.evaluate_with_module(base, sequence)
+            except HLSCompilationError:
+                # Match the uncached path: the optimized module is in place
+                # (for the terminal observation) even when profiling fails.
+                self.module = engine.materialize(base, sequence)
+                raise
+            return int(cycles)
+        self.module = clone_module(base)
+        self.toolchain.apply_passes(self.module, sequence)
+        return self.toolchain.cycle_count(self.module)
+
+    def _initial_cycles_for(self, program_index: int) -> int:
+        cached = self._initial_cycles_cache.get(program_index)
+        if cached is None:
+            self.evaluations += 1
+            cached = self.toolchain.cycle_count_with_passes(
+                self.programs[program_index], [])
+            self._initial_cycles_cache[program_index] = cached
+        return cached
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
         action = np.asarray(action)
@@ -264,9 +310,7 @@ class MultiActionEnv:
 
         base = self.programs[self._program_index]
         try:
-            self.module = clone_module(base)
-            self.toolchain.apply_passes(self.module, [int(i) for i in self.indices])
-            cycles = self.toolchain.cycle_count(self.module)
+            cycles = self._evaluate_indices(base)
         except HLSCompilationError:
             return self._observe(), -1.0, True, self._info(failed=True)
 

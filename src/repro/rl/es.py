@@ -57,17 +57,29 @@ class ESAgent:
         return np.array([int(np.argmax(logits))])
 
     # -- evolution ------------------------------------------------------------
-    def train_step(self, evaluate: Callable[[], float]) -> Dict[str, float]:
+    def train_step(self, evaluate: Callable[[], float],
+                   evaluate_batch: Optional[Callable] = None) -> Dict[str, float]:
         """One generation. ``evaluate`` runs an episode with the *current*
-        policy weights and returns its total reward (fitness)."""
+        policy weights and returns its total reward (fitness).
+
+        ``evaluate_batch``, when given, scores the whole generation's
+        perturbed parameter vectors in one call (it receives the list of
+        flat weight vectors, in antithetic order, and returns one fitness
+        per vector) — the hook population-based evaluation engines use to
+        batch a generation instead of stepping it one episode at a time.
+        """
         cfg = self.config
         dim = self._theta.size
         noises = [self.rng.normal(size=dim) for _ in range(cfg.population)]
-        fitness = np.zeros(2 * cfg.population)
-        for i, eps in enumerate(noises):
-            for j, sign in enumerate((+1.0, -1.0)):
-                self.policy.set_flat(self._theta + sign * cfg.sigma * eps)
-                fitness[2 * i + j] = evaluate()
+        thetas = [self._theta + sign * cfg.sigma * eps
+                  for eps in noises for sign in (+1.0, -1.0)]
+        if evaluate_batch is not None:
+            fitness = np.asarray(evaluate_batch(thetas), dtype=np.float64)
+        else:
+            fitness = np.zeros(2 * cfg.population)
+            for i, theta in enumerate(thetas):
+                self.policy.set_flat(theta)
+                fitness[i] = evaluate()
         ranks = _rank_normalize(fitness)
         grad = np.zeros(dim)
         for i, eps in enumerate(noises):

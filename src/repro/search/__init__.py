@@ -1,7 +1,7 @@
 """repro.search — black-box baselines: random, greedy (Huang 2013),
 genetic (DEAP stand-in), PSO, and the OpenTuner AUC-bandit ensemble."""
 
-from .base import SearchResult, SequenceEvaluator
+from .base import SearchResult, SequenceEvaluator, score_population
 from .random_search import random_search
 from .greedy import greedy_search
 from .genetic import GAConfig, genetic_search
@@ -9,7 +9,7 @@ from .pso import PSOConfig, pso_search
 from .opentuner import OpenTunerConfig, opentuner_search
 
 __all__ = [
-    "SearchResult", "SequenceEvaluator",
+    "SearchResult", "SequenceEvaluator", "score_population",
     "random_search", "greedy_search",
     "GAConfig", "genetic_search",
     "PSOConfig", "pso_search",

@@ -1,8 +1,10 @@
 """Common scaffolding for the black-box phase-ordering searches.
 
 Each searcher optimizes a fixed-length vector of pass indices for one
-program, counting every simulator call; Figure 7's samples-per-program
-axis is exactly this counter.
+program. ``SequenceEvaluator.samples`` counts candidate evaluations —
+Figure 7's samples-per-program axis — while the toolchain's own
+``samples_taken`` counts true simulator invocations (engine cache hits
+answer candidates without a simulator round trip).
 """
 
 from __future__ import annotations
@@ -17,7 +19,17 @@ from ..ir.module import Module
 from ..passes.registry import NUM_TRANSFORMS
 from ..toolchain import HLSToolchain
 
-__all__ = ["SearchResult", "SequenceEvaluator"]
+__all__ = ["SearchResult", "SequenceEvaluator", "score_population"]
+
+
+def score_population(evaluate, population: Sequence[Sequence[int]]) -> List[int]:
+    """Score candidates through the evaluator's batch API when it has one
+    (population-based searches), falling back to per-candidate calls for
+    plain-callable evaluators."""
+    batch = getattr(evaluate, "evaluate_batch", None)
+    if batch is not None:
+        return batch(population)
+    return [evaluate(individual) for individual in population]
 
 
 @dataclass
@@ -49,18 +61,42 @@ class SequenceEvaluator:
             self._baseline = self.toolchain.cycle_count_with_passes(self.program, [])
         return self._baseline
 
-    def __call__(self, sequence: Sequence[int]) -> int:
-        seq = [int(a) % NUM_TRANSFORMS for a in sequence]
+    def _record(self, seq: List[int], cycles: int) -> int:
         self.samples += 1
-        try:
-            cycles = self.toolchain.cycle_count_with_passes(self.program, seq)
-        except HLSCompilationError:
-            cycles = int(self.baseline_cycles * self.penalty_factor)
         if cycles < self.best_cycles:
             self.best_cycles = cycles
             self.best_sequence = list(seq)
         self.history.append(int(self.best_cycles))
         return cycles
+
+    def __call__(self, sequence: Sequence[int]) -> int:
+        seq = [int(a) % NUM_TRANSFORMS for a in sequence]
+        try:
+            cycles = self.toolchain.cycle_count_with_passes(self.program, seq)
+        except HLSCompilationError:
+            cycles = int(self.baseline_cycles * self.penalty_factor)
+        return self._record(seq, cycles)
+
+    def evaluate_batch(self, sequences: Sequence[Sequence[int]]) -> List[int]:
+        """Score a whole population in one engine batch (GA/PSO/OpenTuner
+        generations). Identical results and accounting to calling the
+        evaluator once per sequence, in order."""
+        seqs = [[int(a) % NUM_TRANSFORMS for a in s] for s in sequences]
+        engine = self.toolchain.engine
+        if engine is None or type(self).__call__ is not SequenceEvaluator.__call__:
+            # Subclasses that redefine scoring (e.g. Fig 9's corpus-sum
+            # aggregate evaluator) must keep their semantics: batch by
+            # calling them, not by bypassing them through the engine.
+            return [self(seq) for seq in seqs]
+        values = engine.evaluate_batch(self.program, seqs, objective="cycles")
+        out: List[int] = []
+        for seq, value in zip(seqs, values):
+            if value is None:  # HLS failure: same penalty as the serial path
+                cycles = int(self.baseline_cycles * self.penalty_factor)
+            else:
+                cycles = int(value)
+            out.append(self._record(seq, cycles))
+        return out
 
     def result(self, name: str) -> SearchResult:
         return SearchResult(name=name, best_cycles=int(self.best_cycles),

@@ -15,7 +15,7 @@ import numpy as np
 from ..ir.module import Module
 from ..passes.registry import NUM_TRANSFORMS
 from ..toolchain import HLSToolchain
-from .base import SearchResult, SequenceEvaluator
+from .base import SearchResult, SequenceEvaluator, score_population
 
 __all__ = ["GAConfig", "genetic_search"]
 
@@ -54,7 +54,7 @@ def genetic_search(program: Module, config: Optional[GAConfig] = None,
 
     pop = [rng.integers(0, NUM_TRANSFORMS, size=cfg.sequence_length)
            for _ in range(cfg.population)]
-    fitness = np.array([evaluate(ind) for ind in pop], dtype=np.float64)
+    fitness = np.array(score_population(evaluate, pop), dtype=np.float64)
 
     for _ in range(cfg.generations):
         order = np.argsort(fitness)
@@ -76,6 +76,6 @@ def genetic_search(program: Module, config: Optional[GAConfig] = None,
             child[mask] = rng.integers(0, NUM_TRANSFORMS, size=int(mask.sum()))
             children.append(child)
         pop = children
-        fitness = np.array([evaluate(ind) for ind in pop], dtype=np.float64)
+        fitness = np.array(score_population(evaluate, pop), dtype=np.float64)
 
     return evaluate.result("Genetic-DEAP")

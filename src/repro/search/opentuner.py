@@ -20,7 +20,7 @@ import numpy as np
 from ..ir.module import Module
 from ..passes.registry import NUM_TRANSFORMS
 from ..toolchain import HLSToolchain
-from .base import SearchResult, SequenceEvaluator
+from .base import SearchResult, SequenceEvaluator, score_population
 from .genetic import GAConfig, _crossover
 from .pso import PSOConfig, _Swarm
 
@@ -68,9 +68,11 @@ class _GATechnique(_Technique):
     def propose_and_evaluate(self, evaluate) -> bool:
         before = evaluate.best_cycles
         rng = self.rng
-        for i, ind in enumerate(self.population):
-            if self.fitness[i] is np.inf or self.fitness[i] == np.inf:
-                self.fitness[i] = evaluate(ind)
+        stale = [i for i in range(len(self.population)) if self.fitness[i] == np.inf]
+        if stale:
+            scores = score_population(evaluate, [self.population[i] for i in stale])
+            for i, cycles in zip(stale, scores):
+                self.fitness[i] = cycles
         order = np.argsort(self.fitness)
         a, b = self.population[order[0]], self.population[order[1]]
         if self.uniform:

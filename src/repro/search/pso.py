@@ -17,7 +17,7 @@ import numpy as np
 
 from ..ir.module import Module
 from ..passes.registry import NUM_TRANSFORMS
-from .base import SearchResult, SequenceEvaluator
+from .base import SearchResult, SequenceEvaluator, score_population
 
 __all__ = ["PSOConfig", "pso_step", "pso_search"]
 
@@ -50,8 +50,9 @@ class _Swarm:
 
     def step(self, evaluate) -> None:
         cfg, rng = self.cfg, self.rng
-        for i in range(cfg.particles):
-            cycles = evaluate(self.decode(self.positions[i]))
+        scores = score_population(
+            evaluate, [self.decode(self.positions[i]) for i in range(cfg.particles)])
+        for i, cycles in enumerate(scores):
             if cycles < self.best_fitness[i]:
                 self.best_fitness[i] = cycles
                 self.best_positions[i] = self.positions[i].copy()

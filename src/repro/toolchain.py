@@ -2,71 +2,61 @@
 together; the "simulator" the RL environment and all search baselines
 call into.
 
-A toolchain owns the pass registry, a profiler configuration, and a
-sample counter (the paper's key efficiency metric is *samples per
-program* = number of simulator invocations). Modules mutate in place when
+A toolchain owns the pass registry, a profiler configuration, a sample
+counter (the paper's key efficiency metric is *samples per program* =
+number of simulator invocations), and an :class:`~repro.engine.EvaluationEngine`
+that memoizes sequence evaluations behind it. Modules mutate in place when
 passes run, so the toolchain also provides deep-copy snapshots via the
-serializer-free :func:`clone_module`.
+serializer-free :func:`clone_module` (re-exported from
+:mod:`repro.ir.cloning`).
+
+Sample accounting: ``samples_taken`` counts true simulator invocations
+(:meth:`profile` / area scoring). Engine cache hits answer without
+touching the simulator and therefore do not count — cache statistics are
+reported separately through ``toolchain.engine.cache_info()``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+import threading
+from typing import List, Optional, Sequence, Union
 
+from .engine.core import EvaluationEngine
 from .hls.delays import HLSConstraints
 from .hls.profiler import CycleProfiler, CycleReport, HLSCompilationError
-from .ir.cloning import clone_blocks
-from .ir.module import Function, Module
-from .ir.values import GlobalVariable
-from .passes import PassManager, create_pass_by_index, pass_name_for_index
+from .ir.cloning import clone_module
+from .ir.module import Module
+from .passes import PassManager, pass_name_for_index
 from .passes.pipelines import O3_PIPELINE
-from .passes.registry import NUM_ACTIONS, TERMINATE_INDEX
+from .passes.registry import TERMINATE_INDEX
 
 __all__ = ["clone_module", "HLSToolchain"]
 
 
-def clone_module(module: Module) -> Module:
-    """Deep-copy a module (globals, functions, bodies)."""
-    new = Module(module.source_name)
-    new.metadata = dict(module.metadata)
-    vmap: Dict = {}
-    for gv in module.globals.values():
-        init = gv.initializer
-        if isinstance(init, list):
-            init = list(init)
-        g2 = GlobalVariable(gv.name, gv.value_type, init, gv.is_constant, gv.linkage)
-        new.add_global(g2)
-        vmap[gv] = g2
-    # Create empty function shells first so calls can be remapped.
-    for func in module.functions.values():
-        f2 = Function(func.name, func.ftype, [a.name for a in func.args], func.linkage)
-        f2.attributes = set(func.attributes)
-        f2.metadata = dict(func.metadata)
-        new.add_function(f2)
-        vmap[func] = f2
-        for a_old, a_new in zip(func.args, f2.args):
-            vmap[a_old] = a_new
-    for func in module.functions.values():
-        f2 = vmap[func]
-        if func.is_declaration:
-            continue
-        blocks, _ = clone_blocks(func.blocks, f2, dict(vmap), suffix="")
-        # Retarget direct calls to the cloned functions.
-        for bb in blocks:
-            for inst in bb.instructions:
-                callee = getattr(inst, "callee", None)
-                if callee is not None and not isinstance(callee, str) and callee in vmap:
-                    inst.callee = vmap[callee]
-    return new
-
-
 class HLSToolchain:
-    """Compile-and-profile service with sample accounting."""
+    """Compile-and-profile service with sample accounting.
+
+    ``use_engine=False`` disables every engine cache and restores the
+    seed behaviour (one full clone + pass application + profile per
+    evaluation) — benchmarks use it as the uncached baseline.
+    """
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
-                 max_steps: int = 1_000_000) -> None:
-        self.profiler = CycleProfiler(constraints, max_steps=max_steps)
+                 max_steps: int = 1_000_000, use_engine: bool = True,
+                 engine_config: Optional[dict] = None) -> None:
+        self.profiler = CycleProfiler(
+            constraints, max_steps=max_steps,
+            schedule_cache_size=512 if use_engine else 0)
         self.samples_taken = 0
+        # The engine's batch API profiles from worker threads; a bare
+        # ``+= 1`` would drop increments under that interleaving.
+        self._sample_lock = threading.Lock()
+        self.engine: Optional[EvaluationEngine] = (
+            EvaluationEngine(self, **(engine_config or {})) if use_engine else None)
+
+    def _count_sample(self) -> None:
+        with self._sample_lock:
+            self.samples_taken += 1
 
     # -- pass application ---------------------------------------------------
     @staticmethod
@@ -93,7 +83,7 @@ class HLSToolchain:
 
     # -- profiling -----------------------------------------------------------
     def profile(self, module: Module, entry: str = "main") -> CycleReport:
-        self.samples_taken += 1
+        self._count_sample()
         return self.profiler.profile(module, entry)
 
     def cycle_count(self, module: Module, entry: str = "main") -> int:
@@ -103,7 +93,12 @@ class HLSToolchain:
                                 actions: Sequence[Union[int, str]],
                                 entry: str = "main") -> int:
         """Clone, optimize, profile — the one-shot evaluation primitive
-        used by every black-box search baseline."""
+        used by every black-box search baseline. Engine-backed: repeated
+        and prefix-sharing sequences hit the memo/trie instead of paying
+        a full simulator round trip."""
+        if self.engine is not None:
+            return int(self.engine.evaluate(module, actions, objective="cycles",
+                                            entry=entry))
         candidate = clone_module(module)
         self.apply_passes(candidate, actions)
         return self.cycle_count(candidate, entry)
@@ -129,7 +124,7 @@ class HLSToolchain:
         if objective == "cycles":
             return float(self.cycle_count(module, entry))
         if objective == "area":
-            self.samples_taken += 1
+            self._count_sample()
             return self.area_score(module)
         if objective == "cycles-area":
             cycles = float(self.cycle_count(module, entry))

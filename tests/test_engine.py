@@ -1,0 +1,261 @@
+"""EvaluationEngine: cache correctness (bit-identical to the uncached
+path), clone aliasing, sample accounting, batch semantics, and the
+profiler's incremental-scheduling / burst caches."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EvaluationEngine, canonicalize_sequence
+from repro.hls.hashing import structural_key
+from repro.hls.profiler import CycleProfiler, HLSCompilationError
+from repro.passes.registry import NUM_TRANSFORMS, TERMINATE_INDEX, pass_index_for_name
+from repro.rl.env import MultiActionEnv
+from repro.search import SequenceEvaluator
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def _random_sequences(rng, count, max_len, shared_prefix_prob=0.5):
+    """Random pass sequences, half of them sharing a prefix with an
+    earlier one (the access pattern the trie exists for)."""
+    seqs = []
+    for _ in range(count):
+        length = int(rng.integers(1, max_len + 1))
+        seq = list(rng.integers(0, NUM_TRANSFORMS, size=length))
+        if seqs and rng.random() < shared_prefix_prob:
+            donor = seqs[int(rng.integers(len(seqs)))]
+            cut = int(rng.integers(0, len(donor) + 1))
+            seq = list(donor[:cut]) + seq[cut:]
+        seqs.append([int(a) for a in seq])
+    return seqs
+
+
+class TestCanonicalization:
+    def test_terminate_truncates(self):
+        assert canonicalize_sequence([38, TERMINATE_INDEX, 7]) == (38,)
+        assert canonicalize_sequence(["-mem2reg", "-terminate", "-gvn"]) == (38,)
+
+    def test_names_collapse_onto_indices(self):
+        assert canonicalize_sequence(["-mem2reg", "-simplifycfg"]) == (38, 31)
+        assert canonicalize_sequence([38, 31]) == (38, 31)
+
+    def test_numpy_ints_normalized(self):
+        assert canonicalize_sequence(np.array([38, 31], dtype=np.int64)) == (38, 31)
+
+
+class TestCacheCorrectness:
+    """Cached evaluation must be bit-identical to the uncached seed path."""
+
+    def test_property_random_sequences(self, benchmarks):
+        rng = np.random.default_rng(7)
+        cached = HLSToolchain()
+        uncached = HLSToolchain(use_engine=False)
+        program = benchmarks["gsm"]
+        seqs = _random_sequences(rng, count=10, max_len=6)
+        # a GA-style family: several children extending one parent prefix,
+        # so prefixes get revisited often enough to promote snapshots
+        parent = seqs[0]
+        seqs += [parent[:4] + [int(x)] for x in rng.integers(0, NUM_TRANSFORMS, size=4)]
+        for seq in seqs:
+            assert (cached.cycle_count_with_passes(program, seq)
+                    == uncached.cycle_count_with_passes(program, seq)), seq
+        # the workload must actually have exercised the caches
+        info = cached.engine.cache_info()
+        assert info["trie_hits"] > 0 and info["passes_saved"] > 0
+
+    def test_property_generated_programs(self, tiny_corpus):
+        rng = np.random.default_rng(11)
+        cached = HLSToolchain()
+        uncached = HLSToolchain(use_engine=False)
+        for program in tiny_corpus[:2]:
+            for seq in _random_sequences(rng, count=6, max_len=5):
+                assert (cached.cycle_count_with_passes(program, seq)
+                        == uncached.cycle_count_with_passes(program, seq)), seq
+
+    def test_exact_repeat_is_memo_hit_and_sample_free(self, benchmarks):
+        tc = HLSToolchain()
+        first = tc.cycle_count_with_passes(benchmarks["matmul"], [38, 31])
+        taken = tc.samples_taken
+        again = tc.cycle_count_with_passes(benchmarks["matmul"], [38, 31])
+        assert again == first
+        assert tc.samples_taken == taken  # memo hit: no simulator sample
+        assert tc.engine.stats.memo_hits >= 1
+
+    def test_name_and_index_share_cache_entry(self, benchmarks):
+        tc = HLSToolchain()
+        tc.cycle_count_with_passes(benchmarks["gsm"], ["-mem2reg"])
+        taken = tc.samples_taken
+        tc.cycle_count_with_passes(benchmarks["gsm"], [pass_index_for_name("-mem2reg")])
+        assert tc.samples_taken == taken
+
+    def test_lru_eviction_keeps_results_correct(self, benchmarks):
+        small = HLSToolchain(engine_config={"max_trie_nodes": 2,
+                                            "snapshot_min_visits": 1})
+        reference = HLSToolchain(use_engine=False)
+        rng = np.random.default_rng(3)
+        program = benchmarks["gsm"]
+        for seq in _random_sequences(rng, count=8, max_len=5):
+            assert (small.cycle_count_with_passes(program, seq)
+                    == reference.cycle_count_with_passes(program, seq)), seq
+        assert small.engine.cache_info()["snapshot_evictions"] > 0
+
+    def test_node_budget_exhaustion_keeps_results_correct(self, benchmarks):
+        # max_trie_nodes=1 -> 64 structure nodes engine-wide; long unique
+        # sequences blow past it and must degrade to uncached-but-correct.
+        tiny = HLSToolchain(engine_config={"max_trie_nodes": 1})
+        reference = HLSToolchain(use_engine=False)
+        rng = np.random.default_rng(9)
+        program = benchmarks["gsm"]
+        seqs = _random_sequences(rng, count=10, max_len=12, shared_prefix_prob=0.7)
+        for seq in seqs:
+            assert (tiny.cycle_count_with_passes(program, seq)
+                    == reference.cycle_count_with_passes(program, seq)), seq
+        info = tiny.engine.cache_info()
+        assert info["trie_nodes"] <= 64  # structure growth is bounded
+        # exact repeats still memo-hit even with no trie capacity left
+        taken = tiny.samples_taken
+        tiny.cycle_count_with_passes(program, seqs[0])
+        assert tiny.samples_taken == taken
+
+    def test_batch_matches_serial_and_handles_failures(self, benchmarks):
+        program = benchmarks["gsm"]
+        serial = SequenceEvaluator(program, HLSToolchain())
+        batched = SequenceEvaluator(program, HLSToolchain())
+        rng = np.random.default_rng(5)
+        seqs = _random_sequences(rng, count=6, max_len=4)
+        expected = [serial(s) for s in seqs]
+        got = batched.evaluate_batch(seqs)
+        assert got == expected
+        assert batched.samples == serial.samples == len(seqs)
+        assert batched.history == serial.history
+
+    def test_batch_respects_call_overrides(self, benchmarks):
+        # Fig 9's aggregate evaluator overrides __call__ only; batching
+        # must route through the override, not around it.
+        class Doubling(SequenceEvaluator):
+            def __call__(self, sequence):
+                return 2 * super().__call__(sequence)
+
+        plain = SequenceEvaluator(benchmarks["gsm"], HLSToolchain())
+        doubled = Doubling(benchmarks["gsm"], HLSToolchain())
+        seqs = [[38], [38, 31]]
+        assert doubled.evaluate_batch(seqs) == [2 * v for v in plain.evaluate_batch(seqs)]
+
+    def test_failure_memoized_and_reraised(self, benchmarks):
+        tc = HLSToolchain(max_steps=50)  # everything blows the step budget
+        with pytest.raises(HLSCompilationError):
+            tc.cycle_count_with_passes(benchmarks["gsm"], [38])
+        taken = tc.samples_taken
+        with pytest.raises(HLSCompilationError):
+            tc.cycle_count_with_passes(benchmarks["gsm"], [38])
+        assert tc.samples_taken == taken  # failure hit: no new sample
+        assert tc.engine.stats.failures_memoized == 1
+
+
+class TestCloneAliasing:
+    """Mutating a clone's globals/metadata must never leak into the original."""
+
+    def test_global_initializer_not_shared(self, benchmarks):
+        base = benchmarks["blowfish"]
+        clone = clone_module(base)
+        gv = clone.globals["bf_s0"]
+        original = list(base.globals["bf_s0"].initializer)
+        gv.initializer[0] = 0xDEAD
+        assert base.globals["bf_s0"].initializer == original
+
+    def test_metadata_and_attributes_not_shared(self, benchmarks):
+        base = benchmarks["gsm"]
+        clone = clone_module(base)
+        clone.metadata["poisoned"] = True
+        assert "poisoned" not in base.metadata
+        func = clone.get_function("main")
+        func.metadata["poisoned"] = True
+        func.attributes.add("poisoned")
+        assert "poisoned" not in base.get_function("main").metadata
+        assert "poisoned" not in base.get_function("main").attributes
+
+    def test_clone_of_clone_still_behaves(self, benchmarks):
+        un = HLSToolchain(use_engine=False)
+        base = benchmarks["matmul"]
+        twice = clone_module(clone_module(base))
+        assert un.cycle_count(twice) == un.cycle_count(clone_module(base))
+
+
+class TestIncrementalScheduling:
+    def test_schedule_cache_hits_across_clones(self, benchmarks):
+        profiler = CycleProfiler()
+        program = benchmarks["matmul"]
+        r1 = profiler.profile(clone_module(program))
+        misses = profiler.schedule_cache_misses
+        r2 = profiler.profile(clone_module(program))
+        assert r2.cycles == r1.cycles
+        # clones are structurally identical: zero new scheduling work
+        assert profiler.schedule_cache_misses == misses
+        assert profiler.schedule_cache_hits >= len(program.defined_functions())
+
+    def test_structural_key_ignores_names(self, benchmarks):
+        program = benchmarks["gsm"]
+        clone = clone_module(program)
+        for func in program.defined_functions():
+            other = clone.get_function(func.name)
+            assert structural_key(func) == structural_key(other)
+
+    def test_cache_disabled_matches_enabled(self, benchmarks):
+        with_cache = CycleProfiler()
+        without = CycleProfiler(schedule_cache_size=0)
+        for name in ("gsm", "matmul", "qsort"):
+            module = clone_module(benchmarks[name])
+            HLSToolchain.apply_passes(module, [38, 31])
+            assert with_cache.profile(module).cycles == without.profile(module).cycles
+
+    def test_burst_memo_invalidated_by_pass_runs(self, benchmarks):
+        profiler = CycleProfiler()
+        module = clone_module(benchmarks["aes"])
+        before = profiler.profile(module).cycles
+        assert profiler.profile(module).cycles == before  # memo path
+        version = module.version
+        HLSToolchain.apply_passes(module, [38])
+        assert module.version > version  # PassManager bumped the counter
+        profiler.profile(module)  # must not reuse the stale burst entry
+
+
+class TestEngineBackedEnvs:
+    def test_env_counts_candidate_evaluations(self, benchmarks):
+        # Fig 7's samples axis: envs report one unit per reset/step score
+        # request regardless of cache hits, matching the black-box rows'
+        # SequenceEvaluator.samples unit (and the seed's accounting).
+        from repro.rl.env import PhaseOrderEnv
+
+        env = PhaseOrderEnv([benchmarks["gsm"]], episode_length=3, seed=1)
+        env.reset(0)
+        env.step(0)
+        env.step(1)
+        assert env.evaluations == 3
+        env.reset(0)  # repeated episode: memo hits, but still candidates
+        env.step(0)
+        assert env.evaluations == 5
+        assert env.toolchain.samples_taken < env.evaluations  # cache discount
+
+    def test_multiaction_reset_caches_initial_cycles(self, benchmarks):
+        tc = HLSToolchain()
+        env = MultiActionEnv([benchmarks["gsm"]], toolchain=tc,
+                             sequence_length=4, episode_length=2, seed=0)
+        env.reset(0)
+        first_initial = env.initial_cycles
+        taken = tc.samples_taken
+        env.reset(0)
+        assert env.initial_cycles == first_initial
+        # the repeated reset re-profiles nothing: same sequence, cached base
+        assert tc.samples_taken == taken
+
+    def test_multiaction_step_matches_uncached(self, benchmarks):
+        results = []
+        for use_engine in (True, False):
+            tc = HLSToolchain(use_engine=use_engine)
+            env = MultiActionEnv([benchmarks["gsm"]], toolchain=tc,
+                                 sequence_length=4, episode_length=3, seed=0)
+            env.reset(0)
+            _, r1, _, info1 = env.step(np.full(4, 2))
+            _, r2, _, info2 = env.step(np.full(4, 0))
+            results.append((r1, info1["cycles"], r2, info2["cycles"],
+                            env.initial_cycles))
+        assert results[0] == results[1]
