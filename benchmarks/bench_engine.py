@@ -139,7 +139,7 @@ def _render(result: Dict) -> str:
 
 
 def test_engine_throughput_on_ga_workload(benchmarks):
-    from .conftest import emit
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
 
     result = run_bench(benchmarks["gsm"])
     emit("BENCH engine — prefix-trie/memo throughput on GA workload",

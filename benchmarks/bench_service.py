@@ -1,0 +1,208 @@
+"""Evaluation-service throughput: cold vs warm persistent cache at
+1/2/4 workers against the single-process engine baseline.
+
+The workload is the GA repeated-prefix stream of ``bench_engine`` run
+over *three* programs (so program-fingerprint sharding actually spreads
+work across workers), submitted generation-by-generation from one thread
+per program — the shape a parallel sweep driver produces. Three
+measurements per worker count:
+
+* **baseline** — the PR-1 single-process engine, cold (the bar the
+  service must clear).
+* **cold**     — service with a fresh persistent store: pays the same
+  simulator work plus IPC, and *fills* the store.
+* **warm**     — a brand-new client/toolchain on the now-populated
+  store: every result answers from disk, zero simulator samples, and
+  must beat the cold engine baseline.
+
+All three paths must agree bit-for-bit. Appends one trajectory entry to
+``BENCH_service.json`` per run (github-action-benchmark style). Run via
+pytest (``pytest benchmarks/bench_service.py``) or standalone
+(``python benchmarks/bench_service.py``); the tier-1 suite runs it in
+smoke mode through ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.passes.registry import NUM_TRANSFORMS
+from repro.programs import chstone
+from repro.toolchain import HLSToolchain
+
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_service.json")
+
+PROGRAMS = ("gsm", "adpcm", "matmul")
+
+# Default workload (standalone runs); smoke shrinks it for the tier-1 hook.
+DEFAULT = dict(population=8, generations=10, elites=3,
+               sequence_length=20, mutate_tail=5)
+SMOKE = dict(population=6, generations=4, elites=2,
+             sequence_length=10, mutate_tail=3)
+
+
+def ga_stream(seed: int, population: int, generations: int, elites: int,
+              sequence_length: int, mutate_tail: int) -> List[List[List[int]]]:
+    """Per-generation candidate batches of a generational GA (elites
+    re-evaluated every generation, children mutating elite tails)."""
+    rng = np.random.default_rng(seed)
+    pop = [list(rng.integers(0, NUM_TRANSFORMS, size=sequence_length))
+           for _ in range(population)]
+    batches = [[[int(a) for a in ind] for ind in pop]]
+    for _ in range(generations):
+        kept = pop[:elites]
+        children = []
+        for i in range(population - elites):
+            child = list(kept[i % elites])
+            tail = rng.integers(0, NUM_TRANSFORMS, size=mutate_tail)
+            child[sequence_length - mutate_tail:] = [int(a) for a in tail]
+            children.append(child)
+        pop = [list(e) for e in kept] + children
+        batches.append([[int(a) for a in ind] for ind in pop])
+    return batches
+
+
+def _drive(toolchain, programs: Dict[str, object],
+           streams: Dict[str, List[List[List[int]]]]) -> Dict[str, List]:
+    """Feed every program's generation batches through the toolchain's
+    engine/service, one driver thread per program (the parallel-sweep
+    shape), returning values in deterministic (program, stream) order."""
+    def run_program(name: str) -> List[Optional[float]]:
+        out: List[Optional[float]] = []
+        for batch in streams[name]:
+            out.extend(toolchain.engine.evaluate_batch(programs[name], batch))
+        return out
+
+    with ThreadPoolExecutor(max_workers=len(programs)) as pool:
+        results = list(pool.map(run_program, sorted(streams)))
+    return dict(zip(sorted(streams), results))
+
+
+def _measure(make_toolchain, streams) -> Dict:
+    programs = {name: chstone.build(name) for name in streams}
+    toolchain = make_toolchain()
+    t0 = time.perf_counter()
+    values = _drive(toolchain, programs, streams)
+    elapsed = time.perf_counter() - t0
+    n = sum(len(batch) for s in streams.values() for batch in s)
+    close = getattr(toolchain.engine, "close", None)
+    result = {"values": values, "seconds": elapsed, "evaluations": n,
+              "evals_per_sec": n / elapsed, "samples": toolchain.samples_taken}
+    if close is not None:
+        close()
+    return result
+
+
+def run_bench(store_root: Optional[str] = None, smoke: bool = False,
+              worker_counts: Sequence[int] = (1, 2, 4),
+              seed: int = 1) -> Dict:
+    params = SMOKE if smoke else DEFAULT
+    streams = {name: ga_stream(seed + i, **params)
+               for i, name in enumerate(PROGRAMS)}
+
+    owned_root = store_root is None
+    root = store_root or tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        baseline = _measure(lambda: HLSToolchain(backend="engine"), streams)
+        runs: List[Dict] = []
+        identical = True
+        for workers in worker_counts:
+            store = os.path.join(root, f"w{workers}")
+            for phase in ("cold", "warm"):
+                run = _measure(
+                    lambda: HLSToolchain(
+                        backend="service",
+                        service_config={"workers": workers, "store_dir": store}),
+                    streams)
+                identical &= run["values"] == baseline["values"]
+                runs.append({"workers": workers, "phase": phase,
+                             "seconds": run["seconds"],
+                             "evals_per_sec": run["evals_per_sec"],
+                             "samples": run["samples"],
+                             "speedup_vs_engine":
+                                 baseline["seconds"] / run["seconds"]})
+        return {"evaluations": baseline["evaluations"],
+                "baseline_seconds": baseline["seconds"],
+                "baseline_evals_per_sec": baseline["evals_per_sec"],
+                "baseline_samples": baseline["samples"],
+                "runs": runs, "identical": identical}
+    finally:
+        if owned_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def append_trajectory(result: Dict) -> None:
+    """One github-action-benchmark style entry list per run, newest last."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    entry = [
+        {"name": "engine_baseline_evals_per_sec", "unit": "evals/s",
+         "value": round(result["baseline_evals_per_sec"], 3)},
+    ]
+    for run in result["runs"]:
+        entry.append({
+            "name": f"service_{run['phase']}_w{run['workers']}_evals_per_sec",
+            "unit": "evals/s", "value": round(run["evals_per_sec"], 3)})
+        entry.append({
+            "name": f"service_{run['phase']}_w{run['workers']}_speedup",
+            "unit": "x", "value": round(run["speedup_vs_engine"], 3)})
+    history.append(entry)
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    lines = [
+        f"GA workload: {result['evaluations']} evaluations over "
+        f"{len(PROGRAMS)} programs {PROGRAMS}",
+        f"engine baseline : {result['baseline_evals_per_sec']:>9.2f} evals/s "
+        f"({result['baseline_samples']} samples)",
+    ]
+    for run in result["runs"]:
+        lines.append(
+            f"service {run['phase']:<4} w={run['workers']} : "
+            f"{run['evals_per_sec']:>9.2f} evals/s "
+            f"({run['samples']} samples, {run['speedup_vs_engine']:.2f}x vs engine)")
+    lines.append(f"bit-identical  : {result['identical']}")
+    return "\n".join(lines)
+
+
+def test_service_throughput_cold_vs_warm(tmp_path):
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    smoke = os.environ.get("REPRO_SCALE", "smoke") == "smoke"
+    result = run_bench(store_root=str(tmp_path), smoke=smoke)
+    emit("BENCH service — sharded workers + persistent cross-run cache",
+         _render(result))
+    append_trajectory(result)
+    assert result["identical"], "service diverged from the engine baseline"
+    for run in result["runs"]:
+        if run["phase"] == "warm":
+            assert run["samples"] == 0
+            assert run["evals_per_sec"] > result["baseline_evals_per_sec"], \
+                _render(result)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(_render(result))
+    append_trajectory(result)
+    if not result["identical"]:
+        raise SystemExit("service results diverged from the engine baseline")
+    for run in result["runs"]:
+        if run["phase"] == "warm" and \
+                run["evals_per_sec"] <= result["baseline_evals_per_sec"]:
+            raise SystemExit(
+                f"warm service (w={run['workers']}) did not beat the engine baseline")

@@ -1,14 +1,20 @@
 """Command-line interface: regenerate any paper artifact from a shell.
 
     python -m repro tables
-    python -m repro fig5 [--scale smoke|default|full]
+    python -m repro fig5 [--scale smoke|default|full] [--cache-stats]
     python -m repro fig7 [--scale ...] [--algorithms -O3,Random,...]
     python -m repro fig8
     python -m repro fig9
     python -m repro compile <benchmark> [--passes "-mem2reg -loop-rotate ..."]
+    python -m repro serve --socket /tmp/repro.sock [--workers 4]
+    python -m repro cache stats|clear|export [--store DIR]
 
 All figure commands print the rendered artifact and write CSVs under
-``results/`` (override with ``REPRO_RESULTS``).
+``results/`` (override with ``REPRO_RESULTS``). ``--cache-stats`` prints
+the engine/service cache counters aggregated over every toolchain the
+run created. ``serve`` exposes the sharded, persistently cached
+evaluation service on a Unix socket; the ``cache`` subcommands manage
+its on-disk result store.
 """
 
 from __future__ import annotations
@@ -38,6 +44,51 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         help="experiment budget profile (default: $REPRO_SCALE or 'default')")
 
 
+def _add_cache_stats(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print aggregated engine/service cache statistics "
+                             "after the run")
+
+
+def _print_cache_stats() -> None:
+    info = HLSToolchain.aggregate_cache_info()
+    print("\ncache statistics (aggregated over run toolchains):")
+    if not info:
+        print("  (no cache-backed toolchains)")
+        return
+    for key in sorted(info):
+        print(f"  {key:<24} {info[key]}")
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import EvaluationServer
+
+    server = EvaluationServer(args.socket, workers=args.workers,
+                              store_dir=args.store)
+    client = server.toolchain.engine
+    print(f"evaluation service on {args.socket} "
+          f"(workers={client.workers}, store={client.store.root})")
+    print("ops: ping / evaluate / batch / stats / shutdown "
+          "(JSON lines; see repro.service.server)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .service.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        for key, value in store.stats().items():
+            print(f"{key:<18} {value}")
+    elif args.action == "clear":
+        print(f"removed {store.clear()} shard(s) from {store.root}")
+    elif args.action == "export":
+        count = store.export(args.out)
+        print(f"exported {count} record(s) to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -47,6 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for fig in ("fig5", "fig7", "fig8", "fig9"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         _add_scale(p)
+        _add_cache_stats(p)
         if fig == "fig7":
             p.add_argument("--algorithms", default=None,
                            help="comma-separated subset of the Figure 7 algorithms")
@@ -55,6 +107,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     pc.add_argument("benchmark", choices=list(chstone.BENCHMARK_NAMES))
     pc.add_argument("--passes", default="",
                     help="space-separated Table-1 pass names (default: -O3 pipeline)")
+    _add_cache_stats(pc)
+
+    ps = sub.add_parser("serve", help="run the evaluation service on a Unix socket")
+    ps.add_argument("--socket", default="/tmp/repro-eval.sock",
+                    help="Unix socket path (default: /tmp/repro-eval.sock)")
+    ps.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: $REPRO_SERVICE_WORKERS or cpu-based)")
+    ps.add_argument("--store", default=None,
+                    help="persistent store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+
+    pk = sub.add_parser("cache", help="manage the persistent result store")
+    pk.add_argument("action", choices=["stats", "clear", "export"])
+    pk.add_argument("--store", default=None,
+                    help="store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    pk.add_argument("--out", default="repro-cache-export.json",
+                    help="export destination (cache export)")
 
     args = parser.parse_args(argv)
 
@@ -66,6 +134,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table3())
         return 0
 
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "cache":
+        return _cmd_cache(args)
+
     if args.command == "compile":
         tc = HLSToolchain()
         module = chstone.build(args.benchmark)
@@ -74,6 +148,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         cycles = tc.cycle_count_with_passes(module, seq)
         print(f"{args.benchmark}: -O0 {o0} cycles -> {cycles} cycles "
               f"({(o0 - cycles) / o0:+.1%}) with {len(seq)} passes")
+        if args.cache_stats:
+            _print_cache_stats()
         return 0
 
     scale = get_scale(args.scale)
@@ -96,6 +172,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_fig9(scale=scale)
         print(result.render())
         result.to_csv()
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 

@@ -42,9 +42,9 @@ Engine cache-hit statistics live in ``engine.stats`` /
 ``engine.cache_info()`` and are reported alongside ``samples_taken``.
 """
 
-from .core import EvaluationEngine, canonicalize_sequence
+from .core import BatchEvaluationError, EvaluationEngine, canonicalize_sequence
 from .memo import EngineStats, ResultMemo
 from .trie import PrefixTrie, SnapshotLRU
 
-__all__ = ["EvaluationEngine", "canonicalize_sequence", "EngineStats",
-           "ResultMemo", "PrefixTrie", "SnapshotLRU"]
+__all__ = ["EvaluationEngine", "BatchEvaluationError", "canonicalize_sequence",
+           "EngineStats", "ResultMemo", "PrefixTrie", "SnapshotLRU"]

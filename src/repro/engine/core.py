@@ -21,10 +21,28 @@ from ..passes.registry import TERMINATE_INDEX, pass_name_for_index
 from .memo import FAILED, EngineStats, ResultMemo
 from .trie import NodeBudget, PrefixTrie, SnapshotLRU
 
-__all__ = ["EvaluationEngine", "canonicalize_sequence"]
+__all__ = ["EvaluationEngine", "BatchEvaluationError", "canonicalize_sequence"]
 
 Action = Union[int, str]
 Element = Union[int, str]
+
+
+class BatchEvaluationError(RuntimeError):
+    """A batch worker crashed evaluating ``sequence``.
+
+    Distinct from an :class:`HLSCompilationError` memo (a *legitimate*
+    failing sequence, reported as ``None`` in batch results): this wraps
+    an unexpected exception — a pass bug, a profiler crash — and carries
+    the offending sequence so a failed candidate is debuggable instead of
+    vanishing into a bare traceback from the pool.
+    """
+
+    def __init__(self, sequence: Sequence[Element], original: BaseException) -> None:
+        super().__init__(
+            f"evaluating sequence {tuple(sequence)!r} raised "
+            f"{type(original).__name__}: {original}")
+        self.sequence = tuple(sequence)
+        self.original = original
 
 
 def canonicalize_sequence(actions: Sequence[Action]) -> Tuple[Element, ...]:
@@ -248,12 +266,17 @@ class EvaluationEngine:
         for canonical in keyed:
             unique.setdefault(canonical, None)
 
-        def run_one(canonical: Tuple[Element, ...]) -> Optional[float]:
+        def run_one(canonical: Tuple[Element, ...]):
             try:
                 return self.evaluate(program, canonical, objective=objective,
                                      area_weight=area_weight, entry=entry)
             except HLSCompilationError:
                 return None
+            except Exception as exc:
+                # Surface worker crashes with the offending sequence
+                # attached (a bare pool traceback is indistinguishable
+                # from any other candidate); raised after the scan below.
+                return BatchEvaluationError(canonical, exc)
 
         pending = list(unique)
         if self.max_workers > 1 and len(pending) > 1:
@@ -268,6 +291,9 @@ class EvaluationEngine:
         else:
             for canonical in pending:
                 unique[canonical] = run_one(canonical)
+        for value in unique.values():
+            if isinstance(value, BatchEvaluationError):
+                raise value from value.original
         return [unique[canonical] for canonical in keyed]
 
     # -- materialization ----------------------------------------------------

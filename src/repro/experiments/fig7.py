@@ -76,13 +76,17 @@ def _improvement(o3: int, cycles: float) -> float:
 def run_fig7(benchmarks: Optional[Dict[str, Module]] = None,
              scale: Optional[ExperimentScale] = None,
              algorithms: Optional[Sequence[str]] = None,
-             seed: int = 0) -> Fig7Result:
+             seed: int = 0,
+             toolchain: Optional[HLSToolchain] = None) -> Fig7Result:
     cfg = scale or get_scale()
     programs = benchmarks or chstone.build_all()
     names = list(programs)
     chosen = list(algorithms) if algorithms is not None else list(ALGORITHM_ORDER)
 
-    toolchain = HLSToolchain()
+    # One shared toolchain across every black-box search: a caller can
+    # hand in a service-backed one so the whole figure shares (and feeds)
+    # the persistent cross-run result store.
+    toolchain = toolchain or HLSToolchain()
     o0: Dict[str, int] = {}
     o3: Dict[str, int] = {}
     for name, module in programs.items():

@@ -116,9 +116,10 @@ def run_fig9(corpus: Optional[Sequence[Module]] = None,
              benchmarks: Optional[Dict[str, Module]] = None,
              scale: Optional[ExperimentScale] = None,
              include_random_test: bool = True,
-             seed: int = 0) -> Fig9Result:
+             seed: int = 0,
+             toolchain: Optional[HLSToolchain] = None) -> Fig9Result:
     cfg = scale or get_scale()
-    toolchain = HLSToolchain()
+    toolchain = toolchain or HLSToolchain()
     corpus = list(corpus) if corpus is not None else generate_corpus(cfg.n_train_programs, seed=seed)
     benchmarks = benchmarks or chstone.build_all()
 

@@ -1,0 +1,608 @@
+"""EvaluationClient — the programmatic face of the evaluation service.
+
+Duck-types the :class:`~repro.engine.EvaluationEngine` surface
+(``evaluate`` / ``evaluate_batch`` / ``evaluate_with_module`` /
+``evaluate_prepared`` / ``materialize`` / ``cache_info`` / ``clear``),
+so ``HLSToolchain(backend="service")`` can install it as
+``toolchain.engine`` and every existing caller — the search baselines'
+``SequenceEvaluator``, both RL environments, the experiment drivers —
+opts in without code changes.
+
+Layering, outermost first:
+
+1. **Persistent map** — per registered program, the on-disk store shard
+   loaded at registration plus everything resolved since. Hits answer
+   instantly, cost zero simulator samples, and survive across runs and
+   between concurrent processes sharing one store root.
+2. **In-flight coalescing** — duplicate concurrent requests for one
+   ``(program, sequence, objective)`` share a single
+   :class:`~concurrent.futures.Future`; only the first dispatches.
+3. **Sharded workers** — programs are sharded onto worker processes by
+   program fingerprint (``int(fp, 16) % workers``), so one program's
+   prefix-trie locality stays within one worker's private engine.
+   Batch submissions travel as one message per worker. ``workers=0``
+   degrades to a fully in-process client (same store semantics, no IPC).
+4. **Local engine** — module-returning paths (``materialize``,
+   ``evaluate_with_module``, the RL envs' ``evaluate_prepared``) run on
+   an in-process engine, because shipping mutated modules across
+   processes would cost more than the profile they skip; they still read
+   and feed the persistent map.
+
+Sample accounting stays exact across processes: every worker response
+reports the simulator invocations it actually consumed and the client
+credits them to the owning toolchain under its lock, so
+``toolchain.samples_taken`` equals what a single-process run of the same
+misses would have counted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine.core import BatchEvaluationError, EvaluationEngine, canonicalize_sequence
+from ..engine.memo import FAILED
+from ..hls.profiler import HLSCompilationError
+from ..ir.module import Module
+from .fingerprint import program_fingerprint, toolchain_fingerprint
+from .store import ResultStore, StoreKey, make_key
+from .worker import (
+    MSG_EVALUATE,
+    MSG_REGISTER,
+    MSG_SHUTDOWN,
+    MSG_STATS,
+    dumps_module,
+    worker_main,
+)
+
+__all__ = ["EvaluationClient", "ServiceConfig"]
+
+Action = Union[int, str]
+
+
+def _default_workers() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_SERVICE_WORKERS", "")))
+    except ValueError:
+        return max(1, min(4, os.cpu_count() or 1))
+
+
+class ServiceConfig:
+    """Bag of EvaluationClient knobs (importable, but plain kwargs work)."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 store_dir: Optional[str] = None,
+                 engine_config: Optional[dict] = None) -> None:
+        self.workers = workers
+        self.store_dir = store_dir
+        self.engine_config = engine_config
+
+    def kwargs(self) -> Dict[str, Any]:
+        return {"workers": self.workers, "store_dir": self.store_dir,
+                "engine_config": self.engine_config}
+
+
+class _Program:
+    __slots__ = ("program", "fingerprint", "worker_id", "persisted",
+                 "registered_workers")
+
+    def __init__(self, program: Module, fingerprint: str, worker_id: int) -> None:
+        self.program = program
+        self.fingerprint = fingerprint
+        self.worker_id = worker_id
+        self.persisted: Dict[StoreKey, Any] = {}
+        self.registered_workers: set = set()
+
+
+class _WorkerHandle:
+    """One worker process plus its private channels.
+
+    Each worker writes responses to its **own** queue, read by its own
+    parent-side reader thread. A shared response queue would serialize
+    writers on one cross-process write-lock — and a worker killed while
+    holding it (SIGTERM lands between its last pipe write and the lock
+    release; near-certain on a single-CPU host) would deadlock every
+    other worker forever. Private queues confine that damage to the dead
+    worker's channel, which the reaper simply abandons on respawn.
+    """
+
+    __slots__ = ("process", "queue", "response_queue", "reader")
+
+    def __init__(self, process, queue, response_queue, reader) -> None:
+        self.process = process
+        self.queue = queue                  # requests (parent → worker)
+        self.response_queue = response_queue  # responses (worker → parent)
+        self.reader = reader
+
+
+class EvaluationClient:
+    """Sharded, persistent, coalescing evaluation service client.
+
+    Parameters
+    ----------
+    toolchain:      the owning :class:`~repro.toolchain.HLSToolchain`
+                    (sample-accounting authority; its constraints and
+                    step budget are replicated into every worker).
+    workers:        worker-process count (``REPRO_SERVICE_WORKERS``
+                    overrides; 0 = in-process mode, no subprocesses).
+    store_dir:      persistent store root (``REPRO_CACHE_DIR`` /
+                    ``.repro-cache`` by default).
+    engine_config:  forwarded to the local and worker engines.
+    """
+
+    def __init__(self, toolchain, workers: Optional[int] = None,
+                 store_dir: Optional[str] = None,
+                 engine_config: Optional[dict] = None) -> None:
+        self.toolchain = toolchain
+        self.workers = _default_workers() if workers is None else max(0, workers)
+        self.engine_config = dict(engine_config or {})
+        self.store = ResultStore(store_dir)
+        self.local = EvaluationEngine(toolchain, **self.engine_config)
+        self.toolchain_fp = toolchain_fingerprint(toolchain)
+
+        self._lock = threading.RLock()
+        self._programs: Dict[int, _Program] = {}
+        self._inflight: Dict[Tuple[str, StoreKey], Future] = {}
+        # request id → (worker id, [(fullkey, future), ...]) so a dead
+        # worker's in-flight requests can be failed rather than hang
+        self._pending: Dict[int, Tuple[int, List[Tuple[Tuple[str, StoreKey], Future]]]] = {}
+        self._stats_pending: Dict[int, Future] = {}
+        self._request_ids = itertools.count()
+        self._handles: List[_WorkerHandle] = []
+        self._mp_context = None
+        self._reaper: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+
+        # client-level counters, reported through cache_info()
+        self.persistent_hits = 0
+        self.coalesced = 0
+        self.dispatched = 0
+        self.batches = 0
+
+    # -- engine duck-typing: stats attribute --------------------------------
+    @property
+    def stats(self):
+        return self.local.stats
+
+    # -- program registry ----------------------------------------------------
+    def _ensure_program(self, program: Module) -> _Program:
+        with self._lock:
+            prog = self._programs.get(id(program))
+            if prog is None:
+                fingerprint = program_fingerprint(program)
+                worker_id = int(fingerprint, 16) % self.workers if self.workers else 0
+                prog = _Program(program, fingerprint, worker_id)
+                prog.persisted.update(
+                    self.store.load(fingerprint, self.toolchain_fp))
+                self._programs[id(program)] = prog
+            return prog
+
+    def _check_open(self) -> None:
+        """Reject new work after close(): a resurrected pool would have
+        no live reaper, so a later worker death could hang its callers."""
+        if self._closed:
+            raise RuntimeError("EvaluationClient is closed")
+
+    # -- worker pool ---------------------------------------------------------
+    def _start_pool(self) -> None:
+        """Fork the worker processes (lazily, on first dispatch)."""
+        import multiprocessing as mp
+
+        if self._handles:
+            return
+        self._mp_context = mp.get_context()
+        for worker_id in range(self.workers):
+            self._handles.append(self._spawn_worker(worker_id))
+        self._reaper = threading.Thread(target=self._reap_loop,
+                                        name="repro-eval-reaper", daemon=True)
+        self._reaper.start()
+
+    def _spawn_worker(self, worker_id: int) -> _WorkerHandle:
+        toolchain_config = {
+            "constraints": self.toolchain.profiler.constraints,
+            "max_steps": self.toolchain.profiler.max_steps,
+            # worker engines keep their own batch pool serial — process
+            # parallelism is the service's job, not thread parallelism
+            "engine_config": {**self.engine_config, "max_workers": 1},
+        }
+        queue = self._mp_context.Queue()
+        response_queue = self._mp_context.Queue()
+        # Never let interpreter exit block joining these queues' feeder
+        # threads: a dead worker can leave its channels unserviceable.
+        queue.cancel_join_thread()
+        response_queue.cancel_join_thread()
+        process = self._mp_context.Process(
+            target=worker_main,
+            args=(worker_id, queue, response_queue,
+                  self.store.root, toolchain_config),
+            name=f"repro-eval-worker-{worker_id}", daemon=True)
+        process.start()
+        reader = threading.Thread(target=self._reader_loop,
+                                  args=(response_queue,),
+                                  name=f"repro-eval-reader-{worker_id}",
+                                  daemon=True)
+        reader.start()
+        return _WorkerHandle(process, queue, response_queue, reader)
+
+    def _reap_loop(self) -> None:
+        while not self._stop.wait(1.0):
+            self._reap_dead_workers()
+
+    def _reap_dead_workers(self) -> None:
+        """Fail (never hang) requests routed to a worker that died, and
+        respawn it with fresh channels; its programs re-register lazily.
+        The dead worker's queues and reader thread are abandoned — they
+        may hold torn messages or an orphaned write-lock."""
+        doomed: List[Tuple[Tuple[str, StoreKey], Future, str]] = []
+        with self._lock:
+            if self._closed:
+                return
+            for worker_id, handle in enumerate(self._handles):
+                if handle.process.is_alive():
+                    continue
+                reason = (f"evaluation worker {worker_id} died "
+                          f"(exitcode {handle.process.exitcode}) "
+                          f"with requests in flight")
+                for request_id in [rid for rid, (wid, _) in self._pending.items()
+                                   if wid == worker_id]:
+                    _, waiters = self._pending.pop(request_id)
+                    doomed.extend((fullkey, future, reason)
+                                  for fullkey, future in waiters)
+                self._handles[worker_id] = self._spawn_worker(worker_id)
+                for prog in self._programs.values():
+                    prog.registered_workers.discard(worker_id)
+            for fullkey, _, _ in doomed:
+                self._inflight.pop(fullkey, None)
+        for fullkey, future, reason in doomed:
+            if not future.done():
+                future.set_exception(RuntimeError(reason))
+
+    def _reader_loop(self, response_queue) -> None:
+        """Drain one worker's private response queue for its lifetime."""
+        while True:
+            try:
+                message = response_queue.get()
+            except (EOFError, OSError):
+                return
+            if message is None:
+                return
+            self._handle_message(message)
+
+    def _handle_message(self, message) -> None:
+        tag = message[0]
+        if tag == "stats":
+            _, request_id, info, _worker_id = message
+            with self._lock:
+                future = self._stats_pending.pop(request_id, None)
+            if future is not None:
+                future.set_result(info)
+            return
+        _, request_id, results, samples = message
+        if samples:
+            self.toolchain._count_samples(samples)
+        with self._lock:
+            _, waiters = self._pending.pop(request_id, (None, ()))
+        for payload, (fullkey, future) in zip(results, waiters):
+            fingerprint, key = fullkey
+            with self._lock:
+                self._inflight.pop(fullkey, None)
+                prog = next((p for p in self._programs.values()
+                             if p.fingerprint == fingerprint), None)
+                if payload[0] == "ok" and prog is not None:
+                    prog.persisted[key] = payload[1]
+                elif payload[0] == "failed" and prog is not None:
+                    prog.persisted[key] = FAILED
+            if payload[0] == "ok":
+                future.set_result(payload[1])
+            elif payload[0] == "failed":
+                future.set_exception(HLSCompilationError(
+                    f"sequence {key[3]!r} is memoized as failing HLS compilation"))
+            else:
+                future.set_exception(BatchEvaluationError(
+                    key[3], RuntimeError(f"{payload[1]}\n{payload[2]}")))
+
+    def _register_with_worker(self, prog: _Program) -> None:
+        handle = self._handles[prog.worker_id]
+        if prog.worker_id not in prog.registered_workers:
+            handle.queue.put((MSG_REGISTER, id(prog.program), prog.fingerprint,
+                              dumps_module(prog.program)))
+            prog.registered_workers.add(prog.worker_id)
+
+    # -- local resolution helpers -------------------------------------------
+    def _resolved_future(self, key: StoreKey, value: Any) -> Future:
+        future: Future = Future()
+        if value is FAILED:
+            future.set_exception(HLSCompilationError(
+                f"sequence {key[3]!r} is memoized as failing HLS compilation"))
+        else:
+            future.set_result(value)
+        return future
+
+    def _persist(self, prog: _Program, key: StoreKey, value: Any) -> None:
+        """Record a locally computed result in memory and on disk."""
+        with self._lock:
+            if key in prog.persisted:
+                return
+            prog.persisted[key] = value
+        self.store.append(prog.fingerprint, self.toolchain_fp, key, value)
+
+    def _evaluate_local(self, prog: _Program, key: StoreKey) -> Any:
+        """In-process evaluation (workers=0 path), persisting the result."""
+        objective, area_weight, entry, canonical = key
+        try:
+            value = self.local.evaluate(prog.program, canonical,
+                                        objective=objective,
+                                        area_weight=area_weight, entry=entry)
+        except HLSCompilationError:
+            self._persist(prog, key, FAILED)
+            raise
+        self._persist(prog, key, value)
+        return value
+
+    # -- public API: async --------------------------------------------------
+    def submit(self, program: Module, actions: Sequence[Action],
+               objective: str = "cycles", area_weight: float = 0.05,
+               entry: str = "main") -> Future:
+        """Asynchronously evaluate one sequence; returns a Future whose
+        result is the objective value (HLSCompilationError for sequences
+        that fail HLS compilation). Duplicate in-flight requests share
+        one Future."""
+        canonical = canonicalize_sequence(actions)
+        key = make_key(objective, area_weight, entry, canonical)
+        prog = self._ensure_program(program)
+        fullkey = (prog.fingerprint, key)
+        with self._lock:
+            cached = prog.persisted.get(key)
+            if cached is not None:
+                self.persistent_hits += 1
+                return self._resolved_future(key, cached)
+            existing = self._inflight.get(fullkey)
+            if existing is not None:
+                self.coalesced += 1
+                return existing
+            self._check_open()
+            future: Future = Future()
+            if self.workers:
+                self._inflight[fullkey] = future
+                self._start_pool()
+                self._register_with_worker(prog)
+                request_id = next(self._request_ids)
+                self._pending[request_id] = (prog.worker_id, [(fullkey, future)])
+                self.dispatched += 1
+                self._handles[prog.worker_id].queue.put(
+                    (MSG_EVALUATE, request_id, id(prog.program),
+                     [(list(canonical), objective, area_weight, entry)]))
+                return future
+        # workers=0: synchronous, outside the lock
+        try:
+            future.set_result(self._evaluate_local(prog, key))
+        except HLSCompilationError as exc:
+            future.set_exception(exc)
+        except Exception as exc:  # same contract as a worker crash
+            future.set_exception(BatchEvaluationError(canonical, exc))
+        return future
+
+    # -- public API: sync (engine-compatible) -------------------------------
+    def evaluate(self, program: Module, actions: Sequence[Action],
+                 objective: str = "cycles", area_weight: float = 0.05,
+                 entry: str = "main") -> float:
+        return self.submit(program, actions, objective=objective,
+                           area_weight=area_weight, entry=entry).result()
+
+    def evaluate_batch(self, program: Module, sequences: Sequence[Sequence[Action]],
+                       objective: str = "cycles", area_weight: float = 0.05,
+                       entry: str = "main") -> List[Optional[float]]:
+        """Engine-compatible population scoring: one value per input
+        sequence, ``None`` where HLS compilation fails. Duplicates are
+        resolved once; all misses for a program travel to its shard
+        worker as a single batched message."""
+        self.batches += 1
+        keyed = [canonicalize_sequence(seq) for seq in sequences]
+        prog = self._ensure_program(program)
+        futures: Dict[Tuple[Union[int, str], ...], Future] = {}
+        to_send: List[Tuple[Tuple[str, StoreKey], Future]] = []
+        items: List[Tuple] = []
+        with self._lock:
+            for canonical in keyed:
+                if canonical in futures:
+                    continue
+                key = make_key(objective, area_weight, entry, canonical)
+                cached = prog.persisted.get(key)
+                if cached is not None:
+                    self.persistent_hits += 1
+                    futures[canonical] = self._resolved_future(key, cached)
+                    continue
+                fullkey = (prog.fingerprint, key)
+                existing = self._inflight.get(fullkey)
+                if existing is not None:
+                    self.coalesced += 1
+                    futures[canonical] = existing
+                    continue
+                self._check_open()
+                future = Future()
+                futures[canonical] = future
+                if self.workers:
+                    self._inflight[fullkey] = future
+                    to_send.append((fullkey, future))
+                    items.append((list(canonical), objective, area_weight, entry))
+            if to_send:
+                self._start_pool()
+                self._register_with_worker(prog)
+                request_id = next(self._request_ids)
+                self._pending[request_id] = (prog.worker_id, to_send)
+                self.dispatched += len(to_send)
+                self._handles[prog.worker_id].queue.put(
+                    (MSG_EVALUATE, request_id, id(prog.program), items))
+        if not self.workers:
+            # misses go through the local engine's own (thread-pooled)
+            # batch API: same throughput and BatchEvaluationError
+            # contract as the engine backend, then persist
+            missing = [c for c, f in futures.items() if not f.done()]
+            if missing:
+                values = self.local.evaluate_batch(
+                    prog.program, missing, objective=objective,
+                    area_weight=area_weight, entry=entry)
+                for canonical, value in zip(missing, values):
+                    key = make_key(objective, area_weight, entry, canonical)
+                    future = futures[canonical]
+                    if value is None:
+                        self._persist(prog, key, FAILED)
+                        future.set_exception(HLSCompilationError(
+                            f"sequence {canonical!r} is memoized as failing "
+                            f"HLS compilation"))
+                    else:
+                        self._persist(prog, key, value)
+                        future.set_result(value)
+        out: List[Optional[float]] = []
+        for canonical in keyed:
+            try:
+                out.append(futures[canonical].result())
+            except HLSCompilationError:
+                out.append(None)
+        return out
+
+    # -- module-returning paths (local engine, persistent-aware) ------------
+    def evaluate_with_module(self, program: Module, actions: Sequence[Action],
+                             objective: str = "cycles", area_weight: float = 0.05,
+                             entry: str = "main") -> Tuple[float, Module]:
+        canonical = canonicalize_sequence(actions)
+        key = make_key(objective, area_weight, entry, canonical)
+        prog = self._ensure_program(program)
+        with self._lock:
+            cached = prog.persisted.get(key)
+            if cached is not None:
+                self.persistent_hits += 1
+        if cached is FAILED:
+            # engine semantics: a memoized failure re-raises sample-free
+            # without materializing (callers materialize if they need to)
+            raise HLSCompilationError(
+                f"sequence {key[3]!r} is memoized as failing HLS compilation")
+        if cached is not None:
+            return cached, self.local.materialize(program, canonical)
+        try:
+            value, module = self.local.evaluate_with_module(
+                program, canonical, objective=objective,
+                area_weight=area_weight, entry=entry)
+        except HLSCompilationError:
+            self._persist(prog, key, FAILED)
+            raise
+        self._persist(prog, key, value)
+        return value, module
+
+    def evaluate_prepared(self, program: Module, actions: Sequence[Action],
+                          module: Module, objective: str = "cycles",
+                          area_weight: float = 0.05, entry: str = "main") -> float:
+        canonical = canonicalize_sequence(actions)
+        key = make_key(objective, area_weight, entry, canonical)
+        prog = self._ensure_program(program)
+        with self._lock:
+            cached = prog.persisted.get(key)
+            if cached is not None:
+                self.persistent_hits += 1
+        if cached is FAILED:
+            raise HLSCompilationError(
+                f"sequence {key[3]!r} is memoized as failing HLS compilation")
+        if cached is not None:
+            return cached
+        try:
+            value = self.local.evaluate_prepared(program, canonical, module,
+                                                 objective=objective,
+                                                 area_weight=area_weight,
+                                                 entry=entry)
+        except HLSCompilationError:
+            self._persist(prog, key, FAILED)
+            raise
+        self._persist(prog, key, value)
+        return value
+
+    def materialize(self, program: Module, actions: Sequence[Action]) -> Module:
+        return self.local.materialize(program, actions)
+
+    # -- introspection / lifecycle ------------------------------------------
+    def worker_cache_info(self, timeout: float = 5.0) -> List[Dict[str, int]]:
+        """Engine cache statistics from every live worker process."""
+        infos: List[Dict[str, int]] = []
+        with self._lock:
+            handles = [h for h in self._handles if h.process.is_alive()]
+            futures = []
+            for handle in handles:
+                request_id = next(self._request_ids)
+                future: Future = Future()
+                self._stats_pending[request_id] = future
+                try:
+                    handle.queue.put((MSG_STATS, request_id))
+                except (OSError, ValueError):  # torn down mid-shutdown
+                    self._stats_pending.pop(request_id, None)
+                    continue
+                futures.append(future)
+        for future in futures:
+            try:
+                infos.append(future.result(timeout=timeout))
+            except Exception:
+                infos.append({})
+        return infos
+
+    def cache_info(self, include_workers: bool = True) -> Dict[str, int]:
+        """Local-engine statistics plus client/service-level counters,
+        with worker-engine counters folded in. ``include_workers=False``
+        skips the worker round-trip (a busy worker answers stats only
+        between batches, so the fold can wait out the timeout) — used by
+        the toolchain's retire-on-collection path."""
+        info = self.local.cache_info()
+        with self._lock:
+            info["persistent_entries"] = sum(
+                len(p.persisted) for p in self._programs.values())
+        info["persistent_hits"] = self.persistent_hits
+        info["coalesced_requests"] = self.coalesced
+        info["dispatched_requests"] = self.dispatched
+        info["service_batches"] = self.batches
+        info["workers"] = len(self._handles) if self._handles else self.workers
+        if include_workers:
+            for worker_info in self.worker_cache_info():
+                for key, value in worker_info.items():
+                    if key == "samples_taken":
+                        continue
+                    info[key] = info.get(key, 0) + value
+        return info
+
+    def clear(self) -> None:
+        """Drop in-memory caches (the persistent store on disk is kept;
+        use ``ResultStore.clear`` / ``repro cache clear`` for that)."""
+        with self._lock:
+            self.local.clear()
+            self._programs.clear()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the worker pool down. Idempotent; safe to skip (workers,
+        readers and the reaper are daemons and die with the parent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles, self._handles = self._handles, []
+        self._stop.set()
+        if self._reaper is not None:
+            self._reaper.join(timeout=timeout)
+        for handle in handles:
+            try:
+                handle.queue.put((MSG_SHUTDOWN,))
+            except (OSError, ValueError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+            try:  # stop the reader; a wedged one is abandoned (daemon)
+                handle.response_queue.put(None)
+            except (OSError, ValueError):
+                pass
+
+    def __enter__(self) -> "EvaluationClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,173 @@
+"""``repro serve`` — a standing evaluation service on a Unix socket.
+
+The long-running half of the service story: one process owns the worker
+pool and the persistent store, and any number of short-lived clients
+(training drivers, sweep scripts, shells) query it over a JSON-lines
+protocol without paying interpreter/program warm-up per run.
+
+Protocol: one JSON object per line, one reply per request, multiple
+requests per connection. Programs are addressed by *spec*, not pickled
+bytes, so any process that can open the socket can query:
+
+    {"op": "ping"}
+    {"op": "evaluate", "program": "gsm", "sequence": [38, 31],
+     "objective": "cycles"}                    → {"ok": true, "value": ...}
+    {"op": "batch", "program": "gen:7", "sequences": [[38], [38, 31]]}
+                                               → {"ok": true, "values": [...]}
+    {"op": "stats"}                            → cache_info + store stats
+    {"op": "shutdown"}
+
+Program specs: a CHStone benchmark name (``gsm``) or ``gen:<seed>`` for
+a :class:`~repro.programs.generator.RandomProgramGenerator` program.
+Failing sequences evaluate to ``value: null`` (the batch-penalty
+convention), never an error reply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional
+
+from ..hls.profiler import HLSCompilationError
+from ..ir.module import Module
+
+__all__ = ["EvaluationServer", "request", "resolve_program_spec"]
+
+
+def resolve_program_spec(spec: str) -> Module:
+    """Build the module a program spec names (fresh instance)."""
+    from ..programs import chstone
+    from ..programs.generator import RandomProgramGenerator
+
+    if spec.startswith("gen:"):
+        seed = int(spec[len("gen:"):])
+        return RandomProgramGenerator(seed).generate(name=f"gen{seed}")
+    if spec in chstone.BENCHMARK_NAMES:
+        return chstone.build(spec)
+    raise KeyError(f"unknown program spec {spec!r}; use a CHStone name "
+                   f"{chstone.BENCHMARK_NAMES} or 'gen:<seed>'")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                reply = self.server.evaluation_server.handle_request(
+                    json.loads(line.decode("utf-8")))
+            except Exception as exc:  # malformed JSON, unknown spec, ...
+                reply = {"ok": False, "error": repr(exc)}
+            self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if reply.get("shutdown"):
+                # shut down from a helper thread: shutdown() blocks until
+                # serve_forever() exits, which waits on this handler
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+                return
+
+
+class _SocketServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class EvaluationServer:
+    """Owns a service-backed toolchain and serves spec-addressed queries."""
+
+    def __init__(self, socket_path: str, workers: Optional[int] = None,
+                 store_dir: Optional[str] = None,
+                 toolchain=None) -> None:
+        from ..toolchain import HLSToolchain
+
+        self.socket_path = socket_path
+        self.toolchain = toolchain or HLSToolchain(
+            backend="service",
+            service_config={"workers": workers, "store_dir": store_dir})
+        self._modules: Dict[str, Module] = {}
+        if os.path.exists(socket_path):
+            os.remove(socket_path)
+        self._server = _SocketServer(socket_path, _Handler)
+        self._server.evaluation_server = self
+
+    def _module(self, spec: str) -> Module:
+        module = self._modules.get(spec)
+        if module is None:
+            module = self._modules[spec] = resolve_program_spec(spec)
+        return module
+
+    def handle_request(self, req: Dict) -> Dict:
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        if op == "stats":
+            info = self.toolchain.cache_info()
+            info["samples_taken"] = self.toolchain.samples_taken
+            store = getattr(self.toolchain.engine, "store", None)
+            return {"ok": True, "cache": info,
+                    "store": store.stats() if store is not None else {}}
+        if op == "evaluate":
+            module = self._module(req["program"])
+            try:
+                value = self.toolchain.engine.evaluate(
+                    module, req["sequence"],
+                    objective=req.get("objective", "cycles"),
+                    area_weight=req.get("area_weight", 0.05),
+                    entry=req.get("entry", "main"))
+            except HLSCompilationError:
+                value = None
+            return {"ok": True, "value": value}
+        if op == "batch":
+            module = self._module(req["program"])
+            values = self.toolchain.engine.evaluate_batch(
+                module, req["sequences"],
+                objective=req.get("objective", "cycles"),
+                area_weight=req.get("area_weight", 0.05),
+                entry=req.get("entry", "main"))
+            return {"ok": True, "values": values}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def serve_forever(self) -> None:
+        """Block serving requests until a shutdown op (or KeyboardInterrupt)."""
+        try:
+            self._server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._server.server_close()
+        close = getattr(self.toolchain.engine, "close", None)
+        if close is not None:
+            close()
+        if os.path.exists(self.socket_path):
+            try:
+                os.remove(self.socket_path)
+            except OSError:
+                pass
+
+
+def request(socket_path: str, payload: Dict, timeout: float = 60.0) -> Dict:
+    """One-shot client helper: send one request line, read one reply."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    return json.loads(b"".join(chunks).decode("utf-8"))

@@ -1,0 +1,177 @@
+"""The persistent, cross-run result store.
+
+Layout: one append-only JSONL shard per (program fingerprint, toolchain
+fingerprint) under the store root (``REPRO_CACHE_DIR`` or
+``.repro-cache/``). Each line is one result record::
+
+    {"v": 1, "obj": "cycles", "aw": 0.05, "entry": "main",
+     "seq": [38, 31], "ok": true, "val": 2583.0}
+
+``ok: false`` records memoize sequences that raise
+:class:`~repro.hls.profiler.HLSCompilationError` — a warm run re-raises
+without burning a simulator sample, exactly like the in-memory memo's
+failure sentinel.
+
+Concurrency contract: writers append whole lines with ``O_APPEND`` (one
+``write()`` per record, well under the POSIX pipe-buffer atomicity
+bound), so concurrent runs interleave records but never interleave
+bytes; readers skip torn/garbage/wrong-version lines. Duplicate records
+are harmless — evaluation is deterministic, so the last writer wins with
+the same value. There is no in-place invalidation: a program or
+toolchain change lands in a different shard by construction (see
+:mod:`.fingerprint`), and ``clear()`` is the only destructive operation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..engine.memo import FAILED
+
+__all__ = ["ResultStore", "default_store_dir", "make_key"]
+
+SCHEMA_VERSION = 1
+
+# A store key inside one shard; the shard name carries the fingerprints.
+StoreKey = Tuple[str, float, str, Tuple[Union[int, str], ...]]
+
+
+def default_store_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(os.getcwd(), ".repro-cache")
+
+
+def make_key(objective: str, area_weight: float, entry: str,
+             canonical: Tuple[Union[int, str], ...]) -> StoreKey:
+    return (objective, float(area_weight), entry, tuple(canonical))
+
+
+class ResultStore:
+    """Sequence-keyed persistent objective values, sharded by fingerprint."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_store_dir()
+
+    # -- paths ---------------------------------------------------------------
+    @staticmethod
+    def shard_name(program_fp: str, toolchain_fp: str) -> str:
+        return f"{program_fp[:32]}-{toolchain_fp[:8]}.jsonl"
+
+    def _shard_path(self, program_fp: str, toolchain_fp: str) -> str:
+        return os.path.join(self.root, self.shard_name(program_fp, toolchain_fp))
+
+    # -- record IO -----------------------------------------------------------
+    def append(self, program_fp: str, toolchain_fp: str, key: StoreKey,
+               value: Any) -> None:
+        """Durably record one result (``value`` may be the FAILED sentinel)."""
+        objective, area_weight, entry, canonical = key
+        record = {"v": SCHEMA_VERSION, "obj": objective, "aw": area_weight,
+                  "entry": entry, "seq": list(canonical),
+                  "ok": value is not FAILED,
+                  "val": None if value is FAILED else value}
+        os.makedirs(self.root, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        # One write() on an O_APPEND descriptor: concurrent runs may
+        # interleave records, never bytes within a record.
+        fd = os.open(self._shard_path(program_fp, toolchain_fp),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def load(self, program_fp: str, toolchain_fp: str) -> Dict[StoreKey, Any]:
+        """All readable records of one shard (FAILED for ``ok: false``).
+
+        Unparseable or wrong-version lines — a torn write from a run that
+        died mid-record, or a future schema — are skipped, not fatal.
+        """
+        path = self._shard_path(program_fp, toolchain_fp)
+        results: Dict[StoreKey, Any] = {}
+        try:
+            fh = open(path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return results
+        with fh:
+            for line in fh:
+                record = self._parse(line)
+                if record is None:
+                    continue
+                key = make_key(record["obj"], record["aw"], record["entry"],
+                               tuple(record["seq"]))
+                results[key] = record["val"] if record["ok"] else FAILED
+        return results
+
+    @staticmethod
+    def _parse(line: str) -> Optional[Dict]:
+        try:
+            record = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("v") != SCHEMA_VERSION:
+            return None
+        if not {"obj", "aw", "entry", "seq", "ok", "val"} <= record.keys():
+            return None
+        return record
+
+    # -- maintenance ---------------------------------------------------------
+    def _shards(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return sorted(n for n in names if n.endswith(".jsonl"))
+
+    def iter_records(self) -> Iterator[Tuple[str, Dict]]:
+        """(shard name, record) for every readable record in the store."""
+        for name in self._shards():
+            try:
+                fh = open(os.path.join(self.root, name), "r", encoding="utf-8")
+            except FileNotFoundError:  # concurrent clear()
+                continue
+            with fh:
+                for line in fh:
+                    record = self._parse(line)
+                    if record is not None:
+                        yield name, record
+
+    def stats(self) -> Dict[str, Any]:
+        shards = self._shards()
+        records = failures = 0
+        distinct = set()
+        for name, record in self.iter_records():
+            records += 1
+            failures += 0 if record["ok"] else 1
+            distinct.add((name, record["obj"], record["aw"], record["entry"],
+                          tuple(record["seq"])))
+        size = sum(os.path.getsize(os.path.join(self.root, n))
+                   for n in shards if os.path.exists(os.path.join(self.root, n)))
+        return {"root": os.path.abspath(self.root), "shards": len(shards),
+                "records": records, "distinct_results": len(distinct),
+                "failed_results": failures, "size_bytes": size}
+
+    def clear(self) -> int:
+        """Delete every shard; returns how many files were removed."""
+        removed = 0
+        for name in self._shards():
+            try:
+                os.remove(os.path.join(self.root, name))
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def export(self, path: str) -> int:
+        """Merge the whole store into one JSON file (shard → record list);
+        returns the number of records exported."""
+        merged: Dict[str, List[Dict]] = {}
+        count = 0
+        for name, record in self.iter_records():
+            merged.setdefault(name, []).append(record)
+            count += 1
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema_version": SCHEMA_VERSION, "shards": merged},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return count

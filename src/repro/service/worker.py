@@ -1,0 +1,177 @@
+"""Worker-process side of the evaluation service.
+
+Each worker is a separate OS process owning a full, private evaluation
+stack — :class:`~repro.toolchain.HLSToolchain` plus its
+:class:`~repro.engine.EvaluationEngine` — so worker processes never
+share mutable compiler state and the GIL stops being the scaling wall.
+Programs arrive once, pickled, over the request queue ("register");
+evaluation requests then reference them by a client-chosen program id
+and carry whole per-worker batches of canonical sequences.
+
+Determinism and accounting contract: the worker evaluates through the
+same engine the in-process path uses, so values are bit-identical to a
+local :class:`EvaluationEngine` (and therefore to
+``HLSToolchain(use_engine=False)``). Every response carries the number
+of true simulator invocations it consumed so the client can keep the
+owning toolchain's ``samples_taken`` exact across process boundaries;
+persistent-store hits consume (and report) zero.
+
+The worker both *reads* the persistent store (warm start at program
+registration) and *writes* it (one append per fresh result), so results
+computed anywhere become visible to every later run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine.memo import FAILED
+from ..hls.profiler import HLSCompilationError
+from .fingerprint import toolchain_fingerprint
+from .store import ResultStore, make_key
+
+__all__ = ["worker_main", "dumps_module", "loads_module",
+           "MSG_REGISTER", "MSG_EVALUATE", "MSG_STATS", "MSG_SHUTDOWN"]
+
+# Request message tags (first tuple element on the request queue).
+MSG_REGISTER = "register"    # (tag, program_id, program_fp, module_bytes)
+MSG_EVALUATE = "evaluate"    # (tag, request_id, program_id, [(seq, obj, aw, entry), ...])
+MSG_STATS = "stats"          # (tag, request_id)
+MSG_SHUTDOWN = "shutdown"    # (tag,)
+
+# Per-item response payloads inside a ("result", request_id, items, samples)
+# message: ("ok", value) | ("failed",) | ("error", repr, traceback).
+_PICKLE_RECURSION_LIMIT = 100_000
+
+
+def dumps_module(module) -> bytes:
+    """Pickle an IR module. Deep expression trees (generator output) can
+    exceed the default interpreter recursion limit mid-pickle, so raise
+    it for the duration."""
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _PICKLE_RECURSION_LIMIT))
+    try:
+        return pickle.dumps(module, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+def loads_module(data: bytes):
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _PICKLE_RECURSION_LIMIT))
+    try:
+        return pickle.loads(data)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+class _WorkerState:
+    """Everything one worker process owns."""
+
+    def __init__(self, worker_id: int, store_dir: Optional[str],
+                 toolchain_config: Dict[str, Any]) -> None:
+        # Workers always run the plain engine backend: a worker that
+        # honoured REPRO_EVAL_BACKEND=service would recurse into spawning
+        # its own workers.
+        from ..toolchain import HLSToolchain
+
+        self.worker_id = worker_id
+        self.toolchain = HLSToolchain(backend="engine", **toolchain_config)
+        self.store = ResultStore(store_dir)
+        self.toolchain_fp = toolchain_fingerprint(self.toolchain)
+        self.programs: Dict[int, Any] = {}
+        self.fingerprints: Dict[int, str] = {}
+        # (program_id, StoreKey) → value/FAILED, warm-started from disk.
+        self.persisted: Dict[Tuple[int, Tuple], Any] = {}
+        # program_id → traceback of a failed registration, reported with
+        # every subsequent evaluation of that program
+        self.register_errors: Dict[int, str] = {}
+        self.persistent_hits = 0
+
+    def register(self, program_id: int, program_fp: str, module_bytes: bytes) -> None:
+        if program_id in self.programs:
+            return
+        self.programs[program_id] = loads_module(module_bytes)
+        self.fingerprints[program_id] = program_fp
+        for key, value in self.store.load(program_fp, self.toolchain_fp).items():
+            self.persisted[(program_id, key)] = value
+
+    def evaluate_one(self, program_id: int, item: Tuple) -> Tuple:
+        sequence, objective, area_weight, entry = item
+        canonical = tuple(sequence)
+        key = make_key(objective, area_weight, entry, canonical)
+        cached = self.persisted.get((program_id, key))
+        if cached is not None:
+            self.persistent_hits += 1
+            return ("failed",) if cached is FAILED else ("ok", cached)
+        program = self.programs[program_id]
+        engine = self.toolchain.engine
+        try:
+            value = engine.evaluate(program, canonical, objective=objective,
+                                    area_weight=area_weight, entry=entry)
+        except HLSCompilationError:
+            self.persisted[(program_id, key)] = FAILED
+            self.store.append(self.fingerprints[program_id], self.toolchain_fp,
+                              key, FAILED)
+            return ("failed",)
+        self.persisted[(program_id, key)] = value
+        self.store.append(self.fingerprints[program_id], self.toolchain_fp,
+                          key, value)
+        return ("ok", value)
+
+    def cache_info(self) -> Dict[str, int]:
+        info = self.toolchain.engine.cache_info()
+        info["persistent_hits"] = self.persistent_hits
+        info["samples_taken"] = self.toolchain.samples_taken
+        return info
+
+
+def worker_main(worker_id: int, request_queue, response_queue,
+                store_dir: Optional[str],
+                toolchain_config: Optional[Dict[str, Any]] = None) -> None:
+    """Process entry point: serve requests until MSG_SHUTDOWN (or EOF)."""
+    state = _WorkerState(worker_id, store_dir, toolchain_config or {})
+    while True:
+        try:
+            message = request_queue.get()
+        except (EOFError, OSError):  # parent died; queues torn down
+            return
+        tag = message[0]
+        if tag == MSG_SHUTDOWN:
+            return
+        if tag == MSG_REGISTER:
+            _, program_id, program_fp, module_bytes = message
+            try:
+                state.register(program_id, program_fp, module_bytes)
+            except Exception:  # surfaced on the first evaluate instead
+                state.programs.pop(program_id, None)
+                state.register_errors[program_id] = traceback.format_exc()
+            continue
+        if tag == MSG_STATS:
+            _, request_id = message
+            response_queue.put(("stats", request_id, state.cache_info(),
+                                worker_id))
+            continue
+        if tag == MSG_EVALUATE:
+            _, request_id, program_id, items = message
+            before = state.toolchain.samples_taken
+            results = []
+            for item in items:
+                if program_id not in state.programs:
+                    detail = state.register_errors.get(program_id, "")
+                    why = ("registration failed" if detail
+                           else "never registered")
+                    results.append(("error",
+                                    f"program {program_id} {why} "
+                                    f"with worker {worker_id}", detail))
+                    continue
+                try:
+                    results.append(state.evaluate_one(program_id, item))
+                except Exception as exc:  # engine/toolchain crash, not HLS
+                    results.append(("error", repr(exc),
+                                    traceback.format_exc()))
+            samples = state.toolchain.samples_taken - before
+            response_queue.put(("result", request_id, results, samples))

@@ -18,8 +18,10 @@ reported separately through ``toolchain.engine.cache_info()``.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import List, Optional, Sequence, Union
+import weakref
+from typing import Dict, List, Optional, Sequence, Union
 
 from .engine.core import EvaluationEngine
 from .hls.delays import HLSConstraints
@@ -36,27 +38,74 @@ __all__ = ["clone_module", "HLSToolchain"]
 class HLSToolchain:
     """Compile-and-profile service with sample accounting.
 
-    ``use_engine=False`` disables every engine cache and restores the
-    seed behaviour (one full clone + pass application + profile per
-    evaluation) — benchmarks use it as the uncached baseline.
+    ``backend`` selects the evaluation layer behind
+    :meth:`cycle_count_with_passes` and ``toolchain.engine``:
+
+    - ``"engine"`` (default): the in-process :class:`EvaluationEngine`.
+    - ``"service"``: a sharded multi-process
+      :class:`~repro.service.client.EvaluationClient` with a persistent
+      cross-run result store — same duck-typed surface, so every
+      engine-aware caller opts in without code changes. Knobs ride in
+      ``service_config`` (``workers``, ``store_dir``, ``engine_config``).
+    - ``"none"``: no caching layer at all.
+
+    ``REPRO_EVAL_BACKEND`` supplies the default, so whole experiment
+    drivers switch backends from the environment. ``use_engine=False``
+    (the benchmarks' uncached baseline) always forces ``"none"`` and
+    restores the seed behaviour — one full clone + pass application +
+    profile per evaluation.
     """
+
+    # Live toolchains, so CLI drivers can aggregate cache statistics over
+    # every instance an experiment created internally. Instances retire
+    # their counters into _retired_cache_totals when closed or collected
+    # (the toolchain↔engine reference cycle makes driver-internal
+    # toolchains cyclic garbage, so liveness alone is gc-timing-dependent).
+    _instances: "weakref.WeakSet[HLSToolchain]" = weakref.WeakSet()
+    _retired_cache_totals: Dict[str, int] = {}
+    # gauges (point-in-time sizes, not counters): summing them across
+    # toolchains would report e.g. phantom worker processes
+    _NON_ADDITIVE_KEYS = frozenset({"workers"})
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
                  max_steps: int = 1_000_000, use_engine: bool = True,
-                 engine_config: Optional[dict] = None) -> None:
+                 engine_config: Optional[dict] = None,
+                 backend: Optional[str] = None,
+                 service_config: Optional[dict] = None) -> None:
+        if backend is None:
+            backend = os.environ.get("REPRO_EVAL_BACKEND") or "engine"
+        if not use_engine:
+            backend = "none"
+        if backend not in ("engine", "service", "none"):
+            raise ValueError(f"unknown backend {backend!r}; "
+                             "choose 'engine', 'service' or 'none'")
+        self.backend = backend
         self.profiler = CycleProfiler(
             constraints, max_steps=max_steps,
-            schedule_cache_size=512 if use_engine else 0)
+            schedule_cache_size=0 if backend == "none" else 512)
         self.samples_taken = 0
         # The engine's batch API profiles from worker threads; a bare
         # ``+= 1`` would drop increments under that interleaving.
         self._sample_lock = threading.Lock()
-        self.engine: Optional[EvaluationEngine] = (
-            EvaluationEngine(self, **(engine_config or {})) if use_engine else None)
+        if backend == "service":
+            from .service.client import EvaluationClient
+
+            self.engine = EvaluationClient(self, **(service_config or {}))
+        elif backend == "engine":
+            self.engine = EvaluationEngine(self, **(engine_config or {}))
+        else:
+            self.engine = None
+        self._retired = False
+        HLSToolchain._instances.add(self)
 
     def _count_sample(self) -> None:
+        self._count_samples(1)
+
+    def _count_samples(self, n: int) -> None:
+        """Credit ``n`` true simulator invocations (service workers report
+        theirs back so cross-process accounting stays exact)."""
         with self._sample_lock:
-            self.samples_taken += 1
+            self.samples_taken += n
 
     # -- pass application ---------------------------------------------------
     @staticmethod
@@ -134,3 +183,62 @@ class HLSToolchain:
     def reset_sample_counter(self) -> int:
         taken, self.samples_taken = self.samples_taken, 0
         return taken
+
+    # -- cache introspection / lifecycle -------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """The backing engine/service cache statistics (hits, misses, trie
+        size, evictions, ...); empty when caching is disabled."""
+        return self.engine.cache_info() if self.engine is not None else {}
+
+    @classmethod
+    def aggregate_cache_info(cls) -> Dict[str, int]:
+        """Summed :meth:`cache_info` over every toolchain this process
+        created — the experiment drivers construct toolchains internally
+        (one per RL agent, one per driver), so per-run reporting
+        aggregates here. Covers both live instances and ones already
+        retired (closed or garbage-collected)."""
+        total: Dict[str, int] = dict(cls._retired_cache_totals)
+        for toolchain in list(cls._instances):
+            if toolchain._retired:
+                continue
+            cls._fold(total, toolchain.cache_info())
+        return total
+
+    @classmethod
+    def _fold(cls, total: Dict[str, int], info: Dict) -> None:
+        for key, value in info.items():
+            if key in cls._NON_ADDITIVE_KEYS or not isinstance(value, (int, float)):
+                continue
+            total[key] = total.get(key, 0) + value
+
+    def _retire(self) -> None:
+        """Fold this instance's counters into the class-level totals
+        (idempotent), so aggregation survives garbage collection."""
+        if self._retired:
+            return
+        self._retired = True
+        try:
+            try:
+                # service backend: skip the worker stats round-trip — this
+                # runs from __del__/gc, where stalling on a busy worker's
+                # request queue is unacceptable
+                info = self.engine.cache_info(include_workers=False)
+            except TypeError:  # plain engine: no such knob
+                info = self.cache_info()
+        except Exception:  # torn-down service backend mid-interpreter-exit
+            return
+        HLSToolchain._fold(HLSToolchain._retired_cache_totals, info)
+
+    def __del__(self) -> None:
+        try:
+            self._retire()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Retire cache statistics and release backend resources
+        (service worker processes); safe to call more than once."""
+        self._retire()
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()

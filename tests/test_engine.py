@@ -140,6 +140,23 @@ class TestCacheCorrectness:
         seqs = [[38], [38, 31]]
         assert doubled.evaluate_batch(seqs) == [2 * v for v in plain.evaluate_batch(seqs)]
 
+    def test_batch_surfaces_crashes_with_offending_sequence(self, benchmarks):
+        # An HLS memo failure is a legitimate None result; an unexpected
+        # worker exception must surface with the candidate attached, not
+        # as a bare traceback indistinguishable from any other sequence.
+        from repro.engine import BatchEvaluationError, canonicalize_sequence
+
+        tc = HLSToolchain(engine_config={"max_workers": 1})  # deterministic order
+        program = benchmarks["gsm"]
+        good, bogus = [38, 31], [NUM_TRANSFORMS + 1000]  # out-of-table index
+        with pytest.raises(BatchEvaluationError) as excinfo:
+            tc.engine.evaluate_batch(program, [good, bogus])
+        assert excinfo.value.sequence == canonicalize_sequence(bogus)
+        assert isinstance(excinfo.value.original, IndexError)
+        assert excinfo.value.__cause__ is excinfo.value.original
+        # the good candidate was still evaluated and memoized on the way
+        assert tc.cycle_count_with_passes(program, good) > 0
+
     def test_failure_memoized_and_reraised(self, benchmarks):
         tc = HLSToolchain(max_steps=50)  # everything blows the step budget
         with pytest.raises(HLSCompilationError):

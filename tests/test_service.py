@@ -1,0 +1,437 @@
+"""The distributed evaluation service: fingerprint stability, persistent
+store round-trips, cross-process bit-identical determinism (including the
+warm-start path), request coalescing, the toolchain backend toggle, and
+the Unix-socket server."""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import EvaluationEngine, canonicalize_sequence
+from repro.engine.memo import FAILED
+from repro.hls.profiler import HLSCompilationError
+from repro.passes.registry import NUM_TRANSFORMS
+from repro.programs import chstone
+from repro.search import SequenceEvaluator
+from repro.service import (
+    EvaluationClient,
+    EvaluationServer,
+    ResultStore,
+    program_fingerprint,
+    request,
+    toolchain_fingerprint,
+)
+from repro.service.store import make_key
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def _random_sequences(rng, count, max_len, shared_prefix_prob=0.5):
+    seqs = []
+    for _ in range(count):
+        length = int(rng.integers(1, max_len + 1))
+        seq = list(rng.integers(0, NUM_TRANSFORMS, size=length))
+        if seqs and rng.random() < shared_prefix_prob:
+            donor = seqs[int(rng.integers(len(seqs)))]
+            cut = int(rng.integers(0, len(donor) + 1))
+            seq = list(donor[:cut]) + seq[cut:]
+        seqs.append([int(a) for a in seq])
+    return seqs
+
+
+def _service_toolchain(tmp_path, workers, **toolchain_kwargs):
+    return HLSToolchain(backend="service",
+                        service_config={"workers": workers,
+                                        "store_dir": str(tmp_path)},
+                        **toolchain_kwargs)
+
+
+class TestFingerprint:
+    def test_stable_across_builds_and_clones(self, benchmarks):
+        fp = program_fingerprint(benchmarks["gsm"])
+        assert fp == program_fingerprint(chstone.build("gsm"))
+        assert fp == program_fingerprint(clone_module(benchmarks["gsm"]))
+
+    def test_distinct_programs_distinct_fingerprints(self, benchmarks):
+        fps = {program_fingerprint(m) for m in benchmarks.values()}
+        assert len(fps) == len(benchmarks)
+
+    def test_optimization_changes_fingerprint(self, benchmarks):
+        module = clone_module(benchmarks["matmul"])
+        before = program_fingerprint(module)
+        HLSToolchain.apply_passes(module, [38])
+        assert program_fingerprint(module) != before
+
+    def test_toolchain_fingerprint_tracks_semantics(self):
+        from repro.hls.delays import HLSConstraints
+
+        base = toolchain_fingerprint(HLSToolchain(use_engine=False))
+        assert base == toolchain_fingerprint(HLSToolchain(use_engine=False))
+        slower = HLSToolchain(constraints=HLSConstraints(clock_period_ns=10.0),
+                              use_engine=False)
+        assert toolchain_fingerprint(slower) != base
+        tiny = HLSToolchain(max_steps=50, use_engine=False)
+        assert toolchain_fingerprint(tiny) != base
+
+
+class TestResultStore:
+    def test_roundtrip_values_and_failures(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = make_key("cycles", 0.05, "main", (38, 31))
+        fkey = make_key("cycles", 0.05, "main", (7,))
+        store.append("f" * 32, "t" * 8, key, 2583.0)
+        store.append("f" * 32, "t" * 8, fkey, FAILED)
+        loaded = ResultStore(str(tmp_path)).load("f" * 32, "t" * 8)
+        assert loaded[key] == 2583.0
+        assert loaded[fkey] is FAILED
+
+    def test_shards_are_isolated(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = make_key("cycles", 0.05, "main", (1,))
+        store.append("a" * 32, "t" * 8, key, 1.0)
+        store.append("b" * 32, "t" * 8, key, 2.0)
+        assert store.load("a" * 32, "t" * 8)[key] == 1.0
+        assert store.load("b" * 32, "t" * 8)[key] == 2.0
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = make_key("cycles", 0.05, "main", (38,))
+        store.append("f" * 32, "t" * 8, key, 42.0)
+        path = os.path.join(str(tmp_path), store.shard_name("f" * 32, "t" * 8))
+        with open(path, "a") as fh:
+            fh.write('{"v": 1, "obj": "cyc')  # torn write, no newline
+        with open(path, "a") as fh:
+            fh.write('\nnot json at all\n')
+            fh.write(json.dumps({"v": 999, "obj": "cycles", "aw": 0.05,
+                                 "entry": "main", "seq": [1], "ok": True,
+                                 "val": 7.0}) + "\n")
+        loaded = store.load("f" * 32, "t" * 8)
+        assert loaded == {key: 42.0}
+
+    def test_stats_clear_export(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.append("a" * 32, "t" * 8, make_key("cycles", 0.05, "main", (1,)), 1.0)
+        store.append("a" * 32, "t" * 8, make_key("cycles", 0.05, "main", (2,)), FAILED)
+        stats = store.stats()
+        assert stats["shards"] == 1 and stats["records"] == 2
+        assert stats["failed_results"] == 1 and stats["size_bytes"] > 0
+        out = str(tmp_path / "export.json")
+        assert store.export(out) == 2
+        with open(out) as fh:
+            exported = json.load(fh)
+        assert sum(len(v) for v in exported["shards"].values()) == 2
+        assert store.clear() == 1
+        assert store.stats()["records"] == 0
+
+
+class TestInProcessClient:
+    """workers=0: same semantics, no subprocesses."""
+
+    def test_matches_uncached_and_persists(self, benchmarks, tmp_path):
+        rng = np.random.default_rng(21)
+        seqs = _random_sequences(rng, count=8, max_len=4)
+        uncached = HLSToolchain(use_engine=False)
+        program = benchmarks["gsm"]
+        expected = [uncached.cycle_count_with_passes(program, s) for s in seqs]
+
+        tc = _service_toolchain(tmp_path, workers=0)
+        got = [tc.cycle_count_with_passes(program, s) for s in seqs]
+        assert got == expected
+        cold_samples = tc.samples_taken
+        assert cold_samples > 0
+
+        # a fresh toolchain + client on the same store: all warm, no samples
+        warm = _service_toolchain(tmp_path, workers=0)
+        regot = [warm.cycle_count_with_passes(chstone.build("gsm"), s) for s in seqs]
+        assert regot == expected
+        assert warm.samples_taken == 0
+        assert warm.engine.persistent_hits > 0
+
+    def test_failure_persisted_and_reraised(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=0, max_steps=50)
+        with pytest.raises(HLSCompilationError):
+            tc.cycle_count_with_passes(benchmarks["gsm"], [38])
+        warm = _service_toolchain(tmp_path, workers=0, max_steps=50)
+        with pytest.raises(HLSCompilationError):
+            warm.cycle_count_with_passes(chstone.build("gsm"), [38])
+        assert warm.samples_taken == 0
+        assert warm.engine.evaluate_batch(chstone.build("gsm"), [[38]]) == [None]
+
+
+class TestCrossProcessDeterminism:
+    """Satellite: the service must be bit-identical to a fresh in-process
+    engine on randomized programs/sequences, including warm starts."""
+
+    def test_property_randomized_programs_and_sequences(self, benchmarks,
+                                                        tiny_corpus, tmp_path):
+        rng = np.random.default_rng(13)
+        programs = [benchmarks["gsm"], benchmarks["adpcm"], tiny_corpus[0]]
+        workloads = [_random_sequences(rng, count=6, max_len=4)
+                     for _ in programs]
+
+        # reference: a fresh in-process engine (itself bit-identical to
+        # use_engine=False, enforced by test_engine.py)
+        ref_tc = HLSToolchain()
+        ref_engine = EvaluationEngine(ref_tc)
+        expected = [[ref_engine.evaluate(p, s) for s in seqs]
+                    for p, seqs in zip(programs, workloads)]
+
+        service_tc = _service_toolchain(tmp_path, workers=2)
+        try:
+            got = [service_tc.engine.evaluate_batch(p, seqs)
+                   for p, seqs in zip(programs, workloads)]
+            assert got == expected
+            # sample accounting is exact across processes: same unique
+            # evaluations, same count as the in-process reference
+            assert service_tc.samples_taken == ref_tc.samples_taken
+        finally:
+            service_tc.close()
+
+        # warm start: fresh client processes, same store — bit-identical
+        # values at zero simulator cost
+        warm_tc = _service_toolchain(tmp_path, workers=2)
+        try:
+            rebuilt = [chstone.build("gsm"), chstone.build("adpcm"),
+                       clone_module(tiny_corpus[0])]
+            regot = [warm_tc.engine.evaluate_batch(p, seqs)
+                     for p, seqs in zip(rebuilt, workloads)]
+            assert regot == expected
+            assert warm_tc.samples_taken == 0
+        finally:
+            warm_tc.close()
+
+    def test_programs_shard_across_workers(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=2)
+        try:
+            client = tc.engine
+            shards = {client._ensure_program(m).worker_id
+                      for m in benchmarks.values()}
+            assert shards == {0, 1}  # nine fingerprints land on both workers
+        finally:
+            tc.close()
+
+
+class TestAsyncAndCoalescing:
+    def test_submit_future_matches_sync(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            program = benchmarks["matmul"]
+            future = tc.engine.submit(program, [38, 31])
+            value = future.result(timeout=120)
+            assert value == tc.engine.evaluate(program, [38, 31])
+        finally:
+            tc.close()
+
+    def test_duplicate_inflight_requests_share_a_future(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            program = benchmarks["matmul"]
+            first = tc.engine.submit(program, [31, 38, 7])
+            second = tc.engine.submit(program, [31, 38, 7])
+            # either coalesced onto the identical Future, or the first
+            # resolved before the second was submitted
+            assert second is first or (first.done()
+                                       and first.result() == second.result())
+            assert first.result(timeout=120) == second.result(timeout=120)
+            if second is first:
+                assert tc.engine.coalesced >= 1
+        finally:
+            tc.close()
+
+    def test_resolved_results_count_single_sample(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            program = benchmarks["matmul"]
+            futures = [tc.engine.submit(program, [38, 31]) for _ in range(4)]
+            values = {f.result(timeout=120) for f in futures}
+            assert len(values) == 1
+            assert tc.samples_taken == 1  # one dispatch, rest coalesced/warm
+        finally:
+            tc.close()
+
+
+class TestBackendToggle:
+    def test_env_var_opts_in_without_code_changes(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EVAL_BACKEND", "service")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "0")
+        tc = HLSToolchain()
+        assert isinstance(tc.engine, EvaluationClient)
+        assert tc.engine.store.root == str(tmp_path)
+        # the uncached baseline stays uncached no matter the environment
+        assert HLSToolchain(use_engine=False).engine is None
+
+    def test_sequence_evaluator_drop_in(self, benchmarks, tmp_path):
+        program = benchmarks["gsm"]
+        seqs = [[38, 31], [38], [38, 31], [31, 7]]
+        engine_eval = SequenceEvaluator(program, HLSToolchain())
+        expected = engine_eval.evaluate_batch(seqs)
+
+        service_tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            service_eval = SequenceEvaluator(chstone.build("gsm"), service_tc)
+            assert service_eval.evaluate_batch(seqs) == expected
+            assert service_eval.samples == engine_eval.samples
+            assert service_eval.history == engine_eval.history
+        finally:
+            service_tc.close()
+
+    def test_rl_env_drop_in(self, benchmarks, tmp_path):
+        from repro.rl.env import PhaseOrderEnv
+
+        results = []
+        for tc in (HLSToolchain(), _service_toolchain(tmp_path, workers=0)):
+            env = PhaseOrderEnv([benchmarks["gsm"]], toolchain=tc,
+                                episode_length=3, seed=1)
+            env.reset(0)
+            _, r1, _, info1 = env.step(0)
+            _, r2, _, info2 = env.step(1)
+            results.append((r1, info1["cycles"], r2, info2["cycles"],
+                            env.initial_cycles, env.evaluations))
+        assert results[0] == results[1]
+
+    def test_multiaction_env_drop_in(self, benchmarks, tmp_path):
+        from repro.rl.env import MultiActionEnv
+
+        results = []
+        for tc in (HLSToolchain(), _service_toolchain(tmp_path, workers=0)):
+            env = MultiActionEnv([benchmarks["gsm"]], toolchain=tc,
+                                 sequence_length=4, episode_length=2, seed=0)
+            env.reset(0)
+            _, r1, _, info1 = env.step(np.full(4, 2))
+            results.append((r1, info1["cycles"], env.initial_cycles))
+        assert results[0] == results[1]
+
+
+class TestWorkerErrorSurfacing:
+    def test_worker_crash_carries_offending_sequence(self, benchmarks, tmp_path):
+        from repro.engine import BatchEvaluationError
+
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            program = benchmarks["gsm"]
+            # an out-of-range pass index crashes inside the worker engine
+            # (not an HLSCompilationError memo)
+            bogus = [NUM_TRANSFORMS + 1000]
+            with pytest.raises(BatchEvaluationError) as excinfo:
+                tc.engine.evaluate_batch(program, [[38], bogus])
+            assert excinfo.value.sequence == canonicalize_sequence(bogus)
+        finally:
+            tc.close()
+
+    def test_in_process_client_keeps_the_same_error_contract(self, benchmarks,
+                                                             tmp_path):
+        from repro.engine import BatchEvaluationError
+
+        tc = _service_toolchain(tmp_path, workers=0)
+        bogus = [NUM_TRANSFORMS + 1000]
+        with pytest.raises(BatchEvaluationError) as excinfo:
+            tc.engine.evaluate_batch(benchmarks["gsm"], [[38], bogus])
+        assert excinfo.value.sequence == canonicalize_sequence(bogus)
+        future = tc.engine.submit(benchmarks["gsm"], bogus)
+        assert isinstance(future.exception(), BatchEvaluationError)
+
+    def test_dead_worker_fails_inflight_instead_of_hanging(self, benchmarks,
+                                                           tmp_path):
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            client = tc.engine
+            program = benchmarks["matmul"]
+            # warm the pool, then kill the worker with a request in flight
+            client.evaluate(program, [38])
+            client._handles[0].process.terminate()
+            client._handles[0].process.join(timeout=10)
+            future = client.submit(program, [31, 7, 11, 13])
+            with pytest.raises(RuntimeError, match="died"):
+                future.result(timeout=30)
+            # the reaper respawned the worker: the client still works
+            assert client.evaluate(program, [38, 31]) == \
+                HLSToolchain(use_engine=False).cycle_count_with_passes(
+                    chstone.build("matmul"), [38, 31])
+        finally:
+            tc.close()
+
+
+class TestAggregateCacheInfo:
+    def test_survives_garbage_collection(self, benchmarks):
+        import gc
+
+        def run():  # a driver-internal toolchain becoming cyclic garbage
+            tc = HLSToolchain()
+            tc.cycle_count_with_passes(benchmarks["matmul"], [38, 31])
+
+        before = HLSToolchain.aggregate_cache_info().get("memo_misses", 0)
+        run()
+        gc.collect()  # collects the toolchain<->engine cycle, retiring it
+        after = HLSToolchain.aggregate_cache_info().get("memo_misses", 0)
+        assert after >= before + 1
+
+    def test_close_retires_once(self, benchmarks):
+        tc = HLSToolchain()
+        tc.cycle_count_with_passes(benchmarks["matmul"], [38])
+        tc.close()
+        snapshot = dict(HLSToolchain._retired_cache_totals)
+        tc.close()  # idempotent: no double counting
+        assert HLSToolchain._retired_cache_totals == snapshot
+
+
+class TestServer:
+    def test_json_protocol_end_to_end(self, tmp_path):
+        socket_path = str(tmp_path / "eval.sock")
+        server = EvaluationServer(socket_path, workers=1,
+                                  store_dir=str(tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            deadline = time.time() + 10
+            while not os.path.exists(socket_path) and time.time() < deadline:
+                time.sleep(0.05)
+            assert request(socket_path, {"op": "ping"})["pong"]
+
+            reference = HLSToolchain()
+            expected = reference.cycle_count_with_passes(
+                chstone.build("matmul"), [38, 31])
+            reply = request(socket_path, {"op": "evaluate", "program": "matmul",
+                                          "sequence": [38, 31]})
+            assert reply["ok"] and reply["value"] == expected
+
+            reply = request(socket_path, {"op": "batch", "program": "matmul",
+                                          "sequences": [[38, 31], [38]]})
+            assert reply["ok"] and reply["values"][0] == expected
+
+            stats = request(socket_path, {"op": "stats"})
+            assert stats["ok"] and stats["store"]["records"] >= 2
+
+            bad = request(socket_path, {"op": "evaluate",
+                                        "program": "no-such-benchmark",
+                                        "sequence": []})
+            assert not bad["ok"] and "no-such-benchmark" in bad["error"]
+        finally:
+            request(socket_path, {"op": "shutdown"})
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+def test_bench_service_smoke(tmp_path, benchmarks):
+    """Satellite: the service benchmark must be runnable in smoke mode
+    from the tier-1 suite (tiny workload, throwaway store)."""
+    import sys
+
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        import bench_service
+    finally:
+        sys.path.remove(bench_dir)
+
+    result = bench_service.run_bench(store_root=str(tmp_path), smoke=True,
+                                     worker_counts=(1,))
+    assert result["identical"]
+    for row in result["runs"]:
+        if row["phase"] == "warm":
+            assert row["samples"] == 0
+            assert row["evals_per_sec"] > result["baseline_evals_per_sec"]
