@@ -1,0 +1,256 @@
+"""RL training throughput: vectorized rollout lanes vs the sequential
+loop, over the engine and service backends.
+
+The workload is the paper's generalization agent (PPO, pass-histogram
+observation) trained on a repeated-programs corpus — the shape where
+rollout throughput, not simulator work, bounds training. Episode-seeded
+rollouts (every episode draws its program and actions from a stream
+keyed by its episode index) make the run *lane-count invariant*: lanes
+∈ {1, 4, 8} execute the identical episodes, pay the identical simulator
+samples, and produce the identical rewards — so wall-clock differences
+measure the vectorization alone.
+
+Three measurements:
+
+* **legacy anchor** — the pre-vectorization sequential loop
+  (``_train_agent_legacy``) vs ``Trainer(lanes=1)`` in default mode:
+  rewards/samples must match bit-for-bit (Fig 8/9 stay anchored).
+  Histogram observations put the trainer on the sequence-space path (no
+  per-lane module at all): cold misses pay the engine's materialization
+  instead of an incremental pass apply (a little dearer), while warm
+  revisits skip module work entirely — the warm sweep is where that
+  trade pays off.
+* **cold sweep** — fresh caches per lane count: identical samples at
+  every width (the invariance check), wall-clock recorded.
+* **warm sweep** — same toolchain re-trained (every evaluation answers
+  from the engine memo / persistent store, zero simulator samples): the
+  rollout layer is the bottleneck, and lanes ≥ 4 must beat the
+  sequential lanes=1 run.
+
+Appends one trajectory entry to ``BENCH_rl.json`` per run. Run via
+``python benchmarks/bench_rl.py`` or pytest; the tier-1 suite runs it
+in smoke mode through ``tests/test_trainer.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.programs import chstone
+from repro.rl.agents import _train_agent_legacy, train_agent
+from repro.rl.trainer import Trainer
+from repro.toolchain import HLSToolchain
+
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_rl.json")
+
+PROGRAM = "mpeg2"
+
+# Episode budgets must be divisible by every lane count so update
+# boundaries align with wave boundaries (the lane-invariance condition).
+DEFAULT = dict(episodes=96, episode_length=10, hidden=(64, 64), repeat=4,
+               anchor_episodes=12, warm_repeats=3)
+SMOKE = dict(episodes=24, episode_length=6, hidden=(32, 32), repeat=2,
+             anchor_episodes=6, warm_repeats=5)
+
+
+def _make_toolchain(backend: str, store: Optional[str]) -> HLSToolchain:
+    if backend == "service":
+        return HLSToolchain(backend="service",
+                            service_config={"workers": 1, "store_dir": store})
+    return HLSToolchain(backend="engine")
+
+
+def _train_once(corpus, toolchain, lanes: int, params: Dict, seed: int):
+    trainer = Trainer(
+        "RL-PPO2", corpus, episodes=params["episodes"],
+        update_every=params["episodes"], lanes=lanes,
+        episode_length=params["episode_length"], observation="histogram",
+        hidden=params["hidden"], episode_seeding=True,
+        toolchain=toolchain, seed=seed)
+    t0 = time.perf_counter()
+    result = trainer.train()
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "rollout_seconds": trainer.seconds["rollout"],
+        "samples": toolchain.samples_taken,
+        "evaluations": result.samples,
+        "episodes_per_sec": len(result.episode_rewards) / elapsed,
+        "rewards": list(result.episode_rewards),
+        "best_sequence": list(result.best_sequence),
+    }
+
+
+def run_bench(store_root: Optional[str] = None, smoke: bool = False,
+              lane_counts: Sequence[int] = (1, 4, 8),
+              backends: Sequence[str] = ("engine", "service"),
+              seed: int = 1) -> Dict:
+    params = SMOKE if smoke else DEFAULT
+    module = chstone.build(PROGRAM)
+    corpus = [module] * params["repeat"]
+
+    owned_root = store_root is None
+    root = store_root or tempfile.mkdtemp(prefix="repro-bench-rl-")
+    try:
+        # --- legacy anchor: lanes=1 must reproduce the sequential loop ---
+        anchor_kw = dict(episodes=params["anchor_episodes"],
+                         episode_length=params["episode_length"],
+                         observation="histogram", hidden=params["hidden"],
+                         seed=seed)
+        t0 = time.perf_counter()
+        legacy = _train_agent_legacy("RL-PPO2", corpus, **anchor_kw)
+        legacy_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        anchored = train_agent("RL-PPO2", corpus, lanes=1, **anchor_kw)
+        anchored_seconds = time.perf_counter() - t0
+        legacy_identical = (
+            legacy.episode_rewards == anchored.episode_rewards
+            and legacy.best_sequence == anchored.best_sequence
+            and legacy.samples == anchored.samples)
+
+        # --- cold / warm lane sweeps per backend -------------------------
+        runs: List[Dict] = []
+        invariant = True
+        reference: Dict[str, Dict] = {}
+        for backend in backends:
+            for lanes in lane_counts:
+                store = os.path.join(root, f"{backend}-l{lanes}")
+                toolchain = _make_toolchain(backend, store)
+                cold = _train_once(corpus, toolchain, lanes, params, seed)
+                warms = [_train_once(corpus, toolchain, lanes, params, seed)
+                         for _ in range(params["warm_repeats"])]
+                warm = min(warms, key=lambda w: w["seconds"])
+                ref = reference.setdefault(backend, cold)
+                invariant &= (cold["rewards"] == ref["rewards"]
+                              and cold["samples"] == ref["samples"]
+                              and cold["best_sequence"] == ref["best_sequence"])
+                runs.append({
+                    "backend": backend, "lanes": lanes,
+                    "cold_seconds": cold["seconds"],
+                    "cold_samples": cold["samples"],
+                    "warm_seconds": warm["seconds"],
+                    "warm_rollout_seconds": warm["rollout_seconds"],
+                    "warm_samples": warm["samples"],
+                    "warm_episodes_per_sec": warm["episodes_per_sec"],
+                    "evaluations": cold["evaluations"],
+                })
+                close = getattr(toolchain, "close", None)
+                if close is not None:
+                    close()
+        return {
+            "program": PROGRAM,
+            "episodes": params["episodes"],
+            "legacy_seconds": legacy_seconds,
+            "anchored_seconds": anchored_seconds,
+            "legacy_identical": legacy_identical,
+            "speedup_vs_legacy": legacy_seconds / anchored_seconds,
+            "invariant": invariant,
+            "runs": runs,
+        }
+    finally:
+        if owned_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def vectorization_speedups(result: Dict, backend: str = "engine") -> Dict[int, float]:
+    """warm wall-clock of the sequential run over each lane count's."""
+    rows = {r["lanes"]: r for r in result["runs"] if r["backend"] == backend}
+    base = rows[1]["warm_seconds"]
+    return {lanes: base / row["warm_seconds"] for lanes, row in rows.items()}
+
+
+def append_trajectory(result: Dict) -> None:
+    """One github-action-benchmark style entry list per run, newest last."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    entry = [
+        {"name": "legacy_loop_seconds", "unit": "s",
+         "value": round(result["legacy_seconds"], 4)},
+        {"name": "trainer_lanes1_vs_legacy_speedup", "unit": "x",
+         "value": round(result["speedup_vs_legacy"], 3)},
+    ]
+    for run in result["runs"]:
+        prefix = f"{run['backend']}_l{run['lanes']}"
+        entry.append({"name": f"{prefix}_cold_seconds", "unit": "s",
+                      "value": round(run["cold_seconds"], 4)})
+        entry.append({"name": f"{prefix}_warm_episodes_per_sec", "unit": "ep/s",
+                      "value": round(run["warm_episodes_per_sec"], 2)})
+    history.append(entry)
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    lines = [
+        f"workload: RL-PPO2 (histogram obs), {result['episodes']} episode-seeded "
+        f"episodes on repeated '{result['program']}'",
+        f"legacy sequential loop : {result['legacy_seconds']:7.3f}s",
+        f"trainer lanes=1        : {result['anchored_seconds']:7.3f}s "
+        f"({result['speedup_vs_legacy']:.2f}x, bit-identical="
+        f"{result['legacy_identical']})",
+    ]
+    for run in result["runs"]:
+        lines.append(
+            f"{run['backend']:<7} lanes={run['lanes']}: "
+            f"cold {run['cold_seconds']:6.2f}s ({run['cold_samples']} samples)  "
+            f"warm {1000 * run['warm_seconds']:7.1f}ms "
+            f"(rollout {1000 * run['warm_rollout_seconds']:6.1f}ms, "
+            f"{run['warm_episodes_per_sec']:7.1f} ep/s, "
+            f"{run['warm_samples']} samples)")
+    lines.append(f"lane-count invariant   : {result['invariant']}")
+    return "\n".join(lines)
+
+
+def _check(result: Dict, require_wallclock: bool = True) -> List[str]:
+    """The acceptance conditions; returns a list of violations."""
+    problems = []
+    if not result["legacy_identical"]:
+        problems.append("trainer lanes=1 diverged from the legacy loop")
+    if not result["invariant"]:
+        problems.append("cold runs were not lane-count invariant")
+    engine = {r["lanes"]: r for r in result["runs"]
+              if r["backend"] == "engine"}
+    base = engine.get(1)
+    for lanes, row in sorted(engine.items()):
+        if row["warm_samples"] != 0:
+            problems.append(f"warm engine run at lanes={lanes} took samples")
+        if base is None or lanes < 4:
+            continue
+        if row["warm_rollout_seconds"] >= base["warm_rollout_seconds"]:
+            problems.append(
+                f"vectorized rollout (lanes={lanes}) did not beat sequential")
+        if require_wallclock and row["warm_seconds"] >= base["warm_seconds"]:
+            problems.append(
+                f"vectorized training (lanes={lanes}) did not beat the "
+                f"sequential loop's wall-clock")
+    return problems
+
+
+def test_rl_training_throughput(tmp_path):
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    smoke = os.environ.get("REPRO_SCALE", "smoke") == "smoke"
+    result = run_bench(store_root=str(tmp_path), smoke=smoke)
+    emit("BENCH rl — vectorized rollout lanes vs sequential training",
+         _render(result))
+    append_trajectory(result)
+    problems = _check(result, require_wallclock=not smoke)
+    assert not problems, "; ".join(problems) + "\n" + _render(result)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(_render(result))
+    append_trajectory(result)
+    problems = _check(result)
+    if problems:
+        raise SystemExit("; ".join(problems))

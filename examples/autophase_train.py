@@ -1,23 +1,29 @@
 #!/usr/bin/env python3
-"""AutoPhase end-to-end: train a PPO agent on random programs, then apply
-it zero-shot (one simulator sample) to the nine CHStone-like benchmarks —
-a miniature of the paper's §6.2 / Figure 9 protocol.
+"""AutoPhase end-to-end: train a PPO agent on random programs through
+the vectorized trainer, checkpoint it, then apply it zero-shot (one
+simulator sample) to the nine CHStone-like benchmarks — a miniature of
+the paper's §6.2 / Figure 9 protocol.
 
 Run:  python examples/autophase_train.py          (a few minutes)
       REPRO_SCALE=smoke python examples/autophase_train.py   (fast)
+      REPRO_TRAIN_LANES=4 python examples/autophase_train.py (vectorized)
 """
+
+import os
 
 from repro.experiments.config import get_scale
 from repro.experiments.fig5_fig6 import run_fig5_fig6
 from repro.programs import chstone
 from repro.programs.generator import generate_corpus
-from repro.rl.agents import infer_sequence, train_agent
+from repro.rl.agents import infer_sequence
+from repro.rl.trainer import Trainer
 from repro.passes.registry import PASS_TABLE
 from repro.toolchain import HLSToolchain
 
 
 def main() -> None:
     scale = get_scale()
+    lanes = int(os.environ.get("REPRO_TRAIN_LANES", "1"))
     tc = HLSToolchain()
 
     print(f"[1/4] generating {scale.n_train_programs} random training programs "
@@ -34,15 +40,21 @@ def main() -> None:
     print("      " + " ".join(PASS_TABLE[i] for i in action_indices))
 
     print(f"[3/4] training PPO (obs = features ⊕ pass histogram, "
-          f"instruction-count normalization) for {scale.fig8_episodes} episodes...")
-    result = train_agent("RL-PPO2", corpus, episodes=scale.fig8_episodes,
-                         episode_length=scale.episode_length,
-                         observation="both", normalization="instcount",
-                         feature_indices=feature_indices,
-                         action_indices=action_indices,
-                         reward_mode="log", seed=0)
-    print(f"      trained on {result.samples} simulator samples; "
+          f"instruction-count normalization) for {scale.fig8_episodes} episodes "
+          f"on {lanes} lane(s)...")
+    trainer = Trainer("RL-PPO2", corpus, episodes=scale.fig8_episodes,
+                      lanes=lanes, episode_length=scale.episode_length,
+                      observation="both", normalization="instcount",
+                      feature_indices=feature_indices,
+                      action_indices=action_indices,
+                      reward_mode="log", seed=0)
+    result = trainer.train()
+    trainer.save_checkpoint("autophase_ppo.npz")
+    print(f"      trained on {result.samples} candidate evaluations; "
           f"final episode-reward-mean {result.episode_reward_mean()[-1]:+.2f}")
+    print(f"      wall-clock {trainer.seconds['total']:.1f}s "
+          f"(rollout {trainer.seconds['rollout']:.1f}s); "
+          f"checkpoint -> autophase_ppo.npz")
 
     print("[4/4] zero-shot inference on the nine benchmarks (1 sample each):")
     improvements = []

@@ -3,8 +3,9 @@
     python -m repro tables
     python -m repro fig5 [--scale smoke|default|full] [--cache-stats]
     python -m repro fig7 [--scale ...] [--algorithms -O3,Random,...]
-    python -m repro fig8
-    python -m repro fig9
+    python -m repro fig8 [--lanes N]
+    python -m repro fig9 [--lanes N]
+    python -m repro train [--agent RL-PPO2] [--lanes N] [--checkpoint PATH]
     python -m repro compile <benchmark> [--passes "-mem2reg -loop-rotate ..."]
     python -m repro serve --socket /tmp/repro.sock [--workers 4]
     python -m repro cache stats|clear|export [--store DIR]
@@ -14,7 +15,10 @@ All figure commands print the rendered artifact and write CSVs under
 the engine/service cache counters aggregated over every toolchain the
 run created. ``serve`` exposes the sharded, persistently cached
 evaluation service on a Unix socket; the ``cache`` subcommands manage
-its on-disk result store.
+its on-disk result store. ``train`` drives one Table-3 agent through
+the vectorized trainer — ``--lanes N`` batches N episodes per policy
+step, ``--checkpoint`` saves (and, when the file exists, resumes)
+policy weights + normalizer + RNG state.
 """
 
 from __future__ import annotations
@@ -74,6 +78,52 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    import os
+
+    from .programs.generator import generate_corpus
+    from .rl.trainer import Trainer
+
+    scale = get_scale(args.scale)
+    if args.benchmark:
+        programs = [chstone.build(args.benchmark)]
+        source = f"benchmark {args.benchmark!r}"
+    else:
+        programs = generate_corpus(scale.n_train_programs, seed=args.seed)
+        source = f"{len(programs)} random programs"
+    episodes = args.episodes if args.episodes is not None else scale.fig8_episodes
+    trainer = Trainer(
+        args.agent, programs, episodes=episodes, lanes=args.lanes,
+        episode_length=scale.episode_length,
+        observation=args.observation,
+        normalization=None if args.normalization == "none" else args.normalization,
+        reward_mode="log",
+        normalize_observations=args.obs_norm, seed=args.seed)
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        trainer.restore(args.checkpoint)
+        print(f"resumed from {args.checkpoint} "
+              f"({trainer.episodes_done}/{episodes} episodes done)")
+    print(f"training {args.agent} on {source}: {episodes} episodes, "
+          f"{args.lanes} lane(s)")
+    result = trainer.train()
+    if args.checkpoint:
+        trainer.save_checkpoint(args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint}")
+    curve = result.episode_reward_mean()
+    best = result.best_cycles if result.best_cycles is not None else "n/a"
+    print(f"episodes {len(result.episode_rewards)}  "
+          f"best_cycles {best}  candidate evaluations {result.samples}  "
+          f"simulator samples {trainer.vec.toolchain.samples_taken}")
+    if curve:
+        print(f"episode-reward-mean: first {curve[0]:+.3f}  last {curve[-1]:+.3f}")
+    print(f"wall-clock {trainer.seconds['total']:.2f}s "
+          f"(rollout {trainer.seconds['rollout']:.2f}s, "
+          f"update {trainer.seconds['update']:.2f}s)")
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .service.store import ResultStore
 
@@ -102,6 +152,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         if fig == "fig7":
             p.add_argument("--algorithms", default=None,
                            help="comma-separated subset of the Figure 7 algorithms")
+        if fig in ("fig8", "fig9"):
+            p.add_argument("--lanes", type=int, default=1,
+                           help="vectorized rollout lanes for the RL training "
+                                "(1 = bit-anchored sequential loop)")
+
+    pt = sub.add_parser("train", help="train one Table-3 agent (vectorized)")
+    from .rl.agents import AGENT_NAMES as _AGENTS
+
+    pt.add_argument("--agent", choices=list(_AGENTS), default="RL-PPO2")
+    pt.add_argument("--episodes", type=int, default=None,
+                    help="episode budget (default: the scale profile's fig8 budget)")
+    pt.add_argument("--lanes", type=int, default=1,
+                    help="parallel episode lanes (batched policy + evaluation)")
+    pt.add_argument("--checkpoint", default=None,
+                    help="checkpoint file: resumed from when it exists, "
+                         "saved to after training")
+    pt.add_argument("--benchmark", choices=list(chstone.BENCHMARK_NAMES),
+                    default=None,
+                    help="train on one CHStone-like benchmark instead of the "
+                         "random corpus")
+    pt.add_argument("--observation", choices=["features", "histogram", "both"],
+                    default=None,
+                    help="override the agent's Table-3 observation space "
+                         "(default: the agent's own; 'both' is the Fig 8 "
+                         "generalization setup)")
+    pt.add_argument("--normalization", choices=["none", "log", "instcount"],
+                    default="none",
+                    help="feature normalization (§5.3): default 'none' is the "
+                         "Table-3 setup; 'instcount' is the Fig 8 "
+                         "generalization choice")
+    pt.add_argument("--obs-norm", action="store_true",
+                    help="whiten observations with a running normalizer")
+    pt.add_argument("--seed", type=int, default=0)
+    _add_scale(pt)
+    _add_cache_stats(pt)
 
     pc = sub.add_parser("compile", help="compile one benchmark with a pass sequence")
     pc.add_argument("benchmark", choices=list(chstone.BENCHMARK_NAMES))
@@ -140,6 +225,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
 
+    if args.command == "train":
+        return _cmd_train(args)
+
     if args.command == "compile":
         tc = HLSToolchain()
         module = chstone.build(args.benchmark)
@@ -165,11 +253,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.render())
         result.to_csv()
     elif args.command == "fig8":
-        result = run_fig8(scale=scale)
+        result = run_fig8(scale=scale, lanes=args.lanes)
         print(result.render())
         result.to_csv()
     elif args.command == "fig9":
-        result = run_fig9(scale=scale)
+        result = run_fig9(scale=scale, lanes=args.lanes)
         print(result.render())
         result.to_csv()
     if args.cache_stats:

@@ -128,7 +128,10 @@ def run_fig7(benchmarks: Optional[Dict[str, Module]] = None,
                     cfg.multiaction_episodes if algo == "RL-PPO3" else cfg.rl_episodes)
                 r = train_agent(algo, [module], episodes=episodes,
                                 episode_length=cfg.episode_length, seed=prog_seed)
-                cycles, n = r.best_cycles, r.samples
+                # best_cycles is None when every episode failed HLS
+                # compilation — score the row as "no improvement" at -O0.
+                cycles = r.best_cycles if r.best_cycles is not None else o0[name]
+                n = r.samples
             else:
                 raise KeyError(f"unknown algorithm {algo!r}")
             per_program[name] = _improvement(o3[name], cycles)

@@ -58,7 +58,10 @@ class Fig8Result:
 
 def run_fig8(programs: Optional[Sequence[Module]] = None,
              scale: Optional[ExperimentScale] = None,
-             seed: int = 0) -> Fig8Result:
+             seed: int = 0, lanes: int = 1) -> Fig8Result:
+    """``lanes=1`` (default) keeps the learning curves bit-anchored to
+    the seed's sequential loop; more lanes batch episodes through the
+    vectorized rollout layer for throughput."""
     cfg = scale or get_scale()
     corpus = list(programs) if programs is not None else generate_corpus(
         cfg.n_train_programs, seed=seed)
@@ -84,7 +87,7 @@ def run_fig8(programs: Optional[Sequence[Module]] = None,
         result = train_agent(
             "RL-PPO2", corpus, episodes=cfg.fig8_episodes,
             episode_length=cfg.episode_length, observation="both",
-            reward_mode="log", seed=seed, **spec)
+            reward_mode="log", seed=seed, lanes=lanes, **spec)
         curves[variant] = result.episode_reward_mean()
         results[variant] = result
     return Fig8Result(curves=curves, results=results,

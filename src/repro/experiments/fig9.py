@@ -117,7 +117,8 @@ def run_fig9(corpus: Optional[Sequence[Module]] = None,
              scale: Optional[ExperimentScale] = None,
              include_random_test: bool = True,
              seed: int = 0,
-             toolchain: Optional[HLSToolchain] = None) -> Fig9Result:
+             toolchain: Optional[HLSToolchain] = None,
+             lanes: int = 1) -> Fig9Result:
     cfg = scale or get_scale()
     toolchain = toolchain or HLSToolchain()
     corpus = list(corpus) if corpus is not None else generate_corpus(cfg.n_train_programs, seed=seed)
@@ -162,7 +163,8 @@ def run_fig9(corpus: Optional[Sequence[Module]] = None,
                              episode_length=cfg.episode_length, observation="both",
                              feature_indices=feature_indices,
                              action_indices=action_indices,
-                             normalization=norm, reward_mode="log", seed=seed)
+                             normalization=norm, reward_mode="log", seed=seed,
+                             lanes=lanes)
         trained[variant] = (result, norm)
         per = {}
         for name, module in benchmarks.items():

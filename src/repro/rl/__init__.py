@@ -1,13 +1,16 @@
 """repro.rl — deep-RL machinery: NumPy networks, PPO / A2C("A3C") / ES,
-the phase-ordering environments, normalization, and the five Table-3
-agent configurations."""
+the phase-ordering environments (sequential and vectorized),
+normalization, the unified trainer, and the five Table-3 agent
+configurations."""
 
-from .nn import MLP, Adam, categorical_entropy, log_softmax, sample_categorical, softmax
-from .normalization import NORMALIZERS, normalize_features, normalize_reward
+from .nn import MLP, Adam, StackedMLP, categorical_entropy, log_softmax, sample_categorical, softmax
+from .normalization import NORMALIZERS, RunningNormalizer, normalize_features, normalize_reward
 from .env import MultiActionEnv, PhaseOrderEnv
+from .vec_env import MultiActionVectorEnv, VectorEnv, make_vector_env
 from .ppo import PPOAgent, PPOConfig, Rollout
 from .a2c import A2CAgent, A2CConfig
 from .es import ESAgent, ESConfig
+from .trainer import Trainer
 from .agents import (
     AGENT_NAMES,
     TABLE3,
@@ -18,11 +21,13 @@ from .agents import (
 )
 
 __all__ = [
-    "MLP", "Adam", "categorical_entropy", "log_softmax", "sample_categorical", "softmax",
-    "NORMALIZERS", "normalize_features", "normalize_reward",
+    "MLP", "Adam", "StackedMLP", "categorical_entropy", "log_softmax", "sample_categorical", "softmax",
+    "NORMALIZERS", "RunningNormalizer", "normalize_features", "normalize_reward",
     "MultiActionEnv", "PhaseOrderEnv",
+    "MultiActionVectorEnv", "VectorEnv", "make_vector_env",
     "PPOAgent", "PPOConfig", "Rollout",
     "A2CAgent", "A2CConfig",
     "ESAgent", "ESConfig",
+    "Trainer",
     "AGENT_NAMES", "TABLE3", "TrainResult", "infer_sequence", "make_agent", "train_agent",
 ]

@@ -44,15 +44,46 @@ class A2CAgent:
         self.rng = np.random.default_rng(cfg.seed + 2)
 
     def act(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
-        logits = self.actor(np.asarray(obs)[None, :])[0]
-        action = int(sample_categorical(self.rng, logits[None, :])[0])
-        log_prob = float(log_softmax(logits[None, :])[0, action])
-        value = float(self.critic(np.asarray(obs)[None, :])[0, 0])
-        return np.array([action]), log_prob, value
+        actions, log_probs, values = self.act_batch(np.asarray(obs)[None, :])
+        return actions[0], float(log_probs[0]), float(values[0])
+
+    def act_batch(self, obs: np.ndarray, rngs: Optional[list] = None
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample actions for a (B, obs) matrix in one actor/critic pass.
+        Returns (actions (B, 1), log_probs (B,), values (B,)); a batch of
+        one consumes the RNG exactly like :meth:`act`. ``rngs`` supplies
+        one per-row generator for episode-seeded rollouts."""
+        obs = np.asarray(obs, dtype=np.float64)
+        logits = self.actor(obs)                            # (B, A)
+        if rngs is None:
+            actions = sample_categorical(self.rng, logits)  # (B,)
+        else:
+            actions = np.stack([sample_categorical(rng, row)
+                                for rng, row in zip(rngs, logits)])
+        log_probs = log_softmax(logits)[np.arange(obs.shape[0]), actions]
+        values = self.critic(obs)[:, 0]
+        return actions[:, None], log_probs, values
 
     def act_greedy(self, obs: np.ndarray) -> np.ndarray:
-        logits = self.actor(np.asarray(obs)[None, :])[0]
-        return np.array([int(np.argmax(logits))])
+        return self.act_greedy_batch(np.asarray(obs)[None, :])[0]
+
+    def act_greedy_batch(self, obs: np.ndarray) -> np.ndarray:
+        logits = self.actor(np.asarray(obs, dtype=np.float64))
+        return np.argmax(logits, axis=-1)[:, None]
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"actor": self.actor.get_flat(), "critic": self.critic.get_flat(),
+                "actor_opt": self.actor_opt.get_state(),
+                "critic_opt": self.critic_opt.get_state(),
+                "rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.actor.set_flat(np.asarray(state["actor"]))
+        self.critic.set_flat(np.asarray(state["critic"]))
+        self.actor_opt.set_state(state["actor_opt"])
+        self.critic_opt.set_state(state["critic_opt"])
+        self.rng.bit_generator.state = state["rng"]
 
     def update(self, rollout: Rollout) -> Dict[str, float]:
         """One synchronous batch update: ∇logπ·Â + critic regression."""

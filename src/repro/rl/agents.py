@@ -10,7 +10,13 @@
 
 ``train_agent`` dispatches on the configuration and returns a
 :class:`TrainResult` with the best sequence found, the simulator sample
-count, and the per-episode reward history (Figure 8's y-axis).
+count, and the per-episode reward history (Figure 8's y-axis). It is a
+thin compatibility wrapper over :class:`~repro.rl.trainer.Trainer`, the
+vectorized rollout driver — ``lanes=1`` (the default) reproduces the
+legacy sequential loops draw-for-draw (``_train_agent_legacy`` below
+keeps the reference implementation the determinism tests compare
+against), while ``lanes=N`` batches N episodes per policy step through
+the engine/service stack.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from .normalization import normalize_features
 from .ppo import PPOAgent, PPOConfig, Rollout
 
 __all__ = ["AGENT_NAMES", "TABLE3", "TrainResult", "make_agent", "train_agent",
-           "infer_sequence"]
+           "infer_sequence"]  # Trainer/VectorEnv live in .trainer/.vec_env
 
 AGENT_NAMES = ("RL-PPO1", "RL-PPO2", "RL-PPO3", "RL-A3C", "RL-ES")
 
@@ -48,7 +54,9 @@ TABLE3: Dict[str, Tuple[str, str, str]] = {
 @dataclass
 class TrainResult:
     agent_name: str
-    best_cycles: int
+    # None when every episode failed HLS compilation (no candidate was
+    # ever profiled) — int(np.inf) used to raise OverflowError here.
+    best_cycles: Optional[int]
     best_sequence: List[int]
     samples: int
     episode_rewards: List[float] = field(default_factory=list)
@@ -85,7 +93,8 @@ def make_agent(name: str, programs: Sequence[Module],
                   feature_indices=feature_indices,
                   normalization=normalization, reward_mode=reward_mode, seed=seed)
     if name == "RL-PPO3":
-        env = MultiActionEnv(observation="both", sequence_length=episode_length,
+        env = MultiActionEnv(observation=observation or "both",
+                             sequence_length=episode_length,
                              episode_length=max(4, episode_length // 3), **common)
         agent = PPOAgent(env.observation_dim, MultiActionEnv.SUB_ACTIONS,
                          heads=env.num_slots,
@@ -112,8 +121,27 @@ def make_agent(name: str, programs: Sequence[Module],
 
 
 def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
-                update_every: int = 2, **kwargs) -> TrainResult:
-    """Train one configuration; returns best-found sequence + bookkeeping."""
+                update_every: int = 2, lanes: int = 1, **kwargs) -> TrainResult:
+    """Train one configuration; returns best-found sequence + bookkeeping.
+
+    Compatibility wrapper over :class:`~repro.rl.trainer.Trainer`:
+    ``lanes=1`` reproduces the legacy sequential loop bit-for-bit,
+    ``lanes=N`` runs N episode lanes per synchronized policy step with
+    all pending evaluations batched through the engine/service stack.
+    """
+    from .trainer import Trainer
+
+    trainer = Trainer(name, programs, episodes=episodes,
+                      update_every=update_every, lanes=lanes, **kwargs)
+    return trainer.train()
+
+
+def _train_agent_legacy(name: str, programs: Sequence[Module], episodes: int = 20,
+                        update_every: int = 2, **kwargs) -> TrainResult:
+    """The pre-vectorization sequential training loops, kept verbatim as
+    the anchored reference: the ``lanes=1`` determinism tests and the
+    RL benchmark compare :class:`Trainer` output against this
+    implementation reward-for-reward."""
     env, agent = make_agent(name, programs, **kwargs)
     env.toolchain.reset_sample_counter()
 
@@ -144,11 +172,9 @@ def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
         def evaluate_population(thetas) -> List[float]:
             # The ES generation's population-scoring seam: one
             # engine-backed episode per perturbed weight vector, in
-            # antithetic order. Episodes share the env and must stay
-            # sequential, so today this is trajectory-identical to the
-            # serial path (the memo still answers revisited sequences
-            # sample-free); a vectorized-env implementation would swap in
-            # a parallel scorer here without touching ESAgent.
+            # antithetic order. Trainer._score_population is the
+            # vectorized successor (lane-parallel, StackedMLP forward);
+            # this sequential scorer stays as the anchored reference.
             scores = []
             for theta in thetas:
                 agent.policy.set_flat(theta)
@@ -194,7 +220,7 @@ def train_agent(name: str, programs: Sequence[Module], episodes: int = 20,
 
     return TrainResult(
         agent_name=name,
-        best_cycles=int(best_cycles),
+        best_cycles=int(best_cycles) if np.isfinite(best_cycles) else None,
         best_sequence=best_sequence,
         # Candidate evaluations, the same unit SequenceEvaluator.samples
         # reports for the black-box rows — Figure 7 compares one axis.

@@ -28,9 +28,84 @@ from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
 from ..toolchain import HLSToolchain, clone_module
 from .normalization import normalize_features, normalize_reward
 
-__all__ = ["PhaseOrderEnv", "MultiActionEnv"]
+__all__ = ["PhaseOrderEnv", "MultiActionEnv",
+           "phase_order_observation", "multi_action_observation",
+           "apply_cycle_result", "failure_reward", "initial_cycles_for"]
 
 ObservationMode = str  # 'features' | 'histogram' | 'both'
+
+
+def apply_cycle_result(state, value, sequence) -> float:
+    """Fold a new objective value into episode state — prev/best tracking
+    shared by the sequential envs and the vectorized lanes (one source of
+    truth, so transition semantics can't drift between them). Returns the
+    improvement delta the reward is shaped from."""
+    delta = state.prev_cycles - value
+    state.prev_cycles = value
+    if value < state.best_cycles:
+        state.best_cycles = value
+        state.best_sequence = list(sequence)
+    return delta
+
+
+def failure_reward(reward_mode: Optional[str], prev_cycles) -> float:
+    """The single-action envs' HLS-compilation-failure shaping: strongly
+    negative signal, scaled to the episode's last cycle count unless the
+    log reward keeps magnitudes bounded."""
+    return -1.0 if reward_mode == "log" else -float(prev_cycles)
+
+
+def initial_cycles_for(owner, program_index: int) -> int:
+    """-O0 cycles per program index through ``owner._initial_cycles_cache``
+    — resets must not re-profile the unoptimized base program every
+    episode (a cache miss counts one candidate evaluation)."""
+    cached = owner._initial_cycles_cache.get(program_index)
+    if cached is None:
+        owner.evaluations += 1
+        cached = owner.toolchain.cycle_count_with_passes(
+            owner.programs[program_index], [])
+        owner._initial_cycles_cache[program_index] = cached
+    return cached
+
+
+def phase_order_observation(observation: ObservationMode,
+                            module: Optional[Module],
+                            histogram: np.ndarray,
+                            feature_indices: Optional[Sequence[int]],
+                            normalization: Optional[str]) -> np.ndarray:
+    """Single-action observation assembly — one source of truth shared by
+    :class:`PhaseOrderEnv` and the vectorized lanes, so feature
+    normalization/filtering can never drift between them."""
+    parts: List[np.ndarray] = []
+    if observation in ("features", "both"):
+        assert module is not None
+        raw = extract_features(module)
+        normed = normalize_features(raw, normalization)
+        if feature_indices is not None:
+            normed = normed[feature_indices]
+        parts.append(normed)
+    if observation in ("histogram", "both"):
+        parts.append(histogram.astype(np.float64))
+    return np.concatenate(parts)
+
+
+def multi_action_observation(observation: ObservationMode,
+                             module: Optional[Module],
+                             indices: np.ndarray,
+                             feature_indices: Optional[Sequence[int]],
+                             normalization: Optional[str]) -> np.ndarray:
+    """§5.2 observation assembly: the current index vector (always
+    visible) plus optional program features. Shared by
+    :class:`MultiActionEnv` and the vectorized lanes."""
+    parts = [indices.astype(np.float64) / NUM_ACTIONS]
+    if observation in ("features", "both"):
+        assert module is not None
+        raw = extract_features(module)
+        normed = normalize_features(raw, normalization)
+        if feature_indices is not None:
+            normed = normed[feature_indices]
+        parts.append(normed)
+    return np.concatenate(parts)
 
 
 class PhaseOrderEnv:
@@ -82,6 +157,7 @@ class PhaseOrderEnv:
         self.reward_mode = reward_mode
         self.zero_reward = zero_reward
         self.use_terminate = use_terminate
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
         # episode state
@@ -160,29 +236,19 @@ class PhaseOrderEnv:
         except HLSCompilationError:
             # The sequence broke HLS compilation (e.g. blew the step
             # budget): strongly negative signal, episode over.
-            return self._observe(), -1.0 if self.reward_mode == "log" else -float(self.prev_cycles), True, self._info(failed=True)
+            return (self._observe(),
+                    failure_reward(self.reward_mode, self.prev_cycles),
+                    True, self._info(failed=True))
 
-        delta = self.prev_cycles - cycles
-        self.prev_cycles = cycles
-        if cycles < self.best_cycles:
-            self.best_cycles = cycles
-            self.best_sequence = list(self.applied)
+        delta = apply_cycle_result(self, cycles, self.applied)
         reward = 0.0 if self.zero_reward else normalize_reward(delta, self.reward_mode)
         return self._observe(), reward, done, self._info()
 
     # -- helpers -------------------------------------------------------------------
     def _observe(self) -> np.ndarray:
-        parts: List[np.ndarray] = []
-        if self.observation in ("features", "both"):
-            assert self.module is not None
-            raw = extract_features(self.module)
-            normed = normalize_features(raw, self.normalization)
-            if self.feature_indices is not None:
-                normed = normed[self.feature_indices]
-            parts.append(normed)
-        if self.observation in ("histogram", "both"):
-            parts.append(self.histogram.astype(np.float64))
-        return np.concatenate(parts)
+        return phase_order_observation(self.observation, self.module,
+                                       self.histogram, self.feature_indices,
+                                       self.normalization)
 
     def _info(self, terminated: bool = False, failed: bool = False) -> Dict:
         return {
@@ -231,6 +297,7 @@ class MultiActionEnv:
         self.feature_indices = list(feature_indices) if feature_indices is not None else None
         self.normalization = normalization
         self.reward_mode = reward_mode
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
         self.indices = np.full(sequence_length, NUM_ACTIONS // 2, dtype=np.int64)
@@ -292,13 +359,7 @@ class MultiActionEnv:
         return self.toolchain.cycle_count(self.module)
 
     def _initial_cycles_for(self, program_index: int) -> int:
-        cached = self._initial_cycles_cache.get(program_index)
-        if cached is None:
-            self.evaluations += 1
-            cached = self.toolchain.cycle_count_with_passes(
-                self.programs[program_index], [])
-            self._initial_cycles_cache[program_index] = cached
-        return cached
+        return initial_cycles_for(self, program_index)
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
         action = np.asarray(action)
@@ -314,24 +375,14 @@ class MultiActionEnv:
         except HLSCompilationError:
             return self._observe(), -1.0, True, self._info(failed=True)
 
-        delta = self.prev_cycles - cycles
-        self.prev_cycles = cycles
-        if cycles < self.best_cycles:
-            self.best_cycles = cycles
-            self.best_sequence = [int(i) for i in self.indices]
+        delta = apply_cycle_result(self, cycles, [int(i) for i in self.indices])
         reward = normalize_reward(delta, self.reward_mode)
         return self._observe(), reward, done, self._info()
 
     def _observe(self) -> np.ndarray:
-        parts = [self.indices.astype(np.float64) / NUM_ACTIONS]
-        if self.observation in ("features", "both"):
-            assert self.module is not None
-            raw = extract_features(self.module)
-            normed = normalize_features(raw, self.normalization)
-            if self.feature_indices is not None:
-                normed = normed[self.feature_indices]
-            parts.append(normed)
-        return np.concatenate(parts)
+        return multi_action_observation(self.observation, self.module,
+                                        self.indices, self.feature_indices,
+                                        self.normalization)
 
     def _info(self, failed: bool = False) -> Dict:
         return {

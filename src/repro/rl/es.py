@@ -49,12 +49,32 @@ class ESAgent:
 
     # -- acting -----------------------------------------------------------
     def act(self, obs: np.ndarray) -> np.ndarray:
-        logits = self.policy(np.asarray(obs)[None, :])[0]
-        return np.array([int(sample_categorical(self.rng, logits[None, :])[0])])
+        return self.act_batch(np.asarray(obs)[None, :])[0]
+
+    def act_batch(self, obs: np.ndarray) -> np.ndarray:
+        """Sample actions for a (B, obs) matrix under the *current*
+        policy weights — (B, 1); a batch of one consumes the RNG exactly
+        like :meth:`act`. (Population scoring, where every lane carries
+        its own perturbed weights, goes through
+        :class:`~repro.rl.nn.StackedMLP` in the vectorized trainer.)"""
+        logits = self.policy(np.asarray(obs, dtype=np.float64))  # (B, A)
+        return sample_categorical(self.rng, logits)[:, None]
 
     def act_greedy(self, obs: np.ndarray) -> np.ndarray:
-        logits = self.policy(np.asarray(obs)[None, :])[0]
-        return np.array([int(np.argmax(logits))])
+        return self.act_greedy_batch(np.asarray(obs)[None, :])[0]
+
+    def act_greedy_batch(self, obs: np.ndarray) -> np.ndarray:
+        logits = self.policy(np.asarray(obs, dtype=np.float64))
+        return np.argmax(logits, axis=-1)[:, None]
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"theta": self._theta.copy(), "rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._theta = np.asarray(state["theta"], dtype=np.float64).copy()
+        self.policy.set_flat(self._theta)
+        self.rng.bit_generator.state = state["rng"]
 
     # -- evolution ------------------------------------------------------------
     def train_step(self, evaluate: Callable[[], float],

@@ -13,8 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["MLP", "Adam", "log_softmax", "softmax", "sample_categorical",
-           "categorical_entropy"]
+__all__ = ["MLP", "Adam", "StackedMLP", "log_softmax", "softmax",
+           "sample_categorical", "categorical_entropy"]
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -112,6 +112,51 @@ class MLP:
         return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
 
 
+class StackedMLP:
+    """B same-shape MLPs with *independent* weights, evaluated in one
+    batched forward — the ES population scorer's policy: lane ``i`` of a
+    vectorized rollout carries perturbed parameter vector ``theta_i``, so
+    a synchronized step needs ``logits[i] = MLP(theta_i)(obs[i])`` for
+    every lane at once. Weights are stacked per layer as ``(B, in, out)``
+    and the forward is a single batched ``matmul`` chain instead of B
+    python-level MLP calls.
+
+    ``flats`` are flat parameter vectors in :meth:`MLP.get_flat` layout
+    (all weights, then all biases). Inference only — no backward.
+    """
+
+    def __init__(self, sizes: Sequence[int], flats: Sequence[np.ndarray]) -> None:
+        self.sizes = list(sizes)
+        self.count = len(flats)
+        if not flats:
+            raise ValueError("need at least one parameter vector")
+        stack = np.stack([np.asarray(f, dtype=np.float64) for f in flats])
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        offset = 0
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            size = fan_in * fan_out
+            self.weights.append(
+                stack[:, offset:offset + size].reshape(self.count, fan_in, fan_out))
+            offset += size
+        for fan_out in sizes[1:]:
+            self.biases.append(stack[:, offset:offset + fan_out])
+            offset += fan_out
+        if offset != stack.shape[1]:
+            raise ValueError(
+                f"parameter vectors of size {stack.shape[1]} do not match "
+                f"layer sizes {sizes} ({offset} expected)")
+
+    def __call__(self, obs: np.ndarray) -> np.ndarray:
+        """``obs`` is (B, in) — row i through network i. Returns (B, out)."""
+        h = np.asarray(obs, dtype=np.float64)[:, None, :]     # (B, 1, in)
+        n = len(self.weights)
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = np.matmul(h, w) + b[:, None, :]               # (B, 1, out)
+            h = np.tanh(z) if i < n - 1 else z
+        return h[:, 0, :]
+
+
 class Adam:
     """Adam bound to one MLP's (weights, biases) lists."""
 
@@ -125,6 +170,28 @@ class Adam:
         self.v_w = [np.zeros_like(w) for w in net.weights]
         self.m_b = [np.zeros_like(b) for b in net.biases]
         self.v_b = [np.zeros_like(b) for b in net.biases]
+
+    # -- checkpointing ------------------------------------------------------
+    def get_state(self) -> dict:
+        """Moment estimates flattened in :meth:`MLP.get_flat` layout."""
+        return {
+            "t": self.t,
+            "m": np.concatenate([a.ravel() for a in self.m_w]
+                                + [a.ravel() for a in self.m_b]),
+            "v": np.concatenate([a.ravel() for a in self.v_w]
+                                + [a.ravel() for a in self.v_b]),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.t = int(state["t"])
+        for flat, (tgt_w, tgt_b) in (
+                (np.asarray(state["m"]), (self.m_w, self.m_b)),
+                (np.asarray(state["v"]), (self.v_w, self.v_b))):
+            offset = 0
+            for arr in list(tgt_w) + list(tgt_b):
+                arr[...] = flat[offset:offset + arr.size].reshape(arr.shape)
+                offset += arr.size
+            assert offset == flat.size
 
     def step(self, grads_w: List[np.ndarray], grads_b: List[np.ndarray],
              max_grad_norm: Optional[float] = 0.5) -> None:

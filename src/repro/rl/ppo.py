@@ -80,16 +80,54 @@ class PPOAgent:
 
     def act(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
         """Sample an action. Returns (action[heads], log_prob, value)."""
-        logits = self._logits(np.asarray(obs)[None, :])[0]  # (heads, choices)
-        action = sample_categorical(self.rng, logits)
+        actions, log_probs, values = self.act_batch(np.asarray(obs)[None, :])
+        return actions[0], float(log_probs[0]), float(values[0])
+
+    def act_batch(self, obs: np.ndarray, rngs: Optional[list] = None
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample actions for a whole observation matrix (B, obs) in one
+        forward pass. Returns (actions (B, heads), log_probs (B,),
+        values (B,)). Row order is the RNG-consumption order, so a batch
+        of one consumes the generator exactly like :meth:`act`.
+        ``rngs`` (one generator per row) replaces the shared sampler —
+        the episode-seeded rollout mode, where a trajectory must not
+        depend on which lane ran it."""
+        obs = np.asarray(obs, dtype=np.float64)
+        logits = self._logits(obs)                          # (B, heads, choices)
+        if rngs is None:
+            actions = sample_categorical(self.rng, logits)  # (B, heads)
+        else:
+            actions = np.stack([sample_categorical(rng, row)
+                                for rng, row in zip(rngs, logits)])
         logp = log_softmax(logits)
-        log_prob = float(logp[np.arange(self.heads), action].sum())
-        value = float(self.value(np.asarray(obs)[None, :])[0, 0])
-        return action, log_prob, value
+        rows = np.arange(obs.shape[0])[:, None]
+        cols = np.arange(self.heads)[None, :]
+        log_probs = logp[rows, cols, actions].sum(axis=1)
+        values = self.value(obs)[:, 0]
+        return actions, log_probs, values
 
     def act_greedy(self, obs: np.ndarray) -> np.ndarray:
-        logits = self._logits(np.asarray(obs)[None, :])[0]
-        return np.argmax(logits, axis=-1)
+        return self.act_greedy_batch(np.asarray(obs)[None, :])[0]
+
+    def act_greedy_batch(self, obs: np.ndarray) -> np.ndarray:
+        """Argmax actions for a (B, obs) matrix — (B, heads), no RNG."""
+        return np.argmax(self._logits(np.asarray(obs, dtype=np.float64)), axis=-1)
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume training exactly: both networks,
+        both optimizers' moments, and the sampling RNG."""
+        return {"policy": self.policy.get_flat(), "value": self.value.get_flat(),
+                "policy_opt": self.policy_opt.get_state(),
+                "value_opt": self.value_opt.get_state(),
+                "rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.policy.set_flat(np.asarray(state["policy"]))
+        self.value.set_flat(np.asarray(state["value"]))
+        self.policy_opt.set_state(state["policy_opt"])
+        self.value_opt.set_state(state["value_opt"])
+        self.rng.bit_generator.state = state["rng"]
 
     # -- learning ---------------------------------------------------------------
     def compute_gae(self, rollout: Rollout, last_value: float = 0.0

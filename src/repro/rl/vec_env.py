@@ -1,0 +1,493 @@
+"""The vectorized rollout layer: N synchronized episode lanes.
+
+:class:`VectorEnv` (single-action :class:`~repro.rl.env.PhaseOrderEnv`
+semantics) and :class:`MultiActionVectorEnv`
+(:class:`~repro.rl.env.MultiActionEnv` semantics) run N *independent*
+episodes — each lane has its own program choice, pass history, reward
+accumulator and termination — but every synchronized step (and wave
+reset) collects all lanes' pending ``(program, sequence)`` scoring
+queries and resolves them through the evaluation stack in one shot:
+
+* ``backend="service"`` — one in-flight :meth:`EvaluationClient.submit`
+  future per query, so misses fan out across the sharded worker
+  processes concurrently;
+* ``backend="engine"`` — one :meth:`EvaluationEngine.evaluate_batch`
+  call per distinct program, deduplicating identical sequences across
+  lanes before anything touches the simulator;
+* no engine (``use_engine=False``) — the uncached per-lane fallback,
+  preserving the seed toolchain's semantics.
+
+Per-lane semantics are bit-identical to the sequential envs: the same
+reward/termination/failure rules, the same candidate-evaluation
+accounting (``evaluations`` counts one per reset/step query, cache hit
+or not, while ``toolchain.samples_taken`` keeps counting only true
+simulator invocations), and the same per-program initial-cycles cache
+for the multi-action formulation. Lane 0 draws programs from the
+template env's own RNG, so a one-lane vector env reproduces the
+sequential environment draw-for-draw.
+
+Histogram-only observations unlock a *sequence-space* fast path: the
+lane never materializes a module at all — the engine's memo/prefix-trie
+answers repeated trajectories without re-applying a single pass, which
+is what lets a warm training loop run at policy-network speed. Feature
+observations keep the sequential envs' incremental per-lane module and
+score through ``evaluate_prepared``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hls.profiler import HLSCompilationError
+from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
+from ..toolchain import clone_module
+from .env import (
+    MultiActionEnv,
+    PhaseOrderEnv,
+    apply_cycle_result,
+    failure_reward,
+    initial_cycles_for,
+    multi_action_observation,
+    phase_order_observation,
+)
+from .normalization import normalize_reward
+
+__all__ = ["VectorEnv", "MultiActionVectorEnv", "make_vector_env"]
+
+StepResult = Tuple[np.ndarray, float, bool, Dict]
+Query = Tuple["_Lane", tuple]
+
+
+class _Lane:
+    """One episode lane's private state (single- or multi-action)."""
+
+    __slots__ = ("rng", "program_index", "module", "histogram", "applied",
+                 "indices", "steps", "prev_cycles", "initial_cycles",
+                 "best_cycles", "best_sequence")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.program_index = 0
+        self.module = None
+        self.histogram = np.zeros(NUM_ACTIONS, dtype=np.int64)
+        self.applied: List[int] = []
+        self.indices: Optional[np.ndarray] = None
+        self.steps = 0
+        self.prev_cycles = 0
+        self.initial_cycles = 0
+        self.best_cycles = 0
+        self.best_sequence: List[int] = []
+
+
+class VectorEnv:
+    """N episode lanes over :class:`PhaseOrderEnv` semantics.
+
+    Built from a *template* environment (configuration source — its
+    programs, toolchain, observation mode, episode length, filters and
+    reward shaping are shared by every lane; lane 0 additionally inherits
+    its RNG so ``lanes=1`` is draw-for-draw the sequential env).
+    """
+
+    def __init__(self, template: PhaseOrderEnv, lanes: int = 1) -> None:
+        self._init_common(template, lanes)
+        self.action_indices = template.action_indices
+        self.zero_reward = template.zero_reward
+        self.objective = template.objective
+
+    def _init_common(self, template, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.template = template
+        self.programs = template.programs
+        self.toolchain = template.toolchain
+        self.observation = template.observation
+        self.episode_length = template.episode_length
+        self.feature_indices = template.feature_indices
+        self.normalization = template.normalization
+        self.reward_mode = template.reward_mode
+        # Sequence-space scoring needs no module; only feature
+        # observations force the incremental per-lane module walk.
+        self.needs_module = self.observation in ("features", "both")
+        self.lanes = [
+            _Lane(template.rng if i == 0
+                  else np.random.default_rng([template.seed, i]))
+            for i in range(lanes)
+        ]
+        # initial cycles of the most recent reset (any lane) — mirrors the
+        # sequential env attribute TrainResult consumers read.
+        self.initial_cycles = 0
+        # candidate evaluations, the paper's samples-per-program unit:
+        # one per reset/step query whether the engine answered from cache
+        # or the simulator (== the sequential envs' counter).
+        self.evaluations = 0
+
+    # -- dimensions (delegate to the template's configuration) --------------
+    @property
+    def num_lanes(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def num_actions(self) -> int:
+        return self.template.num_actions
+
+    @property
+    def observation_dim(self) -> int:
+        return self.template.observation_dim
+
+    # -- scoring ------------------------------------------------------------
+    def _resolve_queries(self, queries: List[Query]) -> List[Optional[float]]:
+        """Engine-backed resolution of pending sequence queries, shared
+        by both env flavours: ``submit()`` future fan-out on the service
+        backend, one deduplicating ``evaluate_batch`` per distinct
+        program otherwise. ``None`` where HLS compilation fails; callers
+        account ``evaluations``."""
+        engine = self.toolchain.engine
+        submit = getattr(engine, "submit", None)
+        if submit is not None:  # service backend: concurrent fan-out
+            futures = [
+                submit(self.programs[lane.program_index], seq,
+                       objective=self.objective)
+                for lane, seq in queries
+            ]
+            out: List[Optional[float]] = []
+            for future in futures:
+                try:
+                    out.append(future.result())
+                except HLSCompilationError:
+                    out.append(None)
+            return out
+        by_program: Dict[int, List[int]] = {}
+        for i, (lane, _) in enumerate(queries):
+            by_program.setdefault(lane.program_index, []).append(i)
+        out = [None] * len(queries)
+        for program_index, indices in by_program.items():
+            values = engine.evaluate_batch(
+                self.programs[program_index],
+                [queries[i][1] for i in indices], objective=self.objective)
+            for i, value in zip(indices, values):
+                out[i] = value
+        return out
+
+    def _score_many(self, queries: List[Query]) -> List[Optional[float]]:
+        """Resolve all lanes' pending sequence queries in one shot.
+        Returns one objective value per query, ``None`` where the
+        sequence fails HLS compilation."""
+        self.evaluations += len(queries)
+        if self.toolchain.engine is None or self.needs_module:
+            return [self._score_one(lane, seq) for lane, seq in queries]
+        return self._resolve_queries(queries)
+
+    def _score_one(self, lane: _Lane, sequence: tuple) -> Optional[float]:
+        """Sequential scoring of one lane's working module — identical to
+        ``PhaseOrderEnv._measure`` (module-carrying lanes keep the
+        incremental ``evaluate_prepared`` path; no engine means the
+        uncached profile)."""
+        engine = self.toolchain.engine
+        try:
+            if engine is not None:
+                return engine.evaluate_prepared(
+                    self.programs[lane.program_index], sequence,
+                    lane.module, objective=self.objective)
+            return self.toolchain.objective_value(lane.module, self.objective)
+        except HLSCompilationError:
+            return None
+
+    # -- resets ---------------------------------------------------------------
+    def _begin_reset(self, lane: _Lane, program_index: int) -> None:
+        lane.program_index = program_index
+        lane.histogram = np.zeros(NUM_ACTIONS, dtype=np.int64)
+        lane.steps = 0
+        lane.applied = []
+        if self.toolchain.engine is not None and not self.needs_module:
+            lane.module = None
+        else:
+            lane.module = clone_module(self.programs[program_index])
+
+    def _reset_query(self, lane: _Lane) -> tuple:
+        return ()
+
+    def _batchable_reset(self) -> bool:
+        return self.toolchain.engine is not None and not self.needs_module
+
+    def _measure_reset(self, lane: _Lane) -> float:
+        """Score the freshly reset lane; raises on HLS failure (the
+        sequential env's reset contract)."""
+        self.evaluations += 1
+        engine = self.toolchain.engine
+        program = self.programs[lane.program_index]
+        if engine is None:
+            return self.toolchain.objective_value(lane.module, self.objective)
+        if self.needs_module:
+            return engine.evaluate_prepared(program, (), lane.module,
+                                            objective=self.objective)
+        return engine.evaluate(program, (), objective=self.objective)
+
+    def _finish_reset(self, lane: _Lane, value: float) -> np.ndarray:
+        lane.prev_cycles = value
+        lane.initial_cycles = value
+        lane.best_cycles = value
+        lane.best_sequence = []
+        self.initial_cycles = lane.initial_cycles
+        return self._observe(lane)
+
+    def reset_lane(self, lane_id: int,
+                   program_index: Optional[int] = None) -> np.ndarray:
+        """Start a fresh episode on one lane. Raises
+        :class:`HLSCompilationError` when the base program itself fails,
+        exactly like the sequential env's ``reset``."""
+        lane = self.lanes[lane_id]
+        if program_index is None:
+            program_index = int(lane.rng.integers(len(self.programs)))
+        self._begin_reset(lane, program_index)
+        return self._finish_reset(lane, self._measure_reset(lane))
+
+    def reset_wave(self, assignments: Dict[int, Optional[int]]
+                   ) -> Dict[int, np.ndarray]:
+        """Start fresh episodes on several lanes at once, batching the
+        reset evaluations like a step (service-backend resets fan out
+        instead of paying one blocking round-trip per lane). Program
+        draws happen in ``assignments`` order from each lane's own RNG.
+        Returns ``{lane_id: observation}``; lanes whose base program
+        fails HLS compilation are omitted (dead episodes)."""
+        prepared: List[int] = []
+        for lane_id, program_index in assignments.items():
+            lane = self.lanes[lane_id]
+            if program_index is None:
+                program_index = int(lane.rng.integers(len(self.programs)))
+            self._begin_reset(lane, program_index)
+            prepared.append(lane_id)
+        out: Dict[int, np.ndarray] = {}
+        if self._batchable_reset():
+            values = self._score_many(
+                [(self.lanes[i], self._reset_query(self.lanes[i]))
+                 for i in prepared])
+            for lane_id, value in zip(prepared, values):
+                if value is not None:
+                    out[lane_id] = self._finish_reset(self.lanes[lane_id],
+                                                      value)
+        else:
+            for lane_id in prepared:
+                lane = self.lanes[lane_id]
+                try:
+                    out[lane_id] = self._finish_reset(
+                        lane, self._measure_reset(lane))
+                except HLSCompilationError:
+                    pass
+        return out
+
+    # -- gym-like lane protocol ---------------------------------------------
+    def step_lanes(self, lane_ids: Sequence[int],
+                   actions: np.ndarray) -> List[StepResult]:
+        """One synchronized step: apply each lane's action, score every
+        pending sequence as a batch, finish each lane's transition.
+        ``actions`` carries one row (or scalar) per entry of
+        ``lane_ids``; returns one ``(obs, reward, done, info)`` per lane
+        in the same order."""
+        actions = np.atleast_1d(np.asarray(actions))
+        results: Dict[int, StepResult] = {}
+        pending: List[Query] = []
+        pending_ids: List[int] = []
+        for lane_id, action in zip(lane_ids, actions):
+            lane = self.lanes[lane_id]
+            pass_index = self.action_indices[int(np.atleast_1d(action)[0])]
+            lane.steps += 1
+            if pass_index == TERMINATE_INDEX:
+                results[lane_id] = (self._observe(lane), 0.0, True,
+                                    self._info(lane, terminated=True))
+                continue
+            lane.applied.append(pass_index)
+            lane.histogram[pass_index] += 1
+            if self.needs_module or self.toolchain.engine is None:
+                try:
+                    self.toolchain.apply_passes(lane.module, [pass_index])
+                except HLSCompilationError:
+                    results[lane_id] = self._failure(lane)
+                    continue
+            pending.append((lane, tuple(lane.applied)))
+            pending_ids.append(lane_id)
+        values = self._score_many(pending) if pending else []
+        for lane_id, (lane, _), value in zip(pending_ids, pending, values):
+            if value is None:
+                results[lane_id] = self._failure(lane)
+                continue
+            delta = apply_cycle_result(lane, value, lane.applied)
+            reward = 0.0 if self.zero_reward \
+                else normalize_reward(delta, self.reward_mode)
+            done = lane.steps >= self.episode_length
+            results[lane_id] = (self._observe(lane), reward, done,
+                                self._info(lane))
+        return [results[lane_id] for lane_id in lane_ids]
+
+    def _failure(self, lane: _Lane) -> StepResult:
+        """The sequence broke HLS compilation: strongly negative signal,
+        episode over (same shaping as the sequential env)."""
+        return (self._observe(lane),
+                failure_reward(self.reward_mode, lane.prev_cycles),
+                True, self._info(lane, failed=True))
+
+    # -- observation / info --------------------------------------------------
+    def _observe(self, lane: _Lane) -> np.ndarray:
+        return phase_order_observation(self.observation, lane.module,
+                                       lane.histogram, self.feature_indices,
+                                       self.normalization)
+
+    def _info(self, lane: _Lane, terminated: bool = False,
+              failed: bool = False) -> Dict:
+        return {
+            "cycles": lane.prev_cycles,
+            "initial_cycles": lane.initial_cycles,
+            "best_cycles": lane.best_cycles,
+            "best_sequence": list(lane.best_sequence),
+            "program_index": lane.program_index,
+            "terminated": terminated,
+            "failed": failed,
+        }
+
+    # -- checkpointing -------------------------------------------------------
+    def rng_states(self) -> List[dict]:
+        return [lane.rng.bit_generator.state for lane in self.lanes]
+
+    def set_rng_states(self, states: Sequence[dict]) -> None:
+        for lane, state in zip(self.lanes, states):
+            lane.rng.bit_generator.state = state
+
+
+class MultiActionVectorEnv(VectorEnv):
+    """N lanes over the §5.2 multi-action formulation: each lane evolves
+    a complete pass-index vector with ±1 nudges; every synchronized step
+    batches all lanes' full-sequence evaluations. The per-program
+    initial-cycles cache is shared across lanes (one -O0 profile per
+    program per vector env, the sequential env's semantics)."""
+
+    def __init__(self, template: MultiActionEnv, lanes: int = 1) -> None:
+        self._init_common(template, lanes)
+        self.sequence_length = template.sequence_length
+        self.objective = "cycles"
+        self._initial_cycles_cache: Dict[int, int] = {}
+
+    @property
+    def num_slots(self) -> int:
+        return self.sequence_length
+
+    # -- scoring -------------------------------------------------------------
+    def _score_many(self, queries: List[Query]) -> List[Optional[float]]:
+        """Full-sequence scoring. Indices-only observations batch through
+        the shared engine/service dispatch; feature observations need the
+        optimized module per lane, so they take the module-returning path
+        (``evaluate_with_module``, one call per lane — the sequential
+        env's exact work, no second materialization)."""
+        self.evaluations += len(queries)
+        engine = self.toolchain.engine
+        if engine is None:
+            out = []
+            for lane, sequence in queries:
+                base = self.programs[lane.program_index]
+                lane.module = clone_module(base)
+                try:
+                    self.toolchain.apply_passes(lane.module, list(sequence))
+                    out.append(self.toolchain.cycle_count(lane.module))
+                except HLSCompilationError:
+                    out.append(None)
+            return out
+        if self.needs_module:
+            out = []
+            for lane, sequence in queries:
+                base = self.programs[lane.program_index]
+                try:
+                    value, lane.module = engine.evaluate_with_module(base,
+                                                                     sequence)
+                    out.append(value)
+                except HLSCompilationError:
+                    # Match the sequential env: the optimized module is in
+                    # place for the observation even when profiling failed.
+                    lane.module = engine.materialize(base, sequence)
+                    out.append(None)
+            return out
+        return self._resolve_queries(queries)
+
+    # -- resets ---------------------------------------------------------------
+    def _begin_reset(self, lane: _Lane, program_index: int) -> None:
+        lane.program_index = program_index
+        lane.indices = np.full(self.sequence_length, NUM_ACTIONS // 2,
+                               dtype=np.int64)
+        lane.steps = 0
+
+    def _reset_query(self, lane: _Lane) -> tuple:
+        return tuple(int(i) for i in lane.indices)
+
+    def _batchable_reset(self) -> bool:
+        # _score_many handles every backend (including engine-less) for
+        # full-sequence queries, so wave resets always batch.
+        return True
+
+    def _measure_reset(self, lane: _Lane) -> float:
+        value = self._score_many([(lane, self._reset_query(lane))])[0]
+        if value is None:
+            raise HLSCompilationError(
+                f"initial sequence {self._reset_query(lane)!r} fails HLS "
+                f"compilation")
+        return value
+
+    def _finish_reset(self, lane: _Lane, value: float) -> np.ndarray:
+        lane.prev_cycles = int(value)
+        lane.initial_cycles = initial_cycles_for(self, lane.program_index)
+        lane.best_cycles = lane.prev_cycles
+        lane.best_sequence = [int(i) for i in lane.indices]
+        self.initial_cycles = lane.initial_cycles
+        return self._observe(lane)
+
+    # -- lane protocol -------------------------------------------------------
+    def step_lanes(self, lane_ids: Sequence[int],
+                   actions: np.ndarray) -> List[StepResult]:
+        actions = np.asarray(actions)
+        if actions.ndim == 1:
+            actions = actions[None, :]
+        queries: List[Query] = []
+        for lane_id, action in zip(lane_ids, actions):
+            lane = self.lanes[lane_id]
+            assert action.shape == (self.sequence_length,)
+            deltas = action.astype(np.int64) - 1  # 0/1/2 -> -1/0/+1
+            lane.indices = np.clip(lane.indices + deltas, 0, NUM_ACTIONS - 1)
+            lane.steps += 1
+            queries.append((lane, tuple(int(i) for i in lane.indices)))
+        values = self._score_many(queries)
+        results: List[StepResult] = []
+        for (lane, _), value in zip(queries, values):
+            if value is None:
+                results.append(self._failure(lane))
+                continue
+            delta = apply_cycle_result(lane, int(value),
+                                       [int(i) for i in lane.indices])
+            reward = normalize_reward(delta, self.reward_mode)
+            done = lane.steps >= self.episode_length
+            results.append((self._observe(lane), reward, done, self._info(lane)))
+        return results
+
+    def _failure(self, lane: _Lane) -> StepResult:
+        return self._observe(lane), -1.0, True, self._info(lane, failed=True)
+
+    # -- observation ---------------------------------------------------------
+    def _observe(self, lane: _Lane) -> np.ndarray:
+        return multi_action_observation(self.observation, lane.module,
+                                        lane.indices, self.feature_indices,
+                                        self.normalization)
+
+    def _info(self, lane: _Lane, terminated: bool = False,
+              failed: bool = False) -> Dict:
+        return {
+            "cycles": lane.prev_cycles,
+            "initial_cycles": lane.initial_cycles,
+            "best_cycles": lane.best_cycles,
+            "best_sequence": list(lane.best_sequence),
+            "program_index": lane.program_index,
+            "failed": failed,
+        }
+
+
+def make_vector_env(template, lanes: int = 1) -> VectorEnv:
+    """Wrap a sequential environment in the matching vector env."""
+    if isinstance(template, MultiActionEnv):
+        return MultiActionVectorEnv(template, lanes)
+    return VectorEnv(template, lanes)
