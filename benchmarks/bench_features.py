@@ -1,0 +1,269 @@
+"""Feature-pipeline throughput: incremental cached extraction and the
+sequence-space feature-observation training path vs the PR 3 baseline.
+
+Two measurements:
+
+* **extraction** — walking a CHStone module after every pass of a long
+  sequence three ways: the full-module reference walk
+  (``extract_features``), cold incremental extraction (a fresh
+  :class:`FeatureExtractor`: only functions whose structural hash
+  changed get re-walked), and warm repeated extraction (the
+  ``(module, version)`` memo). Bit-identity against the full walk is
+  asserted at every step.
+
+* **training** — the paper's feature-observation PPO agent trained
+  through the vectorized stack on a repeated-programs corpus,
+  episode-seeded so every run executes identical episodes at identical
+  simulator samples. The *sequence* path (this PR: lanes never hold a
+  module; cycles come from the result memo, observations from the
+  feature memo) is compared against the *module* path (the PR 3
+  baseline: per-lane incremental module + ``evaluate_prepared``,
+  forced via ``vec.sequence_features = False``). Warm vectorized
+  sequence-path training at lanes ≥ 4 must beat the module-path
+  baseline — both at the same lane count and at the sequential
+  ``lanes=1`` width — on wall-clock at identical ``samples_taken``.
+
+Appends one trajectory entry to ``BENCH_features.json`` per run. Run via
+``python benchmarks/bench_features.py`` or pytest; the tier-1 suite runs
+it in smoke mode through ``tests/test_features.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.features.extractor import FeatureExtractor, extract_features
+from repro.programs import chstone
+from repro.rl.trainer import Trainer
+from repro.toolchain import HLSToolchain
+
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_features.json")
+
+PROGRAM = "mpeg2"
+
+# Episode budgets divisible by every lane count so update boundaries
+# align with wave boundaries (the episode-seeded invariance condition).
+DEFAULT = dict(episodes=48, episode_length=8, hidden=(64, 64), repeat=4,
+               warm_repeats=3, extraction_passes=24)
+SMOKE = dict(episodes=16, episode_length=5, hidden=(32, 32), repeat=2,
+             warm_repeats=3, extraction_passes=10)
+
+
+# -- extraction throughput ---------------------------------------------------
+def bench_extraction(params: Dict, seed: int = 0) -> Dict:
+    """Per-extraction wall-clock of full walk vs incremental vs warm."""
+    from repro.passes.registry import NUM_TRANSFORMS
+
+    rng = np.random.default_rng(seed)
+    sequence = [int(rng.integers(NUM_TRANSFORMS))
+                for _ in range(params["extraction_passes"])]
+    module = chstone.build(PROGRAM)
+    toolchain = HLSToolchain(backend="none")
+    extractor = FeatureExtractor()
+
+    full_s = incremental_s = warm_s = 0.0
+    steps = 0
+    for pass_index in sequence:
+        toolchain.apply_passes(module, [pass_index])
+        t0 = time.perf_counter()
+        reference = extract_features(module)
+        full_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        incremental = extractor(module)
+        incremental_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = extractor(module)
+        warm_s += time.perf_counter() - t0
+        assert (reference == incremental).all() and (reference == warm).all(), \
+            f"incremental extraction diverged after pass {pass_index}"
+        steps += 1
+    return {
+        "steps": steps,
+        "full_walk_ms": 1000 * full_s / steps,
+        "incremental_ms": 1000 * incremental_s / steps,
+        "warm_ms": 1000 * warm_s / steps,
+        "incremental_speedup": full_s / incremental_s,
+        "warm_speedup": full_s / warm_s,
+        "extractor_info": extractor.cache_info(),
+    }
+
+
+# -- feature-observation training --------------------------------------------
+def _train_once(corpus, toolchain, lanes: int, sequence_path: bool,
+                params: Dict, seed: int) -> Dict:
+    trainer = Trainer(
+        "RL-PPO2", corpus, episodes=params["episodes"],
+        update_every=params["episodes"], lanes=lanes,
+        episode_length=params["episode_length"], observation="features",
+        hidden=params["hidden"], episode_seeding=True,
+        toolchain=toolchain, seed=seed)
+    trainer.vec.sequence_features = sequence_path
+    t0 = time.perf_counter()
+    result = trainer.train()
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "rollout_seconds": trainer.seconds["rollout"],
+        "samples": toolchain.samples_taken,
+        "evaluations": result.samples,
+        "rewards": list(result.episode_rewards),
+        "best_sequence": list(result.best_sequence),
+    }
+
+
+def bench_training(params: Dict, seed: int = 1,
+                   lane_counts=(1, 4)) -> List[Dict]:
+    module = chstone.build(PROGRAM)
+    corpus = [module] * params["repeat"]
+    runs: List[Dict] = []
+    for path in ("sequence", "module"):
+        for lanes in lane_counts:
+            toolchain = HLSToolchain(backend="engine")
+            cold = _train_once(corpus, toolchain, lanes, path == "sequence",
+                               params, seed)
+            warms = [_train_once(corpus, toolchain, lanes, path == "sequence",
+                                 params, seed)
+                     for _ in range(params["warm_repeats"])]
+            warm = min(warms, key=lambda w: w["seconds"])
+            runs.append({
+                "path": path, "lanes": lanes,
+                "cold_seconds": cold["seconds"],
+                "cold_samples": cold["samples"],
+                "warm_seconds": warm["seconds"],
+                "warm_rollout_seconds": warm["rollout_seconds"],
+                # Trainer.train() resets the sample counter per run, so
+                # each run's "samples" is already its own simulator cost.
+                "warm_samples": warm["samples"],
+                "rewards": cold["rewards"],
+                "best_sequence": cold["best_sequence"],
+            })
+    return runs
+
+
+def run_bench(smoke: bool = False, seed: int = 1) -> Dict:
+    params = SMOKE if smoke else DEFAULT
+    extraction = bench_extraction(params, seed=seed)
+    runs = bench_training(params, seed=seed)
+    reference = runs[0]
+    identical = all(
+        run["rewards"] == reference["rewards"]
+        and run["cold_samples"] == reference["cold_samples"]
+        and run["best_sequence"] == reference["best_sequence"]
+        for run in runs)
+    return {
+        "program": PROGRAM,
+        "episodes": params["episodes"],
+        "extraction": extraction,
+        "identical_across_paths": identical,
+        "runs": runs,
+    }
+
+
+def _row(result: Dict, path: str, lanes: int) -> Dict:
+    return next(r for r in result["runs"]
+                if r["path"] == path and r["lanes"] == lanes)
+
+
+def _check(result: Dict, require_wallclock: bool = True) -> List[str]:
+    """The acceptance conditions; returns a list of violations."""
+    problems: List[str] = []
+    ext = result["extraction"]
+    if ext["incremental_speedup"] <= 1.0:
+        problems.append(
+            f"incremental extraction ({ext['incremental_ms']:.3f}ms) did not "
+            f"beat the full walk ({ext['full_walk_ms']:.3f}ms)")
+    if ext["warm_speedup"] <= 1.0:
+        problems.append("warm (memoized) extraction did not beat the full walk")
+    if not result["identical_across_paths"]:
+        problems.append("sequence/module paths or lane counts diverged "
+                        "(rewards/samples must be identical)")
+    for run in result["runs"]:
+        if run["warm_samples"] != 0:
+            problems.append(f"warm {run['path']} run at lanes={run['lanes']} "
+                            f"took simulator samples")
+    if require_wallclock:
+        vec = _row(result, "sequence", 4)
+        for base_lanes, label in ((4, "module path (PR 3 baseline) lanes=4"),
+                                  (1, "sequential module-path baseline")):
+            base = _row(result, "module", base_lanes)
+            if vec["warm_seconds"] >= base["warm_seconds"]:
+                problems.append(
+                    f"warm sequence-path lanes=4 "
+                    f"({vec['warm_seconds']:.3f}s) did not beat {label} "
+                    f"({base['warm_seconds']:.3f}s)")
+    return problems
+
+
+def _render(result: Dict) -> str:
+    ext = result["extraction"]
+    lines = [
+        f"workload: RL-PPO2 (feature obs), {result['episodes']} episode-seeded "
+        f"episodes on repeated '{result['program']}'",
+        f"extraction per step : full {ext['full_walk_ms']:7.3f}ms  "
+        f"incremental {ext['incremental_ms']:7.3f}ms "
+        f"({ext['incremental_speedup']:.2f}x)  "
+        f"warm {ext['warm_ms']:7.3f}ms ({ext['warm_speedup']:.1f}x)",
+    ]
+    for run in result["runs"]:
+        lines.append(
+            f"{run['path']:<8} lanes={run['lanes']}: "
+            f"cold {run['cold_seconds']:6.2f}s ({run['cold_samples']} samples)  "
+            f"warm {1000 * run['warm_seconds']:7.1f}ms "
+            f"(rollout {1000 * run['warm_rollout_seconds']:6.1f}ms, "
+            f"{run['warm_samples']} samples)")
+    lines.append(f"identical across paths : {result['identical_across_paths']}")
+    return "\n".join(lines)
+
+
+def append_trajectory(result: Dict) -> None:
+    """One github-action-benchmark style entry list per run, newest last."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    ext = result["extraction"]
+    entry = [
+        {"name": "extraction_full_walk_ms", "unit": "ms",
+         "value": round(ext["full_walk_ms"], 4)},
+        {"name": "extraction_incremental_speedup", "unit": "x",
+         "value": round(ext["incremental_speedup"], 3)},
+        {"name": "extraction_warm_speedup", "unit": "x",
+         "value": round(ext["warm_speedup"], 3)},
+    ]
+    for run in result["runs"]:
+        prefix = f"{run['path']}_l{run['lanes']}"
+        entry.append({"name": f"{prefix}_cold_seconds", "unit": "s",
+                      "value": round(run["cold_seconds"], 4)})
+        entry.append({"name": f"{prefix}_warm_seconds", "unit": "s",
+                      "value": round(run["warm_seconds"], 4)})
+    history.append(entry)
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def test_feature_pipeline_throughput():
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    smoke = os.environ.get("REPRO_SCALE", "smoke") == "smoke"
+    result = run_bench(smoke=smoke)
+    emit("BENCH features — incremental extraction + sequence-space "
+         "feature observations", _render(result))
+    append_trajectory(result)
+    problems = _check(result, require_wallclock=not smoke)
+    assert not problems, "; ".join(problems) + "\n" + _render(result)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(_render(result))
+    append_trajectory(result)
+    problems = _check(result)
+    if problems:
+        raise SystemExit("; ".join(problems))

@@ -1,34 +1,50 @@
 #!/usr/bin/env python3
-"""Mini Figures 5-6: collect exploration data over random programs, train
-the per-pass random forests, and print the importance heat maps plus the
-derived feature/pass filters (the paper's §4 analysis).
+"""The paper's §4 pipeline end to end: juggle phase orderings in random
+forests, then train the pruned agent.
+
+1. Collect high-exploration rollouts over random programs *through the
+   vectorized evaluation stack* (set REPRO_EVAL_BACKEND=service to fan
+   the collection out across worker processes with a persistent cache).
+2. Fit the per-pass random forests and print the Figure 5/6 heat maps.
+3. Prune: keep the top-K program features and top-K passes the forests
+   find informative.
+4. Train a PPO agent on the pruned observation/action spaces (the same
+   loop as `repro train --prune-features K --prune-passes K`) and
+   compare against the unpruned agent at the same budget.
 
 Run:  python examples/feature_importance.py
+Env:  REPRO_PRUNE_LANES (default 2) — exploration/training lanes;
+      REPRO_EVAL_BACKEND=service — collect and train through the
+      sharded, persistently cached evaluation service.
 """
+
+import os
 
 from repro.experiments.config import get_scale
 from repro.experiments.fig5_fig6 import run_fig5_fig6
 from repro.features.table import FEATURE_NAMES
 from repro.passes.registry import PASS_TABLE
 from repro.programs.generator import generate_corpus
-
-import numpy as np
+from repro.rl.trainer import Trainer
 
 
 def main() -> None:
     scale = get_scale()
-    print(f"[1/3] generating {scale.n_train_programs} random programs and "
-          f"running {scale.exploration_episodes} exploration episodes...")
+    lanes = int(os.environ.get("REPRO_PRUNE_LANES", "2"))
     corpus = generate_corpus(scale.n_train_programs, seed=0)
-    result = run_fig5_fig6(corpus, scale=scale, seed=0)
+
+    print(f"[1/4] {scale.exploration_episodes} exploration episodes over "
+          f"{len(corpus)} random programs ({lanes} lanes, "
+          f"backend={os.environ.get('REPRO_EVAL_BACKEND', 'engine')})...")
+    result = run_fig5_fig6(corpus, scale=scale, seed=0, lanes=lanes)
     print(f"      {result.dataset_size} (features, action, reward) samples")
 
-    print("\n[2/3] Figure 5/6 heat maps (ASCII; darker = more important):\n")
+    print("\n[2/4] Figure 5/6 heat maps (ASCII; darker = more important):\n")
     print(result.render_fig5())
     print()
     print(result.render_fig6())
 
-    print("\n[3/3] derived filters for the generalization experiments:")
+    print("\n[3/4] derived filters:")
     feats = result.analysis.select_features(top_k=24)
     passes = result.analysis.select_passes(top_k=16, include_terminate=False)
     print(f"\n  top features ({len(feats)}):")
@@ -40,6 +56,26 @@ def main() -> None:
         print(f"    {PASS_TABLE[i]:<22} improvement rate {rates[i]:.0%}")
     print(f"\n  overlap with the paper's §4.2 impactful list: "
           f"{result.overlap_with_paper_impactful()} / 16")
+
+    episodes = max(lanes, scale.fig8_episodes // 4)
+    print(f"\n[4/4] training pruned vs unpruned RL-PPO1 "
+          f"({episodes} episodes each)...")
+    pruned = Trainer("RL-PPO1", corpus, episodes=episodes, lanes=lanes,
+                     episode_length=scale.episode_length, seed=0,
+                     prune_features=24, prune_passes=16,
+                     prune_episodes=scale.exploration_episodes)
+    pruned_result = pruned.train()
+    full = Trainer("RL-PPO1", corpus, episodes=episodes, lanes=lanes,
+                   episode_length=scale.episode_length, seed=0)
+    full_result = full.train()
+    print(f"  pruned  : obs dim {pruned.vec.observation_dim:>2}, "
+          f"{pruned.vec.num_actions} actions, "
+          f"best {pruned_result.best_cycles} cycles, "
+          f"{pruned.seconds['total']:.1f}s")
+    print(f"  unpruned: obs dim {full.vec.observation_dim:>2}, "
+          f"{full.vec.num_actions} actions, "
+          f"best {full_result.best_cycles} cycles, "
+          f"{full.seconds['total']:.1f}s")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,12 @@
 """Command-line interface: regenerate any paper artifact from a shell.
 
     python -m repro tables
-    python -m repro fig5 [--scale smoke|default|full] [--cache-stats]
+    python -m repro fig5 [--scale smoke|default|full] [--lanes N] [--cache-stats]
     python -m repro fig7 [--scale ...] [--algorithms -O3,Random,...]
     python -m repro fig8 [--lanes N]
     python -m repro fig9 [--lanes N]
     python -m repro train [--agent RL-PPO2] [--lanes N] [--checkpoint PATH]
+                          [--prune-features K] [--prune-passes K]
     python -m repro compile <benchmark> [--passes "-mem2reg -loop-rotate ..."]
     python -m repro serve --socket /tmp/repro.sock [--workers 4]
     python -m repro cache stats|clear|export [--store DIR]
@@ -18,7 +19,11 @@ evaluation service on a Unix socket; the ``cache`` subcommands manage
 its on-disk result store. ``train`` drives one Table-3 agent through
 the vectorized trainer — ``--lanes N`` batches N episodes per policy
 step, ``--checkpoint`` saves (and, when the file exists, resumes)
-policy weights + normalizer + RNG state.
+policy weights + normalizer + RNG state, and
+``--prune-features K`` / ``--prune-passes K`` run the paper's §4
+pipeline first: collect exploration rollouts through the evaluation
+stack, fit the per-pass random forests, and train the agent on the
+pruned observation/action spaces.
 """
 
 from __future__ import annotations
@@ -92,13 +97,30 @@ def _cmd_train(args) -> int:
         programs = generate_corpus(scale.n_train_programs, seed=args.seed)
         source = f"{len(programs)} random programs"
     episodes = args.episodes if args.episodes is not None else scale.fig8_episodes
+    prune_episodes = (args.prune_episodes if args.prune_episodes is not None
+                      else scale.exploration_episodes)
+    if args.prune_features is not None or args.prune_passes is not None:
+        print(f"pruning stage: {prune_episodes} "
+              f"exploration episodes -> random forests -> "
+              f"top {args.prune_features if args.prune_features is not None else 'all'} features / "
+              f"top {args.prune_passes if args.prune_passes is not None else 'all'} passes")
     trainer = Trainer(
         args.agent, programs, episodes=episodes, lanes=args.lanes,
         episode_length=scale.episode_length,
         observation=args.observation,
         normalization=None if args.normalization == "none" else args.normalization,
         reward_mode="log",
-        normalize_observations=args.obs_norm, seed=args.seed)
+        normalize_observations=args.obs_norm, seed=args.seed,
+        prune_features=args.prune_features, prune_passes=args.prune_passes,
+        prune_episodes=prune_episodes)
+    if trainer.pruning is not None:
+        pruned = trainer.pruning
+        feats = (f"{len(pruned.feature_indices)} features"
+                 if pruned.feature_indices is not None else "all features")
+        acts = (f"{len(pruned.action_indices)} actions"
+                if pruned.action_indices is not None else "all actions")
+        print(f"pruned spaces: {feats}, {acts} "
+              f"(from {pruned.dataset_size} exploration samples)")
     if args.checkpoint and os.path.exists(args.checkpoint):
         trainer.restore(args.checkpoint)
         print(f"resumed from {args.checkpoint} "
@@ -152,6 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if fig == "fig7":
             p.add_argument("--algorithms", default=None,
                            help="comma-separated subset of the Figure 7 algorithms")
+        if fig == "fig5":
+            p.add_argument("--lanes", type=int, default=1,
+                           help="vectorized exploration lanes for the forest "
+                                "dataset (1 = seed-anchored sequential stream)")
         if fig in ("fig8", "fig9"):
             p.add_argument("--lanes", type=int, default=1,
                            help="vectorized rollout lanes for the RL training "
@@ -184,6 +210,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "generalization choice")
     pt.add_argument("--obs-norm", action="store_true",
                     help="whiten observations with a running normalizer")
+    pt.add_argument("--prune-features", type=int, default=None, metavar="K",
+                    help="§4 pruning: collect exploration data, fit the "
+                         "random forests, train on the top-K program features")
+    pt.add_argument("--prune-passes", type=int, default=None, metavar="K",
+                    help="§4 pruning: restrict the action space to the top-K "
+                         "passes the forests find impactful (+ -terminate)")
+    pt.add_argument("--prune-episodes", type=int, default=None,
+                    help="exploration budget of the pruning stage "
+                         "(default: the scale profile's exploration episodes)")
     pt.add_argument("--seed", type=int, default=0)
     _add_scale(pt)
     _add_cache_stats(pt)
@@ -242,7 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scale = get_scale(args.scale)
     if args.command == "fig5":
-        result = run_fig5_fig6(scale=scale)
+        result = run_fig5_fig6(scale=scale, lanes=args.lanes)
         print(result.render_fig5())
         print()
         print(result.render_fig6())

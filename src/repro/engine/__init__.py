@@ -30,6 +30,17 @@ this relies on callers treating the **base program as immutable** too.
 Mutate clones (``repro.ir.clone_module``), never the module you hand to
 the engine.
 
+**Feature memo.** Key: ``(id(base program), canonical sequence)`` —
+objective-independent, since the Table-2 feature vector depends only on
+the optimized module. ``features_after`` / ``evaluate_with_features``
+answer hits without materializing anything; misses clone from the
+deepest trie snapshot and *compose* the vector from per-function
+contributions cached in the process-wide
+:func:`repro.features.shared_extractor` (same structural body hash as
+the profiler's schedule cache, so only functions a pass actually changed
+get re-walked). Feature queries never profile and never count toward
+``samples_taken``.
+
 **Profiler caches** (inside :class:`~repro.hls.profiler.CycleProfiler`):
 per-function FSM state counts are keyed by a *structural hash* of the
 function body (content-addressed — no invalidation needed), and burst-slot

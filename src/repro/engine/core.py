@@ -1,9 +1,9 @@
 """The EvaluationEngine — the single evaluation primitive of the repro.
 
-Wraps an :class:`~repro.toolchain.HLSToolchain` with three cache layers
-(result memo, prefix-trie snapshots, and — inside the profiler —
-incremental scheduling) plus a ``concurrent.futures`` batch API. See the
-package docstring for the cache-key/invalidation contract.
+Wraps an :class:`~repro.toolchain.HLSToolchain` with four cache layers
+(result memo, feature memo, prefix-trie snapshots, and — inside the
+profiler — incremental scheduling) plus a ``concurrent.futures`` batch
+API. See the package docstring for the cache-key/invalidation contract.
 """
 
 from __future__ import annotations
@@ -13,6 +13,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from ..features.extractor import features_for
 from ..hls.profiler import HLSCompilationError
 from ..ir.cloning import clone_module
 from ..ir.module import Module
@@ -116,6 +119,9 @@ class EvaluationEngine:
         self.snapshot_stride = max(1, snapshot_stride)
         self.stats = EngineStats()
         self._memo = ResultMemo(max_memo_entries)
+        # (id(program), canonical sequence) -> read-only feature vector;
+        # objective-independent, so 'cycles' and 'area' queries share it.
+        self._feature_memo = ResultMemo(max_memo_entries)
         self._lru = SnapshotLRU(max_trie_nodes)
         # Structure nodes are ~two orders of magnitude lighter than module
         # snapshots; 64 nodes of bookkeeping per allowed snapshot keeps the
@@ -147,8 +153,8 @@ class EvaluationEngine:
         """Objective value of ``program`` after ``actions``. Memo hits do
         not touch the toolchain (no simulator sample); misses clone from
         the deepest cached prefix and pay only the suffix."""
-        value, _ = self._evaluate(program, actions, objective, area_weight,
-                                  entry, want_module=False)
+        value, _, _ = self._evaluate(program, actions, objective, area_weight,
+                                     entry, want_module=False)
         return value
 
     def evaluate_with_module(self, program: Module, actions: Sequence[Action],
@@ -156,23 +162,35 @@ class EvaluationEngine:
                              entry: str = "main") -> Tuple[float, Module]:
         """Like :meth:`evaluate` but also materializes (and returns) the
         optimized module — callers may mutate it freely."""
-        return self._evaluate(program, actions, objective, area_weight,
-                              entry, want_module=True)
+        value, module, _ = self._evaluate(program, actions, objective,
+                                          area_weight, entry, want_module=True)
+        return value, module
 
     def _evaluate(self, program: Module, actions: Sequence[Action],
                   objective: str, area_weight: float, entry: str,
-                  want_module: bool) -> Tuple[float, Optional[Module]]:
+                  want_module: bool, want_features: bool = False
+                  ) -> Tuple[float, Optional[Module], Optional[np.ndarray]]:
         canonical = canonicalize_sequence(actions)
         key = self._key(program, canonical, objective, area_weight, entry)
+        feats: Optional[np.ndarray] = None
         with self._lock:
             cached = self._memo.get(key)
             if cached is not None:
                 self.stats.memo_hits += 1
+            if want_features and canonical:
+                feats = self._feature_memo.get((id(program), canonical))
+                if feats is not None:
+                    self.stats.feature_hits += 1
+        if want_features and not canonical:
+            # Base programs handed to the engine are immutable: their
+            # features come straight off the shared (module, version) memo.
+            feats = features_for(program)
         if cached is FAILED:
             raise HLSCompilationError(
                 f"sequence {canonical!r} is memoized as failing HLS compilation")
-        if cached is not None and not want_module:
-            return cached, None
+        if cached is not None and not want_module and \
+                (not want_features or feats is not None):
+            return cached, None, feats
 
         state = self._state_for(program)
         try:
@@ -182,8 +200,13 @@ class EvaluationEngine:
                 self._memo.put(key, FAILED)
                 self.stats.failures_memoized += 1
             raise
+        if want_features and feats is None:
+            # Memoized before the profile attempt, so even a sequence
+            # that fails HLS compilation leaves its features behind for
+            # a later sample-free features_after.
+            feats = self._memoize_features(program, canonical, module)
         if cached is not None:
-            return cached, module
+            return cached, module, feats
 
         with self._lock:
             self.stats.memo_misses += 1
@@ -198,7 +221,7 @@ class EvaluationEngine:
             raise
         with self._lock:
             self._memo.put(key, value)
-        return value, module
+        return value, module, feats
 
     def evaluate_prepared(self, program: Module, actions: Sequence[Action],
                           module: Module, objective: str = "cycles",
@@ -245,14 +268,70 @@ class EvaluationEngine:
             self._memo.put(key, value)
         return value
 
+    # -- feature queries ------------------------------------------------------
+    def _memoize_features(self, program: Module, canonical: Tuple[Element, ...],
+                          module: Module) -> np.ndarray:
+        feats = features_for(module)
+        with self._lock:
+            self.stats.feature_misses += 1
+            self._feature_memo.put((id(program), canonical), feats)
+        return feats
+
+    def features_after(self, program: Module,
+                       actions: Sequence[Action] = ()) -> np.ndarray:
+        """The 56-feature vector of ``program`` after ``actions`` —
+        AutoPhase's observation function as an engine query. Memo hits
+        (any sequence whose features were computed before, including by a
+        failed evaluation) answer without materializing a module; misses
+        clone from the deepest cached prefix, compose the vector from
+        per-function cached contributions, and memoize it next to the
+        cycle results. Never profiles, never costs a simulator sample.
+        The returned array is read-only — copy before mutating."""
+        canonical = canonicalize_sequence(actions)
+        if not canonical:
+            # Base programs handed to the engine are immutable, so their
+            # features come straight off the shared (module, version) memo.
+            return features_for(program)
+        with self._lock:
+            cached = self._feature_memo.get((id(program), canonical))
+            if cached is not None:
+                self.stats.feature_hits += 1
+        if cached is not None:
+            return cached
+        module = self._materialize(self._state_for(program), canonical)
+        return self._memoize_features(program, canonical, module)
+
+    def evaluate_with_features(self, program: Module, actions: Sequence[Action],
+                               objective: str = "cycles",
+                               area_weight: float = 0.05,
+                               entry: str = "main") -> Tuple[float, np.ndarray]:
+        """Objective value *and* feature vector after ``actions``, paying
+        at most one materialization for both. Features are memoized
+        before the profile attempt, so even a sequence that fails HLS
+        compilation leaves its features behind for a sample-free
+        :meth:`features_after`."""
+        value, _, feats = self._evaluate(program, actions, objective,
+                                         area_weight, entry,
+                                         want_module=False, want_features=True)
+        return value, feats
+
     # -- batch evaluation ---------------------------------------------------
-    def evaluate_batch(self, program: Module, sequences: Sequence[Sequence[Action]],
-                       objective: str = "cycles", area_weight: float = 0.05,
-                       entry: str = "main") -> List[Optional[float]]:
+    def evaluate_batch(
+        self, program: Module, sequences: Sequence[Sequence[Action]],
+        objective: str = "cycles", area_weight: float = 0.05,
+        entry: str = "main", want_features: bool = False,
+    ) -> Union[List[Optional[float]],
+               List[Tuple[Optional[float], np.ndarray]]]:
         """Score a whole population. Returns one value per input sequence,
         ``None`` where the sequence fails HLS compilation (callers apply
         their own penalty). Duplicate sequences are evaluated once; cache
         misses run on a persistent thread pool.
+
+        With ``want_features=True`` every row becomes a ``(value,
+        features)`` pair — the vectorized feature-observation path —
+        where ``features`` is always present (materialization succeeds
+        even when profiling fails, so failing rows come back as
+        ``(None, features)``).
 
         Results are identical at any worker count. Worker threads trade
         some duplicated work on *cold* shared prefixes (two concurrent
@@ -268,10 +347,19 @@ class EvaluationEngine:
 
         def run_one(canonical: Tuple[Element, ...]):
             try:
+                if want_features:
+                    return self.evaluate_with_features(
+                        program, canonical, objective=objective,
+                        area_weight=area_weight, entry=entry)
                 return self.evaluate(program, canonical, objective=objective,
                                      area_weight=area_weight, entry=entry)
             except HLSCompilationError:
-                return None
+                if not want_features:
+                    return None
+                try:
+                    return (None, self.features_after(program, canonical))
+                except Exception as exc:
+                    return BatchEvaluationError(canonical, exc)
             except Exception as exc:
                 # Surface worker crashes with the offending sequence
                 # attached (a bare pool traceback is indistinguishable
@@ -344,6 +432,7 @@ class EvaluationEngine:
     def cache_info(self) -> Dict[str, int]:
         info = self.stats.as_dict()
         info["memo_entries"] = len(self._memo)
+        info["feature_memo_entries"] = len(self._feature_memo)
         info["snapshot_nodes"] = len(self._lru)
         info["snapshot_evictions"] = self._lru.evictions
         info["trie_nodes"] = self._node_budget.used
@@ -354,6 +443,7 @@ class EvaluationEngine:
         """Drop every cached result, snapshot and trie (keeps statistics)."""
         with self._lock:
             self._memo.clear()
+            self._feature_memo.clear()
             self._programs.clear()
             self._lru = SnapshotLRU(self._lru.max_nodes)
             self._node_budget = NodeBudget(self._node_budget.max_nodes)

@@ -25,6 +25,8 @@ class EngineStats:
     snapshots_stored: int = 0
     failures_memoized: int = 0
     batches: int = 0
+    feature_hits: int = 0         # feature queries answered from the memo
+    feature_misses: int = 0       # feature queries that composed a vector
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -36,6 +38,8 @@ class EngineStats:
             "snapshots_stored": self.snapshots_stored,
             "failures_memoized": self.failures_memoized,
             "batches": self.batches,
+            "feature_hits": self.feature_hits,
+            "feature_misses": self.feature_misses,
         }
 
     @property

@@ -95,11 +95,20 @@ class Fig56Result:
 
 def run_fig5_fig6(programs: Optional[Sequence[Module]] = None,
                   scale: Optional[ExperimentScale] = None,
-                  seed: int = 0) -> Fig56Result:
+                  seed: int = 0, lanes: int = 1,
+                  toolchain=None) -> Fig56Result:
+    """The §4 analysis. Exploration rollouts run through the vectorized
+    evaluation stack; ``lanes=1`` (default) keeps the dataset — and both
+    heat maps — anchored to the seed, ``lanes>1`` trades that for
+    batched collection throughput (lane-count invariant among
+    themselves). ``toolchain`` lets a driver share an engine/service
+    backend across experiments."""
     cfg = scale or get_scale()
     corpus = list(programs) if programs is not None else generate_corpus(
         cfg.n_train_programs, seed=seed)
     dataset = collect_exploration_data(corpus, episodes=cfg.exploration_episodes,
-                                       episode_length=cfg.episode_length, seed=seed)
+                                       episode_length=cfg.episode_length,
+                                       seed=seed, toolchain=toolchain,
+                                       lanes=lanes)
     analysis = analyze_importance(dataset, seed=seed)
     return Fig56Result(analysis=analysis, dataset_size=len(dataset))

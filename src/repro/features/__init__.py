@@ -1,9 +1,16 @@
 """repro.features — the 56 static IR features of Table 2."""
 
 from .table import FEATURE_NAMES, NUM_FEATURES, feature_index, feature_name
-from .extractor import FeatureExtractor, extract_features
+from .extractor import (
+    FeatureExtractor,
+    extract_features,
+    features_for,
+    function_features,
+    shared_extractor,
+)
 
 __all__ = [
     "FEATURE_NAMES", "NUM_FEATURES", "feature_index", "feature_name",
-    "FeatureExtractor", "extract_features",
+    "FeatureExtractor", "extract_features", "features_for",
+    "function_features", "shared_extractor",
 ]

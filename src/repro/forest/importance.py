@@ -25,10 +25,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..features.table import NUM_FEATURES
-from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
 from ..passes.registry import NUM_ACTIONS, NUM_TRANSFORMS, TERMINATE_INDEX
 from ..rl.env import PhaseOrderEnv
+from ..rl.vec_env import make_vector_env
 from ..toolchain import HLSToolchain
 from .random_forest import RandomForestClassifier
 
@@ -55,33 +55,78 @@ class ImportanceDataset:
 
 def collect_exploration_data(programs: Sequence[Module], episodes: int = 20,
                              episode_length: int = 12, seed: int = 0,
-                             toolchain: Optional[HLSToolchain] = None) -> ImportanceDataset:
-    """Uniform-random exploration rollouts producing the §4 training set."""
+                             toolchain: Optional[HLSToolchain] = None,
+                             lanes: int = 1,
+                             episode_streams: Optional[bool] = None
+                             ) -> ImportanceDataset:
+    """Uniform-random exploration rollouts producing the §4 training set.
+
+    Collection runs through the vectorized rollout layer: every
+    synchronized step batches all lanes' sequence evaluations through the
+    engine (or, with ``HLSToolchain(backend="service")``, fans them out
+    across the sharded worker processes), and the pre-step feature rows
+    come from the engine's feature memo instead of a per-episode module
+    walk — a warm collection never materializes a module.
+
+    ``episode_streams`` picks the action-RNG discipline. ``False``: one
+    shared stream consumed exactly like the legacy sequential loop —
+    keeps Figure 5/6 outputs anchored to the seed, only valid at
+    ``lanes=1``. ``True``: each episode draws from a private stream
+    keyed ``[seed + 1, episode]`` and rows are ordered by ``(episode,
+    step)``, making the dataset identical at *every* lane count
+    (including 1) — what the Trainer's pruning stage uses so pruned
+    training spaces don't depend on ``lanes``. Default ``None``: legacy
+    stream at ``lanes=1``, episode streams otherwise.
+    """
+    if episode_streams is None:
+        episode_streams = lanes > 1
+    if not episode_streams and lanes > 1:
+        raise ValueError("the legacy shared action stream is order-dependent "
+                         "and only reproducible at lanes=1; use "
+                         "episode_streams=True for multi-lane collection")
     env = PhaseOrderEnv(programs, toolchain=toolchain, observation="features",
                         episode_length=episode_length, use_terminate=False, seed=seed)
+    vec = make_vector_env(env, lanes)
     rng = np.random.default_rng(seed + 1)
-    feats: List[np.ndarray] = []
-    hists: List[np.ndarray] = []
-    actions: List[int] = []
-    improved: List[int] = []
-    for ep in range(episodes):
-        env.reset(program_index=ep % len(programs))
-        done = False
-        while not done:
-            pre_features = env.raw_features()
-            pre_hist = env.histogram.copy()
-            pre_cycles = env.prev_cycles
-            action = int(rng.integers(env.num_actions))
-            _, _, done, info = env.step(action)
-            feats.append(pre_features)
-            hists.append(pre_hist.astype(np.float64))
-            actions.append(env.action_indices[action])
-            improved.append(1 if info["cycles"] < pre_cycles else 0)
+    # (episode, step, features, histogram, action, improved) rows
+    rows: List[tuple] = []
+    for wave_start in range(0, episodes, vec.num_lanes):
+        width = min(vec.num_lanes, episodes - wave_start)
+        obs = vec.reset_wave({i: (wave_start + i) % len(programs)
+                              for i in range(width)})
+        # Lanes whose base program fails HLS compilation come back
+        # omitted: dead episodes, no rows (the sequential loop crashed).
+        active = [i for i in range(width) if i in obs]
+        episode_rngs = {
+            i: (np.random.default_rng([seed + 1, wave_start + i])
+                if episode_streams else rng)
+            for i in active
+        }
+        step = 0
+        while active:
+            pre = {i: (vec.lane_raw_features(i),
+                       vec.lanes[i].histogram.astype(np.float64),
+                       vec.lanes[i].prev_cycles)
+                   for i in active}
+            actions = np.array([int(episode_rngs[i].integers(vec.num_actions))
+                                for i in active])
+            results = vec.step_lanes(active, actions)
+            fresh: List[int] = []
+            for i, action, (_, _, done, info) in zip(active, actions, results):
+                pre_features, pre_hist, pre_cycles = pre[i]
+                rows.append((wave_start + i, step, pre_features, pre_hist,
+                             vec.action_indices[int(action)],
+                             1 if info["cycles"] < pre_cycles else 0))
+                if not done:
+                    fresh.append(i)
+            active = fresh
+            step += 1
+    rows.sort(key=lambda r: (r[0], r[1]))
     return ImportanceDataset(
-        features=np.asarray(feats, dtype=np.float64),
-        histograms=np.asarray(hists),
-        actions=np.asarray(actions, dtype=np.int64),
-        improved=np.asarray(improved, dtype=np.int64),
+        features=np.asarray([r[2] for r in rows], dtype=np.float64),
+        histograms=np.asarray([r[3] for r in rows]),
+        actions=np.asarray([r[4] for r in rows], dtype=np.int64),
+        improved=np.asarray([r[5] for r in rows], dtype=np.int64),
     )
 
 

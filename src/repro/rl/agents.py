@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..features.extractor import extract_features
+from ..features.extractor import features_for
 from ..ir.module import Module
 from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
 from ..toolchain import HLSToolchain, clone_module
@@ -251,7 +251,7 @@ def infer_sequence(agent, module: Module, length: int = 12,
     for _ in range(length):
         parts = []
         if observation in ("features", "both"):
-            feats = normalize_features(extract_features(candidate), normalization)
+            feats = normalize_features(features_for(candidate), normalization)
             if feature_indices is not None:
                 feats = feats[feature_indices]
             parts.append(feats)

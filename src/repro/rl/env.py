@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..features.extractor import extract_features
+from ..features.extractor import features_for
 from ..features.table import NUM_FEATURES
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
@@ -69,18 +69,20 @@ def initial_cycles_for(owner, program_index: int) -> int:
 
 
 def phase_order_observation(observation: ObservationMode,
-                            module: Optional[Module],
+                            raw_features: Optional[np.ndarray],
                             histogram: np.ndarray,
                             feature_indices: Optional[Sequence[int]],
                             normalization: Optional[str]) -> np.ndarray:
     """Single-action observation assembly — one source of truth shared by
     :class:`PhaseOrderEnv` and the vectorized lanes, so feature
-    normalization/filtering can never drift between them."""
+    normalization/filtering can never drift between them.
+    ``raw_features`` is the unnormalized 56-vector of the current state
+    (from the cached front door or an engine feature query), required
+    only for the 'features'/'both' modes."""
     parts: List[np.ndarray] = []
     if observation in ("features", "both"):
-        assert module is not None
-        raw = extract_features(module)
-        normed = normalize_features(raw, normalization)
+        assert raw_features is not None
+        normed = normalize_features(raw_features, normalization)
         if feature_indices is not None:
             normed = normed[feature_indices]
         parts.append(normed)
@@ -90,7 +92,7 @@ def phase_order_observation(observation: ObservationMode,
 
 
 def multi_action_observation(observation: ObservationMode,
-                             module: Optional[Module],
+                             raw_features: Optional[np.ndarray],
                              indices: np.ndarray,
                              feature_indices: Optional[Sequence[int]],
                              normalization: Optional[str]) -> np.ndarray:
@@ -99,9 +101,8 @@ def multi_action_observation(observation: ObservationMode,
     :class:`MultiActionEnv` and the vectorized lanes."""
     parts = [indices.astype(np.float64) / NUM_ACTIONS]
     if observation in ("features", "both"):
-        assert module is not None
-        raw = extract_features(module)
-        normed = normalize_features(raw, normalization)
+        assert raw_features is not None
+        normed = normalize_features(raw_features, normalization)
         if feature_indices is not None:
             normed = normed[feature_indices]
         parts.append(normed)
@@ -246,7 +247,9 @@ class PhaseOrderEnv:
 
     # -- helpers -------------------------------------------------------------------
     def _observe(self) -> np.ndarray:
-        return phase_order_observation(self.observation, self.module,
+        raw = (self.raw_features()
+               if self.observation in ("features", "both") else None)
+        return phase_order_observation(self.observation, raw,
                                        self.histogram, self.feature_indices,
                                        self.normalization)
 
@@ -262,8 +265,11 @@ class PhaseOrderEnv:
         }
 
     def raw_features(self) -> np.ndarray:
+        """Unnormalized features of the working module through the cached
+        front door — repeated observations of an unmutated module (and
+        any structurally unchanged function) skip the walk."""
         assert self.module is not None
-        return extract_features(self.module)
+        return features_for(self.module)
 
 
 class MultiActionEnv:
@@ -380,7 +386,9 @@ class MultiActionEnv:
         return self._observe(), reward, done, self._info()
 
     def _observe(self) -> np.ndarray:
-        return multi_action_observation(self.observation, self.module,
+        raw = (features_for(self.module)
+               if self.observation in ("features", "both") else None)
+        return multi_action_observation(self.observation, raw,
                                         self.indices, self.feature_indices,
                                         self.normalization)
 

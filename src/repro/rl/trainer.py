@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -44,7 +45,58 @@ from .normalization import RunningNormalizer
 from .ppo import Rollout
 from .vec_env import make_vector_env
 
-__all__ = ["Trainer"]
+__all__ = ["Trainer", "PruneResult", "prune_spaces"]
+
+
+@dataclass
+class PruneResult:
+    """Outcome of the §4 pruning stage: the filtered observation/action
+    spaces the pruned agent trains with, plus the forest analysis that
+    chose them."""
+
+    feature_indices: Optional[List[int]]
+    action_indices: Optional[List[int]]
+    analysis: object            # forest.importance.ImportanceAnalysis
+    dataset_size: int
+
+
+def prune_spaces(programs: Sequence[Module], *,
+                 top_features: Optional[int] = None,
+                 top_passes: Optional[int] = None,
+                 episodes: int = 12, episode_length: int = 8,
+                 seed: int = 0, lanes: int = 1,
+                 toolchain=None) -> PruneResult:
+    """The paper's "juggle in random forests" stage as a runnable step:
+    collect high-exploration rollouts through the vectorized evaluation
+    stack, fit the per-pass random forests, and read off the top-K
+    features and/or passes (§4.1/§4.2). The returned index lists plug
+    straight into the envs' ``feature_indices``/``action_indices``
+    filters; ``select_passes`` keeps ``-terminate`` so pruned agents can
+    still end episodes early. Collection always uses per-episode action
+    streams, so the chosen spaces are identical at every ``lanes``
+    width."""
+    from ..forest.importance import analyze_importance, collect_exploration_data
+
+    for knob, value in (("top_features", top_features),
+                        ("top_passes", top_passes)):
+        if value is not None and value <= 0:
+            raise ValueError(f"{knob} must be a positive pruning budget, "
+                             f"got {value!r}")
+    if episodes <= 0:
+        raise ValueError(f"the pruning stage needs a positive exploration "
+                         f"budget, got episodes={episodes!r}")
+    dataset = collect_exploration_data(programs, episodes=episodes,
+                                       episode_length=episode_length,
+                                       seed=seed, toolchain=toolchain,
+                                       lanes=lanes, episode_streams=True)
+    analysis = analyze_importance(dataset, seed=seed)
+    feature_indices = (analysis.select_features(top_k=top_features)
+                       if top_features is not None else None)
+    action_indices = (analysis.select_passes(top_k=top_passes)
+                      if top_passes is not None else None)
+    return PruneResult(feature_indices=feature_indices,
+                       action_indices=action_indices,
+                       analysis=analysis, dataset_size=len(dataset))
 
 
 def _flatten_state(prefix: str, state: dict, arrays: dict, leaves: dict) -> None:
@@ -88,6 +140,16 @@ class Trainer:
                      episode index. Makes member trajectories independent
                      of lane count on any corpus (the benchmark's
                      samples-invariance lever).
+    prune_features / prune_passes: run the §4 random-forest pruning
+                     stage before building the agent — collect
+                     exploration data through the vectorized stack, fit
+                     the forests, and train on the top-K features and/or
+                     passes (the paper's collect → forest → prune →
+                     train loop; the analysis lands in ``self.pruning``).
+                     ``prune_passes`` shrinks the action space of
+                     single-action agents only (PPO3's multi-action env
+                     has no action filter).
+    prune_episodes:  exploration budget of the pruning stage.
     Remaining keyword arguments go to ``make_agent`` (episode_length,
     observation, feature/action filters, normalization, seed, ...).
     """
@@ -97,6 +159,9 @@ class Trainer:
                  normalize_observations: bool = False,
                  es_greedy_eval: bool = False,
                  episode_seeding: bool = False,
+                 prune_features: Optional[int] = None,
+                 prune_passes: Optional[int] = None,
+                 prune_episodes: int = 12,
                  **agent_kwargs) -> None:
         from .agents import make_agent  # agents imports Trainer lazily too
 
@@ -104,6 +169,27 @@ class Trainer:
         self.episodes = episodes
         self.update_every = update_every
         self.es_greedy_eval = es_greedy_eval
+        self.pruning: Optional[PruneResult] = None
+        if prune_features is not None or prune_passes is not None:
+            if agent_kwargs.get("feature_indices") is not None or \
+                    agent_kwargs.get("action_indices") is not None:
+                raise ValueError(
+                    "explicit feature_indices/action_indices conflict with "
+                    "prune_features/prune_passes — pass one or the other")
+            if agent_kwargs.get("toolchain") is None:
+                from ..toolchain import HLSToolchain
+
+                # materialize the toolchain now so the pruning rollouts
+                # warm the same engine/service caches training will use
+                agent_kwargs["toolchain"] = HLSToolchain()
+            self.pruning = prune_spaces(
+                programs, top_features=prune_features, top_passes=prune_passes,
+                episodes=prune_episodes,
+                episode_length=agent_kwargs.get("episode_length", 12),
+                seed=int(agent_kwargs.get("seed", 0)), lanes=lanes,
+                toolchain=agent_kwargs["toolchain"])
+            agent_kwargs["feature_indices"] = self.pruning.feature_indices
+            agent_kwargs["action_indices"] = self.pruning.action_indices
         # Episode-seeded rollouts: episode e draws its program and its
         # actions from a private stream keyed [seed, e] instead of the
         # shared agent/lane generators, so a trajectory does not depend

@@ -26,12 +26,21 @@ for the multi-action formulation. Lane 0 draws programs from the
 template env's own RNG, so a one-lane vector env reproduces the
 sequential environment draw-for-draw.
 
-Histogram-only observations unlock a *sequence-space* fast path: the
-lane never materializes a module at all — the engine's memo/prefix-trie
-answers repeated trajectories without re-applying a single pass, which
-is what lets a warm training loop run at policy-network speed. Feature
-observations keep the sequential envs' incremental per-lane module and
-score through ``evaluate_prepared``.
+With an engine (or service client) behind the toolchain, **every**
+observation mode takes the *sequence-space* fast path: lanes never
+materialize a module at all. Histogram observations need only the
+memo/prefix-trie; feature observations additionally ride the engine's
+feature memo (``evaluate_with_features`` batches value + 56-vector in
+one query, ``features_after`` covers failed steps), so a warm
+feature-observation trajectory runs at policy-network speed too —
+cycles from the result memo, observations from the feature memo, zero
+pass applications, zero module clones. Cold misses pay the engine's
+materialization instead of an incremental pass apply. Setting
+``vec.sequence_features = False`` before training forces feature
+observations back onto the legacy incremental per-lane module
+(``evaluate_prepared``) path — the pre-feature-pipeline baseline the
+feature benchmark compares against; with no engine at all the module
+path is the only one.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..features.extractor import features_for
 from ..hls.profiler import HLSCompilationError
 from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
 from ..toolchain import clone_module
@@ -63,14 +73,17 @@ Query = Tuple["_Lane", tuple]
 class _Lane:
     """One episode lane's private state (single- or multi-action)."""
 
-    __slots__ = ("rng", "program_index", "module", "histogram", "applied",
-                 "indices", "steps", "prev_cycles", "initial_cycles",
-                 "best_cycles", "best_sequence")
+    __slots__ = ("rng", "program_index", "module", "features", "histogram",
+                 "applied", "indices", "steps", "prev_cycles",
+                 "initial_cycles", "best_cycles", "best_sequence")
 
     def __init__(self, rng: np.random.Generator) -> None:
         self.rng = rng
         self.program_index = 0
         self.module = None
+        # raw feature vector of the lane's current state on the
+        # sequence-space path (the module-free feature observation)
+        self.features: Optional[np.ndarray] = None
         self.histogram = np.zeros(NUM_ACTIONS, dtype=np.int64)
         self.applied: List[int] = []
         self.indices: Optional[np.ndarray] = None
@@ -107,9 +120,11 @@ class VectorEnv:
         self.feature_indices = template.feature_indices
         self.normalization = template.normalization
         self.reward_mode = template.reward_mode
-        # Sequence-space scoring needs no module; only feature
-        # observations force the incremental per-lane module walk.
-        self.needs_module = self.observation in ("features", "both")
+        self.wants_features = self.observation in ("features", "both")
+        # With an engine behind the toolchain, feature observations ride
+        # the engine's feature memo instead of a per-lane module; the
+        # benchmark flips this off to measure the legacy module path.
+        self.sequence_features = True
         self.lanes = [
             _Lane(template.rng if i == 0
                   else np.random.default_rng([template.seed, i]))
@@ -136,38 +151,65 @@ class VectorEnv:
     def observation_dim(self) -> int:
         return self.template.observation_dim
 
+    @property
+    def needs_module(self) -> bool:
+        """True when lanes must carry an incrementally optimized module —
+        feature observations with no engine behind the toolchain, or
+        with the sequence-space feature path explicitly disabled."""
+        return self.wants_features and (self.toolchain.engine is None
+                                        or not self.sequence_features)
+
     # -- scoring ------------------------------------------------------------
-    def _resolve_queries(self, queries: List[Query]) -> List[Optional[float]]:
+    def _resolve_queries(self, queries: List[Query],
+                         want_features: bool = False) -> List[Optional[float]]:
         """Engine-backed resolution of pending sequence queries, shared
         by both env flavours: ``submit()`` future fan-out on the service
         backend, one deduplicating ``evaluate_batch`` per distinct
         program otherwise. ``None`` where HLS compilation fails; callers
-        account ``evaluations``."""
+        account ``evaluations``. With ``want_features`` each query's lane
+        additionally receives the raw feature vector of its new state
+        (``lane.features``) — including failed steps, whose features
+        come from a sample-free ``features_after``."""
         engine = self.toolchain.engine
         submit = getattr(engine, "submit", None)
         if submit is not None:  # service backend: concurrent fan-out
             futures = [
                 submit(self.programs[lane.program_index], seq,
-                       objective=self.objective)
+                       objective=self.objective, want_features=want_features)
                 for lane, seq in queries
             ]
             out: List[Optional[float]] = []
-            for future in futures:
+            for (lane, seq), future in zip(queries, futures):
                 try:
-                    out.append(future.result())
+                    result = future.result()
                 except HLSCompilationError:
+                    if want_features:
+                        lane.features = engine.features_after(
+                            self.programs[lane.program_index], seq)
                     out.append(None)
+                    continue
+                if want_features:
+                    value, lane.features = result
+                    out.append(value)
+                else:
+                    out.append(result)
             return out
         by_program: Dict[int, List[int]] = {}
         for i, (lane, _) in enumerate(queries):
             by_program.setdefault(lane.program_index, []).append(i)
         out = [None] * len(queries)
         for program_index, indices in by_program.items():
-            values = engine.evaluate_batch(
+            rows = engine.evaluate_batch(
                 self.programs[program_index],
-                [queries[i][1] for i in indices], objective=self.objective)
-            for i, value in zip(indices, values):
-                out[i] = value
+                [queries[i][1] for i in indices], objective=self.objective,
+                want_features=want_features)
+            for i, row in zip(indices, rows):
+                if want_features:
+                    value, feats = row
+                    queries[i][0].features = feats
+                    out[i] = value
+                else:
+                    out[i] = row
         return out
 
     def _score_many(self, queries: List[Query]) -> List[Optional[float]]:
@@ -177,7 +219,7 @@ class VectorEnv:
         self.evaluations += len(queries)
         if self.toolchain.engine is None or self.needs_module:
             return [self._score_one(lane, seq) for lane, seq in queries]
-        return self._resolve_queries(queries)
+        return self._resolve_queries(queries, want_features=self.wants_features)
 
     def _score_one(self, lane: _Lane, sequence: tuple) -> Optional[float]:
         """Sequential scoring of one lane's working module — identical to
@@ -222,6 +264,10 @@ class VectorEnv:
         if self.needs_module:
             return engine.evaluate_prepared(program, (), lane.module,
                                             objective=self.objective)
+        if self.wants_features:
+            value, lane.features = engine.evaluate_with_features(
+                program, (), objective=self.objective)
+            return value
         return engine.evaluate(program, (), objective=self.objective)
 
     def _finish_reset(self, lane: _Lane, value: float) -> np.ndarray:
@@ -328,8 +374,24 @@ class VectorEnv:
                 True, self._info(lane, failed=True))
 
     # -- observation / info --------------------------------------------------
+    def _raw_features(self, lane: _Lane) -> Optional[np.ndarray]:
+        """The lane's current raw 56-vector: the engine-supplied vector
+        on the sequence-space path, the cached front-door extraction of
+        the lane module otherwise."""
+        if not self.wants_features:
+            return None
+        if lane.module is not None:
+            return features_for(lane.module)
+        return lane.features
+
+    def lane_raw_features(self, lane_id: int) -> np.ndarray:
+        """Public face of :meth:`_raw_features` (the importance-analysis
+        collector records pre-step feature rows from it)."""
+        return self._raw_features(self.lanes[lane_id])
+
     def _observe(self, lane: _Lane) -> np.ndarray:
-        return phase_order_observation(self.observation, lane.module,
+        return phase_order_observation(self.observation,
+                                       self._raw_features(lane),
                                        lane.histogram, self.feature_indices,
                                        self.normalization)
 
@@ -373,11 +435,12 @@ class MultiActionVectorEnv(VectorEnv):
 
     # -- scoring -------------------------------------------------------------
     def _score_many(self, queries: List[Query]) -> List[Optional[float]]:
-        """Full-sequence scoring. Indices-only observations batch through
-        the shared engine/service dispatch; feature observations need the
-        optimized module per lane, so they take the module-returning path
-        (``evaluate_with_module``, one call per lane — the sequential
-        env's exact work, no second materialization)."""
+        """Full-sequence scoring. With an engine behind the toolchain
+        every observation mode batches through the shared engine/service
+        dispatch — feature observations ride the engine's feature memo
+        (``want_features``), so no lane ever materializes a module.
+        The engine-less fallback and the forced module path keep the
+        sequential env's per-lane module semantics."""
         self.evaluations += len(queries)
         engine = self.toolchain.engine
         if engine is None:
@@ -405,7 +468,7 @@ class MultiActionVectorEnv(VectorEnv):
                     lane.module = engine.materialize(base, sequence)
                     out.append(None)
             return out
-        return self._resolve_queries(queries)
+        return self._resolve_queries(queries, want_features=self.wants_features)
 
     # -- resets ---------------------------------------------------------------
     def _begin_reset(self, lane: _Lane, program_index: int) -> None:
@@ -470,7 +533,8 @@ class MultiActionVectorEnv(VectorEnv):
 
     # -- observation ---------------------------------------------------------
     def _observe(self, lane: _Lane) -> np.ndarray:
-        return multi_action_observation(self.observation, lane.module,
+        return multi_action_observation(self.observation,
+                                        self._raw_features(lane),
                                         lane.indices, self.feature_indices,
                                         self.normalization)
 

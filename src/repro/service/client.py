@@ -11,9 +11,12 @@ opts in without code changes.
 Layering, outermost first:
 
 1. **Persistent map** — per registered program, the on-disk store shard
-   loaded at registration plus everything resolved since. Hits answer
-   instantly, cost zero simulator samples, and survive across runs and
-   between concurrent processes sharing one store root.
+   loaded at registration plus everything resolved since: objective
+   values *and* post-sequence feature vectors (schema-v2 records; v1
+   cycle-only records are served value-only with features recomputed on
+   demand). Hits answer instantly, cost zero simulator samples, and
+   survive across runs and between concurrent processes sharing one
+   store root.
 2. **In-flight coalescing** — duplicate concurrent requests for one
    ``(program, sequence, objective)`` share a single
    :class:`~concurrent.futures.Future`; only the first dispatches.
@@ -43,6 +46,8 @@ import threading
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..engine.core import BatchEvaluationError, EvaluationEngine, canonicalize_sequence
 from ..engine.memo import FAILED
 from ..hls.profiler import HLSCompilationError
@@ -61,6 +66,14 @@ from .worker import (
 __all__ = ["EvaluationClient", "ServiceConfig"]
 
 Action = Union[int, str]
+
+
+def _feature_array(feat) -> np.ndarray:
+    """An int-list feature payload (store record / worker response) as a
+    read-only int64 vector — the shape every feature consumer expects."""
+    arr = np.asarray(feat, dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
 
 
 def _default_workers() -> int:
@@ -87,14 +100,23 @@ class ServiceConfig:
 
 class _Program:
     __slots__ = ("program", "fingerprint", "worker_id", "persisted",
-                 "registered_workers")
+                 "features", "key_by_seq", "registered_workers")
 
     def __init__(self, program: Module, fingerprint: str, worker_id: int) -> None:
         self.program = program
         self.fingerprint = fingerprint
         self.worker_id = worker_id
         self.persisted: Dict[StoreKey, Any] = {}
+        # canonical sequence -> read-only feature vector (objective-free
+        # key: features depend on the pass sequence only)
+        self.features: Dict[Tuple, np.ndarray] = {}
+        # canonical sequence -> one persisted StoreKey carrying it, so
+        # feature upgrades find a value record without scanning the map
+        self.key_by_seq: Dict[Tuple, StoreKey] = {}
         self.registered_workers: set = set()
+
+    def remember(self, key: StoreKey) -> None:
+        self.key_by_seq.setdefault(key[3], key)
 
 
 class _WorkerHandle:
@@ -145,10 +167,13 @@ class EvaluationClient:
 
         self._lock = threading.RLock()
         self._programs: Dict[int, _Program] = {}
-        self._inflight: Dict[Tuple[str, StoreKey], Future] = {}
+        # in-flight dedup key: (program fingerprint, store key,
+        # want_features) — feature appetite partitions coalescing, so a
+        # value-only waiter never receives a (value, features) pair
+        self._inflight: Dict[Tuple[str, StoreKey, bool], Future] = {}
         # request id → (worker id, [(fullkey, future), ...]) so a dead
         # worker's in-flight requests can be failed rather than hang
-        self._pending: Dict[int, Tuple[int, List[Tuple[Tuple[str, StoreKey], Future]]]] = {}
+        self._pending: Dict[int, Tuple[int, List[Tuple[Tuple[str, StoreKey, bool], Future]]]] = {}
         self._stats_pending: Dict[int, Future] = {}
         self._request_ids = itertools.count()
         self._handles: List[_WorkerHandle] = []
@@ -176,8 +201,13 @@ class EvaluationClient:
                 fingerprint = program_fingerprint(program)
                 worker_id = int(fingerprint, 16) % self.workers if self.workers else 0
                 prog = _Program(program, fingerprint, worker_id)
-                prog.persisted.update(
-                    self.store.load(fingerprint, self.toolchain_fp))
+                values, features = self.store.load_with_features(
+                    fingerprint, self.toolchain_fp)
+                prog.persisted.update(values)
+                for loaded_key in values:
+                    prog.remember(loaded_key)
+                for canonical, feat in features.items():
+                    prog.features[canonical] = _feature_array(feat)
                 self._programs[id(program)] = prog
             return prog
 
@@ -287,18 +317,30 @@ class EvaluationClient:
         with self._lock:
             _, waiters = self._pending.pop(request_id, (None, ()))
         for payload, (fullkey, future) in zip(results, waiters):
-            fingerprint, key = fullkey
+            fingerprint, key, want_features = fullkey
+            tag = payload[0]
+            feats = None
+            if tag == "ok" and len(payload) > 2 and payload[2] is not None:
+                feats = _feature_array(payload[2])
+            elif tag == "failed" and len(payload) > 1 and payload[1] is not None:
+                feats = _feature_array(payload[1])
             with self._lock:
                 self._inflight.pop(fullkey, None)
                 prog = next((p for p in self._programs.values()
                              if p.fingerprint == fingerprint), None)
-                if payload[0] == "ok" and prog is not None:
-                    prog.persisted[key] = payload[1]
-                elif payload[0] == "failed" and prog is not None:
-                    prog.persisted[key] = FAILED
-            if payload[0] == "ok":
-                future.set_result(payload[1])
-            elif payload[0] == "failed":
+                if prog is not None:
+                    if tag == "ok":
+                        prog.persisted[key] = payload[1]
+                        prog.remember(key)
+                    elif tag == "failed":
+                        prog.persisted[key] = FAILED
+                        prog.remember(key)
+                    if feats is not None:
+                        prog.features[key[3]] = feats
+            if tag == "ok":
+                future.set_result((payload[1], feats) if want_features
+                                  else payload[1])
+            elif tag == "failed":
                 future.set_exception(HLSCompilationError(
                     f"sequence {key[3]!r} is memoized as failing HLS compilation"))
             else:
@@ -313,53 +355,97 @@ class EvaluationClient:
             prog.registered_workers.add(prog.worker_id)
 
     # -- local resolution helpers -------------------------------------------
-    def _resolved_future(self, key: StoreKey, value: Any) -> Future:
+    def _resolved_future(self, key: StoreKey, value: Any,
+                         feats: Optional[np.ndarray] = None,
+                         want_features: bool = False) -> Future:
         future: Future = Future()
         if value is FAILED:
             future.set_exception(HLSCompilationError(
                 f"sequence {key[3]!r} is memoized as failing HLS compilation"))
+        elif want_features:
+            future.set_result((value, feats))
         else:
             future.set_result(value)
         return future
 
-    def _persist(self, prog: _Program, key: StoreKey, value: Any) -> None:
-        """Record a locally computed result in memory and on disk."""
+    def _persist(self, prog: _Program, key: StoreKey, value: Any,
+                 features: Optional[np.ndarray] = None) -> None:
+        """Record a locally computed result in memory and on disk. A key
+        whose value is already stored but whose features just arrived is
+        re-appended as an upgraded (v2, ``feat``-carrying) record."""
         with self._lock:
-            if key in prog.persisted:
+            have_value = key in prog.persisted
+            have_feats = features is None or key[3] in prog.features
+            if have_value and have_feats:
                 return
             prog.persisted[key] = value
-        self.store.append(prog.fingerprint, self.toolchain_fp, key, value)
+            prog.remember(key)
+            if features is not None and key[3] not in prog.features:
+                prog.features[key[3]] = _feature_array(features)
+        self.store.append(prog.fingerprint, self.toolchain_fp, key, value,
+                          features=features)
 
-    def _evaluate_local(self, prog: _Program, key: StoreKey) -> Any:
-        """In-process evaluation (workers=0 path), persisting the result."""
+    def _upgrade_v1(self, prog: _Program, key: StoreKey, cached: Any) -> np.ndarray:
+        """workers=0 upgrade of a persisted cycle-only (v1) record:
+        recompute the features sample-free on the local engine, cache
+        them, and append the upgraded v2 record beside the old one (the
+        store's on-demand contract)."""
+        canonical = key[3]
+        feats = self.local.features_after(prog.program, canonical)
+        with self._lock:
+            prog.features.setdefault(canonical, feats)
+        self.store.append(prog.fingerprint, self.toolchain_fp, key, cached,
+                          features=feats)
+        return feats
+
+    def _evaluate_local(self, prog: _Program, key: StoreKey,
+                        want_features: bool = False) -> Any:
+        """In-process evaluation (workers=0 path), persisting the result
+        (with its feature vector when one was requested)."""
         objective, area_weight, entry, canonical = key
         try:
-            value = self.local.evaluate(prog.program, canonical,
-                                        objective=objective,
-                                        area_weight=area_weight, entry=entry)
+            if want_features:
+                value, feats = self.local.evaluate_with_features(
+                    prog.program, canonical, objective=objective,
+                    area_weight=area_weight, entry=entry)
+            else:
+                value = self.local.evaluate(prog.program, canonical,
+                                            objective=objective,
+                                            area_weight=area_weight, entry=entry)
         except HLSCompilationError:
-            self._persist(prog, key, FAILED)
+            feats = (self.local.features_after(prog.program, canonical)
+                     if want_features else None)
+            self._persist(prog, key, FAILED, features=feats)
             raise
+        if want_features:
+            self._persist(prog, key, value, features=feats)
+            return value, _feature_array(feats)
         self._persist(prog, key, value)
         return value
 
     # -- public API: async --------------------------------------------------
     def submit(self, program: Module, actions: Sequence[Action],
                objective: str = "cycles", area_weight: float = 0.05,
-               entry: str = "main") -> Future:
+               entry: str = "main", want_features: bool = False) -> Future:
         """Asynchronously evaluate one sequence; returns a Future whose
         result is the objective value (HLSCompilationError for sequences
-        that fail HLS compilation). Duplicate in-flight requests share
-        one Future."""
+        that fail HLS compilation), or a ``(value, features)`` pair with
+        ``want_features=True`` — the feature vector rides the same worker
+        round-trip and the same persistent record, so warm
+        feature-observation queries never materialize a module anywhere.
+        Duplicate in-flight requests (same key, same feature appetite)
+        share one Future."""
         canonical = canonicalize_sequence(actions)
         key = make_key(objective, area_weight, entry, canonical)
         prog = self._ensure_program(program)
-        fullkey = (prog.fingerprint, key)
+        fullkey = (prog.fingerprint, key, want_features)
         with self._lock:
             cached = prog.persisted.get(key)
-            if cached is not None:
+            feats = prog.features.get(canonical) if want_features else None
+            if cached is not None and \
+                    (not want_features or cached is FAILED or feats is not None):
                 self.persistent_hits += 1
-                return self._resolved_future(key, cached)
+                return self._resolved_future(key, cached, feats, want_features)
             existing = self._inflight.get(fullkey)
             if existing is not None:
                 self.coalesced += 1
@@ -367,6 +453,10 @@ class EvaluationClient:
             self._check_open()
             future: Future = Future()
             if self.workers:
+                # Covers both cold misses and value-known/features-missing
+                # (v1-record) upgrades: the shard worker resolves cached
+                # values from its own warm store and computes the missing
+                # features against its warm trie, off the caller's thread.
                 self._inflight[fullkey] = future
                 self._start_pool()
                 self._register_with_worker(prog)
@@ -375,11 +465,18 @@ class EvaluationClient:
                 self.dispatched += 1
                 self._handles[prog.worker_id].queue.put(
                     (MSG_EVALUATE, request_id, id(prog.program),
-                     [(list(canonical), objective, area_weight, entry)]))
+                     [(list(canonical), objective, area_weight, entry,
+                       want_features)]))
                 return future
+        if cached is not None:
+            # workers=0 + persisted value from a cycle-only (v1) record,
+            # features wanted
+            self.persistent_hits += 1
+            future.set_result((cached, self._upgrade_v1(prog, key, cached)))
+            return future
         # workers=0: synchronous, outside the lock
         try:
-            future.set_result(self._evaluate_local(prog, key))
+            future.set_result(self._evaluate_local(prog, key, want_features))
         except HLSCompilationError as exc:
             future.set_exception(exc)
         except Exception as exc:  # same contract as a worker crash
@@ -393,30 +490,43 @@ class EvaluationClient:
         return self.submit(program, actions, objective=objective,
                            area_weight=area_weight, entry=entry).result()
 
-    def evaluate_batch(self, program: Module, sequences: Sequence[Sequence[Action]],
-                       objective: str = "cycles", area_weight: float = 0.05,
-                       entry: str = "main") -> List[Optional[float]]:
+    def evaluate_batch(
+        self, program: Module, sequences: Sequence[Sequence[Action]],
+        objective: str = "cycles", area_weight: float = 0.05,
+        entry: str = "main", want_features: bool = False,
+    ) -> Union[List[Optional[float]],
+               List[Tuple[Optional[float], np.ndarray]]]:
         """Engine-compatible population scoring: one value per input
         sequence, ``None`` where HLS compilation fails. Duplicates are
         resolved once; all misses for a program travel to its shard
-        worker as a single batched message."""
+        worker as a single batched message. ``want_features=True``
+        matches the engine's contract — every row becomes ``(value,
+        features)``, failing rows ``(None, features)`` — riding the same
+        batched message (per-item feature flags) and persistent records."""
         self.batches += 1
         keyed = [canonicalize_sequence(seq) for seq in sequences]
         prog = self._ensure_program(program)
         futures: Dict[Tuple[Union[int, str], ...], Future] = {}
-        to_send: List[Tuple[Tuple[str, StoreKey], Future]] = []
+        to_send: List[Tuple[Tuple[str, StoreKey, bool], Future]] = []
         items: List[Tuple] = []
+        # canonical → (key, value): persisted cycle-only (v1) entries
+        # whose features must be recomputed locally (workers=0 only)
+        upgrades: Dict[Tuple[Union[int, str], ...], Tuple[StoreKey, Any]] = {}
         with self._lock:
             for canonical in keyed:
                 if canonical in futures:
                     continue
                 key = make_key(objective, area_weight, entry, canonical)
                 cached = prog.persisted.get(key)
-                if cached is not None:
+                feats = prog.features.get(canonical) if want_features else None
+                if cached is not None and \
+                        (not want_features or cached is FAILED
+                         or feats is not None):
                     self.persistent_hits += 1
-                    futures[canonical] = self._resolved_future(key, cached)
+                    futures[canonical] = self._resolved_future(
+                        key, cached, feats, want_features)
                     continue
-                fullkey = (prog.fingerprint, key)
+                fullkey = (prog.fingerprint, key, want_features)
                 existing = self._inflight.get(fullkey)
                 if existing is not None:
                     self.coalesced += 1
@@ -426,9 +536,14 @@ class EvaluationClient:
                 future = Future()
                 futures[canonical] = future
                 if self.workers:
+                    # cold misses and v1 feature upgrades alike: the
+                    # shard worker owns the warm store and trie
                     self._inflight[fullkey] = future
                     to_send.append((fullkey, future))
-                    items.append((list(canonical), objective, area_weight, entry))
+                    items.append((list(canonical), objective, area_weight,
+                                  entry, want_features))
+                elif cached is not None:
+                    upgrades[canonical] = (key, cached)
             if to_send:
                 self._start_pool()
                 self._register_with_worker(prog)
@@ -438,22 +553,31 @@ class EvaluationClient:
                 self._handles[prog.worker_id].queue.put(
                     (MSG_EVALUATE, request_id, id(prog.program), items))
         if not self.workers:
+            for canonical, (key, cached) in upgrades.items():
+                self.persistent_hits += 1
+                futures[canonical].set_result(
+                    (cached, self._upgrade_v1(prog, key, cached)))
             # misses go through the local engine's own (thread-pooled)
             # batch API: same throughput and BatchEvaluationError
             # contract as the engine backend, then persist
             missing = [c for c, f in futures.items() if not f.done()]
             if missing:
-                values = self.local.evaluate_batch(
+                rows = self.local.evaluate_batch(
                     prog.program, missing, objective=objective,
-                    area_weight=area_weight, entry=entry)
-                for canonical, value in zip(missing, values):
+                    area_weight=area_weight, entry=entry,
+                    want_features=want_features)
+                for canonical, row in zip(missing, rows):
                     key = make_key(objective, area_weight, entry, canonical)
                     future = futures[canonical]
+                    value, feats = row if want_features else (row, None)
                     if value is None:
-                        self._persist(prog, key, FAILED)
+                        self._persist(prog, key, FAILED, features=feats)
                         future.set_exception(HLSCompilationError(
                             f"sequence {canonical!r} is memoized as failing "
                             f"HLS compilation"))
+                    elif want_features:
+                        future.set_result((value, feats))
+                        self._persist(prog, key, value, features=feats)
                     else:
                         self._persist(prog, key, value)
                         future.set_result(value)
@@ -462,7 +586,10 @@ class EvaluationClient:
             try:
                 out.append(futures[canonical].result())
             except HLSCompilationError:
-                out.append(None)
+                if want_features:
+                    out.append((None, self.features_after(program, canonical)))
+                else:
+                    out.append(None)
         return out
 
     # -- module-returning paths (local engine, persistent-aware) ------------
@@ -522,6 +649,45 @@ class EvaluationClient:
     def materialize(self, program: Module, actions: Sequence[Action]) -> Module:
         return self.local.materialize(program, actions)
 
+    # -- feature queries (engine-compatible) ---------------------------------
+    def features_after(self, program: Module,
+                       actions: Sequence[Action] = ()) -> np.ndarray:
+        """Feature vector of ``program`` after ``actions``. Resolution
+        order: the persistent feature map (v2 store records / earlier
+        worker responses — no module anywhere), then the local engine's
+        feature memo, then a sample-free local materialization. Never
+        profiles, never counts a simulator sample."""
+        canonical = canonicalize_sequence(actions)
+        if not canonical:
+            return self.local.features_after(program, ())
+        prog = self._ensure_program(program)
+        with self._lock:
+            feats = prog.features.get(canonical)
+        if feats is not None:
+            return feats
+        feats = self.local.features_after(prog.program, canonical)
+        with self._lock:
+            prog.features.setdefault(canonical, feats)
+            # If some objective already persisted a (cycle-only) result
+            # for this sequence, append the upgraded v2 record so the
+            # recomputation isn't repeated by the next run.
+            key = prog.key_by_seq.get(canonical)
+            cached = prog.persisted.get(key) if key is not None else None
+        if key is not None and cached is not None:
+            self.store.append(prog.fingerprint, self.toolchain_fp, key,
+                              cached, features=feats)
+        return feats
+
+    def evaluate_with_features(self, program: Module, actions: Sequence[Action],
+                               objective: str = "cycles",
+                               area_weight: float = 0.05,
+                               entry: str = "main") -> Tuple[float, np.ndarray]:
+        """Engine-compatible ``(value, features)`` in one query — the
+        synchronous face of ``submit(..., want_features=True)``."""
+        return self.submit(program, actions, objective=objective,
+                           area_weight=area_weight, entry=entry,
+                           want_features=True).result()
+
     # -- introspection / lifecycle ------------------------------------------
     def worker_cache_info(self, timeout: float = 5.0) -> List[Dict[str, int]]:
         """Engine cache statistics from every live worker process."""
@@ -556,6 +722,8 @@ class EvaluationClient:
         with self._lock:
             info["persistent_entries"] = sum(
                 len(p.persisted) for p in self._programs.values())
+            info["persistent_feature_entries"] = sum(
+                len(p.features) for p in self._programs.values())
         info["persistent_hits"] = self.persistent_hits
         info["coalesced_requests"] = self.coalesced
         info["dispatched_requests"] = self.dispatched

@@ -14,6 +14,8 @@ bytes, so any process that can open the socket can query:
      "objective": "cycles"}                    → {"ok": true, "value": ...}
     {"op": "batch", "program": "gen:7", "sequences": [[38], [38, 31]]}
                                                → {"ok": true, "values": [...]}
+    {"op": "features", "program": "gsm", "sequence": [38, 31]}
+                                               → {"ok": true, "features": [...]}
     {"op": "stats"}                            → cache_info + store stats
     {"op": "shutdown"}
 
@@ -133,6 +135,14 @@ class EvaluationServer:
                 area_weight=req.get("area_weight", 0.05),
                 entry=req.get("entry", "main"))
             return {"ok": True, "values": values}
+        if op == "features":
+            # The observation function as a service query: Table-2
+            # features after a pass sequence, answered from the feature
+            # memo / persistent records when warm; never costs a sample.
+            module = self._module(req["program"])
+            feats = self.toolchain.engine.features_after(
+                module, req.get("sequence", []))
+            return {"ok": True, "features": [int(x) for x in feats]}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def serve_forever(self) -> None:

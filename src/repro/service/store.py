@@ -4,13 +4,23 @@ Layout: one append-only JSONL shard per (program fingerprint, toolchain
 fingerprint) under the store root (``REPRO_CACHE_DIR`` or
 ``.repro-cache/``). Each line is one result record::
 
-    {"v": 1, "obj": "cycles", "aw": 0.05, "entry": "main",
-     "seq": [38, 31], "ok": true, "val": 2583.0}
+    {"v": 2, "obj": "cycles", "aw": 0.05, "entry": "main",
+     "seq": [38, 31], "ok": true, "val": 2583.0, "feat": [0, 3, ...]}
 
 ``ok: false`` records memoize sequences that raise
 :class:`~repro.hls.profiler.HLSCompilationError` — a warm run re-raises
 without burning a simulator sample, exactly like the in-memory memo's
 failure sentinel.
+
+Schema compatibility: ``feat`` (the 56-element Table-2 feature vector of
+the program *after* the sequence) arrived with schema version 2 and is
+optional — feature-less v2 records and every v1 record are still served;
+a reader that needs features for such a record recomputes them on demand
+(never a crash, never a cache clear). Writers always emit the current
+version; duplicate records for one key are harmless (evaluation is
+deterministic), which is also how v1 shards upgrade organically — a
+warm run that computes features for a v1 key appends a v2 record beside
+it.
 
 Concurrency contract: writers append whole lines with ``O_APPEND`` (one
 ``write()`` per record, well under the POSIX pipe-buffer atomicity
@@ -32,7 +42,9 @@ from ..engine.memo import FAILED
 
 __all__ = ["ResultStore", "default_store_dir", "make_key"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+# Versions load() can serve. v1 records simply carry no feature vector.
+READABLE_VERSIONS = frozenset({1, 2})
 
 # A store key inside one shard; the shard name carries the fingerprints.
 StoreKey = Tuple[str, float, str, Tuple[Union[int, str], ...]]
@@ -63,13 +75,17 @@ class ResultStore:
 
     # -- record IO -----------------------------------------------------------
     def append(self, program_fp: str, toolchain_fp: str, key: StoreKey,
-               value: Any) -> None:
-        """Durably record one result (``value`` may be the FAILED sentinel)."""
+               value: Any, features: Optional[Any] = None) -> None:
+        """Durably record one result (``value`` may be the FAILED
+        sentinel; ``features`` the post-sequence feature vector, omitted
+        when the writer never extracted one)."""
         objective, area_weight, entry, canonical = key
         record = {"v": SCHEMA_VERSION, "obj": objective, "aw": area_weight,
                   "entry": entry, "seq": list(canonical),
                   "ok": value is not FAILED,
                   "val": None if value is FAILED else value}
+        if features is not None:
+            record["feat"] = [int(x) for x in features]
         os.makedirs(self.root, exist_ok=True)
         line = json.dumps(record, separators=(",", ":")) + "\n"
         # One write() on an O_APPEND descriptor: concurrent runs may
@@ -82,26 +98,43 @@ class ResultStore:
             os.close(fd)
 
     def load(self, program_fp: str, toolchain_fp: str) -> Dict[StoreKey, Any]:
-        """All readable records of one shard (FAILED for ``ok: false``).
+        """All readable result values of one shard (FAILED for
+        ``ok: false``); see :meth:`load_with_features` for the variant
+        that also recovers feature vectors."""
+        return self.load_with_features(program_fp, toolchain_fp)[0]
+
+    def load_with_features(self, program_fp: str, toolchain_fp: str
+                           ) -> Tuple[Dict[StoreKey, Any],
+                                      Dict[Tuple[Union[int, str], ...], List[int]]]:
+        """One shard's ``(values, features)``: the result map of
+        :meth:`load` plus ``canonical sequence → feature vector`` for
+        every record that recorded one (v2 with ``feat``). Feature keys
+        drop the objective triple — features depend on the sequence only.
 
         Unparseable or wrong-version lines — a torn write from a run that
-        died mid-record, or a future schema — are skipped, not fatal.
+        died mid-record, or a future schema — are skipped, not fatal; v1
+        records are served value-only.
         """
         path = self._shard_path(program_fp, toolchain_fp)
         results: Dict[StoreKey, Any] = {}
+        features: Dict[Tuple[Union[int, str], ...], List[int]] = {}
         try:
             fh = open(path, "r", encoding="utf-8")
         except FileNotFoundError:
-            return results
+            return results, features
         with fh:
             for line in fh:
                 record = self._parse(line)
                 if record is None:
                     continue
+                canonical = tuple(record["seq"])
                 key = make_key(record["obj"], record["aw"], record["entry"],
-                               tuple(record["seq"]))
+                               canonical)
                 results[key] = record["val"] if record["ok"] else FAILED
-        return results
+                feat = record.get("feat")
+                if feat is not None:
+                    features[canonical] = feat
+        return results, features
 
     @staticmethod
     def _parse(line: str) -> Optional[Dict]:
@@ -109,7 +142,7 @@ class ResultStore:
             record = json.loads(line)
         except (ValueError, UnicodeDecodeError):
             return None
-        if not isinstance(record, dict) or record.get("v") != SCHEMA_VERSION:
+        if not isinstance(record, dict) or record.get("v") not in READABLE_VERSIONS:
             return None
         if not {"obj", "aw", "entry", "seq", "ok", "val"} <= record.keys():
             return None
@@ -138,18 +171,20 @@ class ResultStore:
 
     def stats(self) -> Dict[str, Any]:
         shards = self._shards()
-        records = failures = 0
+        records = failures = feature_records = 0
         distinct = set()
         for name, record in self.iter_records():
             records += 1
             failures += 0 if record["ok"] else 1
+            feature_records += 1 if record.get("feat") is not None else 0
             distinct.add((name, record["obj"], record["aw"], record["entry"],
                           tuple(record["seq"])))
         size = sum(os.path.getsize(os.path.join(self.root, n))
                    for n in shards if os.path.exists(os.path.join(self.root, n)))
         return {"root": os.path.abspath(self.root), "shards": len(shards),
                 "records": records, "distinct_results": len(distinct),
-                "failed_results": failures, "size_bytes": size}
+                "failed_results": failures, "feature_records": feature_records,
+                "size_bytes": size}
 
     def clear(self) -> int:
         """Delete every shard; returns how many files were removed."""

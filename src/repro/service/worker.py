@@ -38,12 +38,16 @@ __all__ = ["worker_main", "dumps_module", "loads_module",
 
 # Request message tags (first tuple element on the request queue).
 MSG_REGISTER = "register"    # (tag, program_id, program_fp, module_bytes)
-MSG_EVALUATE = "evaluate"    # (tag, request_id, program_id, [(seq, obj, aw, entry), ...])
+MSG_EVALUATE = "evaluate"    # (tag, request_id, program_id,
+#                               [(seq, obj, aw, entry, want_features), ...])
 MSG_STATS = "stats"          # (tag, request_id)
 MSG_SHUTDOWN = "shutdown"    # (tag,)
 
 # Per-item response payloads inside a ("result", request_id, items, samples)
-# message: ("ok", value) | ("failed",) | ("error", repr, traceback).
+# message: ("ok", value, feat|None) | ("failed", feat|None) |
+# ("error", repr, traceback) — ``feat`` is the post-sequence Table-2
+# feature vector as a plain int list (present whenever the item asked
+# for features; computing it never costs a simulator sample).
 _PICKLE_RECURSION_LIMIT = 100_000
 
 
@@ -86,6 +90,9 @@ class _WorkerState:
         self.fingerprints: Dict[int, str] = {}
         # (program_id, StoreKey) → value/FAILED, warm-started from disk.
         self.persisted: Dict[Tuple[int, Tuple], Any] = {}
+        # (program_id, canonical sequence) → feature vector (int list),
+        # warm-started from v2 records of the same shards.
+        self.features: Dict[Tuple[int, Tuple], Any] = {}
         # program_id → traceback of a failed registration, reported with
         # every subsequent evaluation of that program
         self.register_errors: Dict[int, str] = {}
@@ -96,31 +103,55 @@ class _WorkerState:
             return
         self.programs[program_id] = loads_module(module_bytes)
         self.fingerprints[program_id] = program_fp
-        for key, value in self.store.load(program_fp, self.toolchain_fp).items():
+        values, features = self.store.load_with_features(program_fp,
+                                                         self.toolchain_fp)
+        for key, value in values.items():
             self.persisted[(program_id, key)] = value
+        for canonical, feat in features.items():
+            self.features[(program_id, canonical)] = feat
 
     def evaluate_one(self, program_id: int, item: Tuple) -> Tuple:
-        sequence, objective, area_weight, entry = item
+        sequence, objective, area_weight, entry, want_features = item
         canonical = tuple(sequence)
         key = make_key(objective, area_weight, entry, canonical)
         cached = self.persisted.get((program_id, key))
-        if cached is not None:
-            self.persistent_hits += 1
-            return ("failed",) if cached is FAILED else ("ok", cached)
+        feat = self.features.get((program_id, canonical)) if want_features else None
         program = self.programs[program_id]
         engine = self.toolchain.engine
+        if cached is not None:
+            self.persistent_hits += 1
+            if want_features and feat is None:
+                # A v1 (cycle-only) record: recompute features on demand —
+                # sample-free materialization — and append the upgraded
+                # v2 record beside the old one (duplicates are harmless).
+                feat = [int(x) for x in engine.features_after(program, canonical)]
+                self.features[(program_id, canonical)] = feat
+                self.store.append(self.fingerprints[program_id],
+                                  self.toolchain_fp, key, cached, feat)
+            return ("failed", feat) if cached is FAILED else ("ok", cached, feat)
         try:
-            value = engine.evaluate(program, canonical, objective=objective,
-                                    area_weight=area_weight, entry=entry)
+            if want_features:
+                value, feats = engine.evaluate_with_features(
+                    program, canonical, objective=objective,
+                    area_weight=area_weight, entry=entry)
+                feat = [int(x) for x in feats]
+            else:
+                value = engine.evaluate(program, canonical, objective=objective,
+                                        area_weight=area_weight, entry=entry)
         except HLSCompilationError:
+            if want_features:
+                feat = [int(x) for x in engine.features_after(program, canonical)]
+                self.features[(program_id, canonical)] = feat
             self.persisted[(program_id, key)] = FAILED
             self.store.append(self.fingerprints[program_id], self.toolchain_fp,
-                              key, FAILED)
-            return ("failed",)
+                              key, FAILED, feat)
+            return ("failed", feat)
         self.persisted[(program_id, key)] = value
+        if feat is not None:
+            self.features[(program_id, canonical)] = feat
         self.store.append(self.fingerprints[program_id], self.toolchain_fp,
-                          key, value)
-        return ("ok", value)
+                          key, value, feat)
+        return ("ok", value, feat)
 
     def cache_info(self) -> Dict[str, int]:
         info = self.toolchain.engine.cache_info()

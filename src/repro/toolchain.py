@@ -152,6 +152,22 @@ class HLSToolchain:
         self.apply_passes(candidate, actions)
         return self.cycle_count(candidate, entry)
 
+    def features_after(self, module: Module,
+                       actions: Sequence[Union[int, str]] = ()) -> "np.ndarray":
+        """Table-2 feature vector of ``module`` after ``actions`` — the
+        observation-function primitive, engine-backed like
+        :meth:`cycle_count_with_passes`: warm sequences answer from the
+        feature memo (or the service's persistent records) without
+        materializing a module, and nothing here ever costs a simulator
+        sample."""
+        if self.engine is not None:
+            return self.engine.features_after(module, actions)
+        from .features.extractor import features_for
+
+        candidate = clone_module(module)
+        self.apply_passes(candidate, actions)
+        return features_for(candidate)
+
     def o0_cycles(self, module: Module) -> int:
         return self.cycle_count_with_passes(module, [])
 

@@ -134,3 +134,214 @@ class TestFeatureReactivity:
         v1 = fx(m, version=1)         # recomputed
         assert (v0 == v0_again).all()
         assert (v0 != v1).any()
+
+    def test_negative_version_bypasses_module_memo(self):
+        """The legacy version<0 contract: always a fresh walk, never a
+        stale memoized vector."""
+        from repro.features import FeatureExtractor
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module()
+        fx = FeatureExtractor()
+        before = fx(m, version=-1)
+        PassManager().run(m, ["-mem2reg"])
+        after = fx(m, version=-1)
+        assert (after != before).any()
+        assert (after == extract_features(m)).all()
+
+
+class TestIncrementalExtraction:
+    """Tentpole guard: composed-from-cached-functions extraction must be
+    bit-identical to the reference full-module walk, for every pass in
+    the registry over random generator programs (the feature analogue of
+    the engine's cached-vs-uncached property)."""
+
+    def test_every_registry_pass_preserves_composition(self):
+        from repro.features import FeatureExtractor
+        from repro.passes import PassManager
+        from repro.passes.registry import PASS_TABLE, TERMINATE_INDEX
+        from repro.programs.generator import generate_corpus
+
+        fx = FeatureExtractor()
+        for module in generate_corpus(2, seed=7):
+            assert (fx(module) == extract_features(module)).all()
+            for p, name in enumerate(PASS_TABLE):
+                if p == TERMINATE_INDEX:
+                    continue
+                PassManager().run(module, [name])
+                incremental = fx(module)
+                reference = extract_features(module)
+                assert (incremental == reference).all(), \
+                    f"incremental extraction diverged after {name}"
+        info = fx.cache_info()
+        # unchanged functions must actually hit the per-function cache
+        assert info["feature_function_hits"] > info["feature_function_misses"]
+
+    def test_clones_share_function_cache(self):
+        from repro.features import FeatureExtractor
+        from repro.ir.cloning import clone_module
+
+        m = build_counted_loop_module()
+        fx = FeatureExtractor()
+        fx(m)
+        misses = fx.cache_info()["feature_function_misses"]
+        clone = clone_module(m)
+        assert (fx(clone) == extract_features(m)).all()
+        assert fx.cache_info()["feature_function_misses"] == misses
+
+
+class TestFrontDoor:
+    """Satellite: one cached extraction entry point, keyed by
+    (module identity, Module.version)."""
+
+    def test_features_for_memoizes_per_version(self):
+        from repro.features import features_for
+        from repro.passes import PassManager
+
+        m = build_counted_loop_module()
+        first = features_for(m)
+        assert first is features_for(m)  # same version: the same array
+        assert not first.flags.writeable
+        PassManager().run(m, ["-mem2reg"])  # bumps Module.version
+        after = features_for(m)
+        assert (after != first).any()
+        assert (after == extract_features(m)).all()
+
+    def test_env_observation_routes_through_front_door(self, benchmarks):
+        from repro.features import shared_extractor
+        from repro.rl.env import PhaseOrderEnv
+
+        env = PhaseOrderEnv([benchmarks["gsm"]], observation="features",
+                            episode_length=3, seed=0)
+        env.reset(0)
+        hits_before = shared_extractor().cache_info()["feature_module_hits"]
+        env._observe()
+        env._observe()
+        assert shared_extractor().cache_info()["feature_module_hits"] \
+            >= hits_before + 2
+
+
+class TestEngineFeatureQueries:
+    """Features as a first-class cached product of the evaluation stack."""
+
+    def test_features_after_matches_fresh_materialization(self, benchmarks):
+        from repro.toolchain import HLSToolchain
+
+        tc = HLSToolchain()
+        program = benchmarks["adpcm"]
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            seq = [int(a) for a in rng.integers(0, 45, size=int(rng.integers(1, 6)))]
+            feats = tc.engine.features_after(program, seq)
+            fresh = extract_features(tc.engine.materialize(program, seq))
+            assert feats.dtype == np.int64
+            assert (feats == fresh).all()
+
+    def test_evaluate_with_features_memoizes_both(self, benchmarks):
+        from repro.toolchain import HLSToolchain
+
+        tc = HLSToolchain()
+        program = benchmarks["gsm"]
+        value, feats = tc.engine.evaluate_with_features(program, [38, 31])
+        samples = tc.samples_taken
+        value2, feats2 = tc.engine.evaluate_with_features(program, [38, 31])
+        assert value2 == value and (feats2 == feats).all()
+        assert tc.samples_taken == samples  # warm: no simulator work
+        assert tc.engine.cache_info()["feature_hits"] >= 1
+
+    def test_batch_want_features_rows(self, benchmarks):
+        from repro.toolchain import HLSToolchain
+
+        tc = HLSToolchain()
+        program = benchmarks["blowfish"]
+        seqs = [[38], [38, 31], [38]]
+        rows = tc.engine.evaluate_batch(program, seqs, want_features=True)
+        plain = tc.engine.evaluate_batch(program, seqs)
+        for (value, feats), expected, seq in zip(rows, plain, seqs):
+            assert value == expected
+            assert (feats == extract_features(
+                tc.engine.materialize(program, seq))).all()
+
+    def test_features_never_cost_samples(self, benchmarks):
+        from repro.toolchain import HLSToolchain
+
+        tc = HLSToolchain()
+        program = benchmarks["qsort"]
+        before = tc.samples_taken
+        tc.features_after(program, [12, 3, 38])
+        assert tc.samples_taken == before
+
+
+class TestVectorizedFeaturePath:
+    """The sequence-space feature observation: no per-lane module, same
+    observations as the sequential environment."""
+
+    def test_lanes1_observations_match_sequential(self, benchmarks):
+        from repro.rl.env import PhaseOrderEnv
+        from repro.rl.vec_env import make_vector_env
+        from repro.toolchain import HLSToolchain
+
+        kwargs = dict(observation="both", episode_length=4,
+                      normalization="instcount", seed=2)
+        seq_env = PhaseOrderEnv([benchmarks["gsm"]],
+                                toolchain=HLSToolchain(), **kwargs)
+        vec = make_vector_env(
+            PhaseOrderEnv([benchmarks["gsm"]], toolchain=HLSToolchain(),
+                          **kwargs), 1)
+        obs_a = seq_env.reset(0)
+        obs_b = vec.reset_lane(0, 0)
+        assert (obs_a == obs_b).all()
+        assert vec.lanes[0].module is None  # truly module-free
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            action = int(rng.integers(seq_env.num_actions))
+            obs_a, reward_a, done_a, info_a = seq_env.step(action)
+            (obs_b, reward_b, done_b, info_b), = vec.step_lanes([0], [action])
+            assert (obs_a == obs_b).all()
+            assert reward_a == reward_b and done_a == done_b
+            assert info_a["cycles"] == info_b["cycles"]
+
+    def test_multiaction_lanes1_observations_match_sequential(self, benchmarks):
+        from repro.rl.env import MultiActionEnv
+        from repro.rl.vec_env import make_vector_env
+        from repro.toolchain import HLSToolchain
+
+        kwargs = dict(sequence_length=6, episode_length=3,
+                      observation="both", seed=5)
+        seq_env = MultiActionEnv([benchmarks["gsm"]],
+                                 toolchain=HLSToolchain(), **kwargs)
+        vec = make_vector_env(
+            MultiActionEnv([benchmarks["gsm"]], toolchain=HLSToolchain(),
+                           **kwargs), 1)
+        obs_a = seq_env.reset(0)
+        obs_b = vec.reset_wave({0: 0})[0]
+        assert (obs_a == obs_b).all()
+        assert vec.lanes[0].module is None
+        rng = np.random.default_rng(1)
+        for _ in range(2):
+            action = rng.integers(0, 3, size=6)
+            obs_a, reward_a, done_a, _ = seq_env.step(action)
+            (obs_b, reward_b, done_b, _), = vec.step_lanes([0], action[None, :])
+            assert (obs_a == obs_b).all()
+            assert reward_a == reward_b and done_a == done_b
+
+
+def test_bench_features_smoke():
+    """Satellite: the feature-pipeline benchmark must be runnable in
+    smoke mode from the tier-1 suite (tiny workload, engine backend)."""
+    import os
+    import sys
+
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        import bench_features
+    finally:
+        sys.path.remove(bench_dir)
+
+    result = bench_features.run_bench(smoke=True)
+    assert result["identical_across_paths"]
+    assert result["extraction"]["warm_speedup"] > 1.0
+    for run in result["runs"]:
+        assert run["warm_samples"] == 0

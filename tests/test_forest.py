@@ -113,3 +113,46 @@ class TestImportanceAnalysis:
         from repro.passes.registry import TERMINATE_INDEX
 
         assert TERMINATE_INDEX in passes
+
+
+class TestVectorizedCollection:
+    """Exploration collection through the vectorized evaluation stack:
+    lanes=1 stays anchored to the legacy sequential stream, lanes>1 are
+    invariant among themselves, and the service backend is a drop-in."""
+
+    def test_lanes_gt1_are_lane_count_invariant(self, tiny_corpus):
+        d2 = collect_exploration_data(tiny_corpus, episodes=6,
+                                      episode_length=4, seed=0, lanes=2)
+        d3 = collect_exploration_data(tiny_corpus, episodes=6,
+                                      episode_length=4, seed=0, lanes=3)
+        assert (d2.features == d3.features).all()
+        assert (d2.histograms == d3.histograms).all()
+        assert (d2.actions == d3.actions).all()
+        assert (d2.improved == d3.improved).all()
+
+    def test_collection_is_deterministic(self, tiny_corpus):
+        a = collect_exploration_data(tiny_corpus, episodes=4,
+                                     episode_length=4, seed=1)
+        b = collect_exploration_data(tiny_corpus, episodes=4,
+                                     episode_length=4, seed=1)
+        assert (a.features == b.features).all()
+        assert (a.actions == b.actions).all()
+
+    def test_service_backend_collection_matches_engine(self, tiny_corpus,
+                                                       tmp_path):
+        from repro.toolchain import HLSToolchain
+
+        engine_data = collect_exploration_data(
+            tiny_corpus, episodes=4, episode_length=4, seed=2, lanes=2)
+        tc = HLSToolchain(backend="service",
+                          service_config={"workers": 1,
+                                          "store_dir": str(tmp_path)})
+        try:
+            service_data = collect_exploration_data(
+                tiny_corpus, episodes=4, episode_length=4, seed=2, lanes=2,
+                toolchain=tc)
+        finally:
+            tc.close()
+        assert (engine_data.features == service_data.features).all()
+        assert (engine_data.actions == service_data.actions).all()
+        assert (engine_data.improved == service_data.improved).all()

@@ -435,3 +435,188 @@ def test_bench_service_smoke(tmp_path, benchmarks):
         if row["phase"] == "warm":
             assert row["samples"] == 0
             assert row["evals_per_sec"] > result["baseline_evals_per_sec"]
+
+
+class TestStoreSchemaCompatibility:
+    """Satellite: v2 records with features round-trip; v1 cycle-only
+    records are still served with features recomputed on demand — never
+    a crash, never a silent cache clear."""
+
+    V1_LINE = ('{"v": 1, "obj": "cycles", "aw": 0.05, "entry": "main", '
+               '"seq": [38, 31], "ok": true, "val": 2583.0}\n')
+
+    def test_v2_features_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = make_key("cycles", 0.05, "main", (38, 31))
+        feat = list(range(56))
+        store.append("f" * 32, "t" * 8, key, 2583.0, features=feat)
+        values, features = ResultStore(str(tmp_path)).load_with_features(
+            "f" * 32, "t" * 8)
+        assert values[key] == 2583.0
+        assert features[(38, 31)] == feat
+        assert store.stats()["feature_records"] == 1
+
+    def test_failed_records_can_carry_features(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = make_key("cycles", 0.05, "main", (7,))
+        store.append("f" * 32, "t" * 8, key, FAILED, features=[1] * 56)
+        values, features = store.load_with_features("f" * 32, "t" * 8)
+        assert values[key] is FAILED
+        assert features[(7,)] == [1] * 56
+
+    def test_v1_records_still_served(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), store.shard_name("f" * 32, "t" * 8))
+        with open(path, "w") as fh:
+            fh.write(self.V1_LINE)
+        values, features = store.load_with_features("f" * 32, "t" * 8)
+        key = make_key("cycles", 0.05, "main", (38, 31))
+        assert values[key] == 2583.0
+        assert features == {}  # v1: no feature vectors, value intact
+
+    def test_v1_and_v2_records_interleave(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), store.shard_name("f" * 32, "t" * 8))
+        with open(path, "w") as fh:
+            fh.write(self.V1_LINE)
+        key2 = make_key("cycles", 0.05, "main", (7,))
+        store.append("f" * 32, "t" * 8, key2, 99.0, features=[2] * 56)
+        values, features = store.load_with_features("f" * 32, "t" * 8)
+        assert len(values) == 2 and list(features) == [(7,)]
+
+    def test_client_serves_v1_value_and_recomputes_features(self, benchmarks,
+                                                            tmp_path):
+        """A store written before the feature schema: the value is a
+        persistent hit (zero samples) and the features are recomputed on
+        demand, upgrading the shard with a v2 record."""
+        program = benchmarks["gsm"]
+        tc = _service_toolchain(tmp_path, workers=0)
+        client = tc.engine
+        fingerprint = program_fingerprint(program)
+        # handcraft the v1 shard with the true cycle count
+        reference = HLSToolchain().cycle_count_with_passes(
+            chstone.build("gsm"), [38, 31])
+        key = make_key("cycles", 0.05, "main", (38, 31))
+        store = ResultStore(str(tmp_path))
+        record = {"v": 1, "obj": "cycles", "aw": 0.05, "entry": "main",
+                  "seq": [38, 31], "ok": True, "val": reference}
+        path = os.path.join(str(tmp_path),
+                            store.shard_name(fingerprint,
+                                             toolchain_fingerprint(tc)))
+        with open(path, "w") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+        value, feats = client.evaluate_with_features(program, [38, 31])
+        assert value == reference
+        assert tc.samples_taken == 0  # value from the v1 record, no profile
+        from repro.features import extract_features
+
+        expected = extract_features(client.materialize(program, [38, 31]))
+        assert (feats == expected).all()
+        # the shard now carries the upgraded v2 record for the next run
+        _, features = store.load_with_features(fingerprint,
+                                               toolchain_fingerprint(tc))
+        assert features[(38, 31)] == [int(x) for x in expected]
+
+
+class TestServiceFeaturePath:
+    """Feature vectors through the sharded worker processes and the
+    persistent store: bit-identical to a fresh extraction, warm runs
+    module-free at zero samples."""
+
+    def test_cross_process_features_bit_identical(self, benchmarks, tmp_path):
+        from repro.features import extract_features
+
+        program = benchmarks["adpcm"]
+        reference_tc = HLSToolchain()
+        rng = np.random.default_rng(11)
+        seqs = _random_sequences(rng, count=5, max_len=4)
+
+        tc = _service_toolchain(tmp_path, workers=2)
+        try:
+            for seq in seqs:
+                value, feats = tc.engine.evaluate_with_features(program, seq)
+                expected_value = reference_tc.cycle_count_with_passes(
+                    chstone.build("adpcm"), seq)
+                expected_feats = extract_features(
+                    reference_tc.engine.materialize(benchmarks["adpcm"], seq))
+                assert value == expected_value
+                assert (feats == expected_feats).all()
+        finally:
+            tc.close()
+
+        # fresh process-independent warm start: features straight from
+        # the store records, zero samples, zero materializations
+        warm = _service_toolchain(tmp_path, workers=2)
+        try:
+            for seq in seqs:
+                value, feats = warm.engine.evaluate_with_features(
+                    chstone.build("adpcm"), seq)
+                assert (feats == extract_features(
+                    reference_tc.engine.materialize(benchmarks["adpcm"], seq))).all()
+            assert warm.samples_taken == 0
+            info = warm.engine.cache_info(include_workers=False)
+            assert info["persistent_feature_entries"] >= len({tuple(s) for s in seqs})
+            assert info["feature_misses"] == 0  # never composed locally
+        finally:
+            warm.close()
+
+    def test_submit_want_features_coalesces(self, benchmarks, tmp_path):
+        tc = _service_toolchain(tmp_path, workers=1)
+        try:
+            program = benchmarks["gsm"]
+            futures = [tc.engine.submit(program, [38, 31], want_features=True)
+                       for _ in range(4)]
+            assert len({id(f) for f in futures}) == 1  # one in-flight future
+            value, feats = futures[0].result()
+            assert feats.shape == (56,)
+            assert tc.engine.coalesced >= 3
+        finally:
+            tc.close()
+
+    def test_failed_sequences_still_deliver_features(self, benchmarks, tmp_path):
+        """The RL failure observation: a sequence that fails HLS
+        compilation must still yield the features of its materialized
+        module, warm from the store on the next run."""
+        from repro.features import extract_features
+
+        tc = _service_toolchain(tmp_path, workers=1, max_steps=50)
+        try:
+            program = benchmarks["gsm"]
+            with pytest.raises(HLSCompilationError):
+                tc.engine.evaluate_with_features(program, [38])
+            feats = tc.engine.features_after(program, [38])
+            expected = extract_features(tc.engine.materialize(program, [38]))
+            assert (feats == expected).all()
+        finally:
+            tc.close()
+        warm = _service_toolchain(tmp_path, workers=1, max_steps=50)
+        try:
+            feats = warm.engine.features_after(chstone.build("gsm"), [38])
+            assert (feats == expected).all()
+            assert warm.samples_taken == 0
+        finally:
+            warm.close()
+
+    def test_server_features_op(self, tmp_path):
+        socket_path = os.path.join(str(tmp_path), "features.sock")
+        server = EvaluationServer(socket_path, workers=0,
+                                  store_dir=str(tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            deadline = time.time() + 10
+            while not os.path.exists(socket_path) and time.time() < deadline:
+                time.sleep(0.05)
+            reply = request(socket_path, {"op": "features", "program": "gsm",
+                                          "sequence": [38, 31]})
+            assert reply["ok"] and len(reply["features"]) == 56
+            from repro.features import extract_features
+
+            expected = extract_features(
+                server.toolchain.engine.materialize(
+                    server._module("gsm"), [38, 31]))
+            assert reply["features"] == [int(x) for x in expected]
+        finally:
+            request(socket_path, {"op": "shutdown"})
+            thread.join(timeout=10)

@@ -31,8 +31,9 @@ class TestLanes1Determinism:
         assert legacy.samples == new.samples
 
     def test_feature_observation_matches_legacy(self, benchmarks):
-        """Feature observations keep the per-lane incremental module
-        (evaluate_prepared path) — also bit-identical."""
+        """Feature observations now ride the module-free sequence-space
+        path (engine feature memo) — still bit-identical to the legacy
+        incremental-module loop."""
         kwargs = dict(episodes=2, episode_length=3, observation="both",
                       normalization="instcount", seed=3)
         legacy = _train_agent_legacy("RL-PPO2", [benchmarks["mpeg2"]], **kwargs)
@@ -270,6 +271,84 @@ class TestCheckpointing:
                         seed=5)
         with pytest.raises(ValueError, match="corpus"):
             other.restore(path)
+
+
+class TestPruningStage:
+    """The paper's collect → forest → prune → train loop wired into the
+    Trainer (and the `repro train --prune-features/--prune-passes` CLI)."""
+
+    def test_trainer_prunes_feature_and_action_spaces(self, benchmarks):
+        from repro.features.table import NUM_FEATURES
+        from repro.passes.registry import NUM_ACTIONS, TERMINATE_INDEX
+
+        trainer = Trainer("RL-PPO1", [benchmarks["gsm"]], episodes=2,
+                          lanes=2, episode_length=3, prune_features=10,
+                          prune_passes=6, prune_episodes=4, seed=2)
+        assert trainer.pruning is not None
+        assert len(trainer.pruning.feature_indices) == 10 < NUM_FEATURES
+        assert TERMINATE_INDEX in trainer.pruning.action_indices
+        assert len(trainer.pruning.action_indices) <= 7 < NUM_ACTIONS
+        # the pruned spaces reach the env through the existing plumbing
+        assert trainer.vec.observation_dim == 10
+        assert trainer.vec.num_actions == len(trainer.pruning.action_indices)
+        result = trainer.train()
+        assert len(result.episode_rewards) == 2
+
+    def test_prune_conflicts_with_explicit_filters(self, benchmarks):
+        with pytest.raises(ValueError, match="conflict"):
+            Trainer("RL-PPO1", [benchmarks["gsm"]], episodes=1,
+                    prune_features=4, feature_indices=[0, 1, 2])
+
+    def test_prune_spaces_is_deterministic(self, benchmarks):
+        from repro.rl.trainer import prune_spaces
+
+        a = prune_spaces([benchmarks["gsm"]], top_features=8, top_passes=5,
+                         episodes=4, episode_length=3, seed=3)
+        b = prune_spaces([benchmarks["gsm"]], top_features=8, top_passes=5,
+                         episodes=4, episode_length=3, seed=3)
+        assert a.feature_indices == b.feature_indices
+        assert a.action_indices == b.action_indices
+
+    def test_prune_spaces_is_lane_count_invariant(self, benchmarks):
+        """The training lane count must not change which spaces get
+        pruned (collection always uses per-episode action streams)."""
+        from repro.rl.trainer import prune_spaces
+
+        a = prune_spaces([benchmarks["gsm"]], top_features=8, top_passes=5,
+                         episodes=4, episode_length=3, seed=3, lanes=1)
+        b = prune_spaces([benchmarks["gsm"]], top_features=8, top_passes=5,
+                         episodes=4, episode_length=3, seed=3, lanes=4)
+        assert a.feature_indices == b.feature_indices
+        assert a.action_indices == b.action_indices
+
+    def test_prune_rejects_nonpositive_budgets(self, benchmarks):
+        from repro.rl.trainer import prune_spaces
+
+        with pytest.raises(ValueError, match="positive"):
+            prune_spaces([benchmarks["gsm"]], top_features=0, episodes=2)
+        with pytest.raises(ValueError, match="positive"):
+            Trainer("RL-PPO1", [benchmarks["gsm"]], episodes=1,
+                    prune_passes=-1)
+
+    def test_cli_prune_train_end_to_end_service_backend(self, tmp_path,
+                                                        monkeypatch):
+        """Acceptance: `repro train --prune-features K --prune-passes K`
+        runs the full collect → forest → prune → train loop through the
+        service backend."""
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_EVAL_BACKEND", "service")
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "results"))
+        assert main(["train", "--agent", "RL-PPO1", "--episodes", "2",
+                     "--lanes", "2", "--prune-features", "8",
+                     "--prune-passes", "6", "--prune-episodes", "4",
+                     "--scale", "smoke", "--seed", "1"]) == 0
+        # the pruning rollouts warmed the persistent store
+        from repro.service.store import ResultStore
+
+        assert ResultStore(str(tmp_path / "cache")).stats()["records"] > 0
 
 
 def test_bench_rl_smoke(tmp_path):
