@@ -1,0 +1,212 @@
+"""Policy-serving throughput: cross-request batched inference vs
+sequential one-at-a-time requests.
+
+The deployment claim under test: when N clients ask the
+``repro serve-policy`` server for pass orderings concurrently, the
+batcher thread coalesces them into ONE greedy rollout wave — one
+``act_greedy_batch`` forward and one feature-memo sweep per step for
+the whole group — where N sequential requests pay N full round trips
+and N single-row policy forwards.
+
+Protocol: train a tiny PPO policy, register it, serve it on a Unix
+socket, then time the same request set two ways through one
+:class:`~repro.deploy.client.InferenceClient` connection:
+
+* **sequential** — ``client.infer(spec)`` one at a time (each waits for
+  its reply before the next is sent; the server sees batches of 1);
+* **batched** — ``client.submit_infer(spec)`` for every spec, then
+  gather the futures (the server drains them into shared waves).
+
+Both passes run against warm feature caches (a warm-up pass precedes
+them), so the measurement isolates the serving layer. Sequences must be
+bit-identical between both passes and a direct in-process
+:class:`~repro.deploy.policy.PolicyRunner` — batching may never change
+an answer. Appends one trajectory entry to ``BENCH_inference.json``;
+run via ``python benchmarks/bench_inference.py`` or pytest (the tier-1
+suite runs it in smoke mode through ``tests/test_deploy.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.deploy import InferenceClient, ModelRegistry, PolicyServer
+from repro.programs import chstone
+from repro.rl.trainer import Trainer
+from repro.toolchain import HLSToolchain
+
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_inference.json")
+
+DEFAULT = dict(train_episodes=6, episode_length=10, hidden=(64, 64),
+               repeats=5, request_rounds=3)
+SMOKE = dict(train_episodes=2, episode_length=6, hidden=(32, 32),
+             repeats=3, request_rounds=2)
+
+
+def run_bench(root: Optional[str] = None, smoke: bool = False,
+              seed: int = 1) -> Dict:
+    params = SMOKE if smoke else DEFAULT
+    owned_root = root is None
+    root = root or tempfile.mkdtemp(prefix="repro-bench-inference-")
+    toolchain = HLSToolchain()
+    try:
+        trainer = Trainer("RL-PPO2", [chstone.build("gsm")],
+                          episodes=params["train_episodes"],
+                          episode_length=params["episode_length"],
+                          observation="both", normalization="log",
+                          hidden=params["hidden"], toolchain=toolchain,
+                          seed=seed)
+        trainer.train()
+        registry = ModelRegistry(os.path.join(root, "models"))
+        registry.register("bench", trainer)
+
+        # Every CHStone program, requested several times — a mixed
+        # request stream with repeats, like real traffic.
+        specs: List[str] = list(chstone.BENCHMARK_NAMES) * params["request_rounds"]
+
+        server = PolicyServer(os.path.join(root, "policy.sock"),
+                              registry=registry, policies=["bench"],
+                              toolchain=toolchain)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = InferenceClient(server.socket_path)
+        try:
+            # Warm-up: features + module resolution cached on both sides.
+            warmup = [client.infer(spec) for spec in specs]
+
+            sequential_seconds, batched_seconds = [], []
+            sequential, batched = warmup, warmup
+            for _ in range(params["repeats"]):
+                t0 = time.perf_counter()
+                sequential = [client.infer(spec) for spec in specs]
+                sequential_seconds.append(time.perf_counter() - t0)
+
+                t0 = time.perf_counter()
+                futures = [client.submit_infer(spec) for spec in specs]
+                batched = [future.result(timeout=120) for future in futures]
+                batched_seconds.append(time.perf_counter() - t0)
+
+            runner = registry.load("bench", toolchain=toolchain)
+            direct = runner.infer_batch(
+                [chstone.build(spec) for spec in chstone.BENCHMARK_NAMES])
+            direct_by_spec = dict(zip(chstone.BENCHMARK_NAMES, direct))
+            identical = (sequential == batched == warmup
+                         and all(seq == direct_by_spec[spec]
+                                 for spec, seq in zip(specs, batched)))
+            stats = client.stats()
+        finally:
+            client.close()
+            server.initiate_shutdown()
+            thread.join(timeout=10)
+            server.close()
+
+        seq_best = min(sequential_seconds)
+        batch_best = min(batched_seconds)
+        return {
+            "requests": len(specs),
+            "programs": len(chstone.BENCHMARK_NAMES),
+            "episode_length": params["episode_length"],
+            "sequential_seconds": seq_best,
+            "batched_seconds": batch_best,
+            "speedup": seq_best / batch_best,
+            "requests_per_sec_batched": len(specs) / batch_best,
+            "identical": identical,
+            "max_batch": stats["max_batch"],
+            "batched_requests": stats["batched_requests"],
+            "forwards": stats["forwards"],
+            "server_requests": stats["requests"],
+            "errors": stats["errors"],
+        }
+    finally:
+        close = getattr(toolchain, "close", None)
+        if close is not None:
+            close()
+        if owned_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def append_trajectory(result: Dict) -> None:
+    """One github-action-benchmark style entry list per run, newest last."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    history.append([
+        {"name": "sequential_seconds", "unit": "s",
+         "value": round(result["sequential_seconds"], 4)},
+        {"name": "batched_seconds", "unit": "s",
+         "value": round(result["batched_seconds"], 4)},
+        {"name": "batched_vs_sequential_speedup", "unit": "x",
+         "value": round(result["speedup"], 3)},
+        {"name": "requests_per_sec_batched", "unit": "req/s",
+         "value": round(result["requests_per_sec_batched"], 1)},
+    ])
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    return "\n".join([
+        f"workload: {result['requests']} inference requests over "
+        f"{result['programs']} programs (rollout length "
+        f"{result['episode_length']}, warm caches)",
+        f"sequential (1 request at a time): "
+        f"{1000 * result['sequential_seconds']:8.1f}ms",
+        f"batched (futures, coalesced)    : "
+        f"{1000 * result['batched_seconds']:8.1f}ms  "
+        f"({result['speedup']:.2f}x, "
+        f"{result['requests_per_sec_batched']:.0f} req/s)",
+        f"server: max_batch={result['max_batch']}  "
+        f"batched_requests={result['batched_requests']}  "
+        f"policy_forwards={result['forwards']}  "
+        f"requests={result['server_requests']}",
+        f"bit-identical (sequential == batched == direct): "
+        f"{result['identical']}",
+    ])
+
+
+def _check(result: Dict) -> List[str]:
+    """The acceptance conditions; returns a list of violations."""
+    problems = []
+    if not result["identical"]:
+        problems.append("batched serving changed an answer (sequences are "
+                        "not bit-identical to sequential/direct inference)")
+    if result["errors"]:
+        problems.append(f"{result['errors']} request(s) errored")
+    if result["max_batch"] < 2:
+        problems.append("no cross-request batching happened (max_batch < 2)")
+    if result["batched_seconds"] >= result["sequential_seconds"]:
+        problems.append(
+            f"batched serving ({result['batched_seconds']:.3f}s) did not "
+            f"beat sequential inference "
+            f"({result['sequential_seconds']:.3f}s)")
+    return problems
+
+
+def test_inference_serving_throughput(tmp_path):
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    smoke = os.environ.get("REPRO_SCALE", "smoke") == "smoke"
+    result = run_bench(root=str(tmp_path), smoke=smoke)
+    emit("BENCH inference — cross-request batched serving vs sequential",
+         _render(result))
+    append_trajectory(result)
+    problems = _check(result)
+    assert not problems, "; ".join(problems) + "\n" + _render(result)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(_render(result))
+    append_trajectory(result)
+    problems = _check(result)
+    if problems:
+        raise SystemExit("; ".join(problems))

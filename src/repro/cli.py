@@ -7,8 +7,15 @@
     python -m repro fig9 [--lanes N]
     python -m repro train [--agent RL-PPO2] [--lanes N] [--checkpoint PATH]
                           [--prune-features K] [--prune-passes K]
+                          [--register NAME] [--registry DIR]
     python -m repro compile <benchmark> [--passes "-mem2reg -loop-rotate ..."]
     python -m repro serve --socket /tmp/repro.sock [--workers 4]
+    python -m repro serve-policy --socket /tmp/repro-policy.sock
+                          [--policy NAME ...] [--registry DIR]
+    python -m repro optimize <benchmark|gen:N> --policy NAME [--refine K]
+                          [--registry DIR | --socket PATH]
+    python -m repro generalize [--scale ...] [--policy NAME] [--refine K]
+    python -m repro models list|show|rm [NAME] [--registry DIR]
     python -m repro cache stats|clear|export [--store DIR]
 
 All figure commands print the rendered artifact and write CSVs under
@@ -24,6 +31,15 @@ policy weights + normalizer + RNG state, and
 pipeline first: collect exploration rollouts through the evaluation
 stack, fit the per-pass random forests, and train the agent on the
 pruned observation/action spaces.
+
+The deployment commands close the train → serve loop: ``train
+--register NAME`` stores the trained policy in the content-addressed
+model registry, ``serve-policy`` exposes registered policies with
+cross-request batched inference on a Unix socket, ``optimize`` asks a
+policy (local registry load, or ``--socket`` for a running server) for
+a verified pass ordering on one program, ``generalize`` runs the
+train-on-generated / serve-on-held-out harness, and ``models`` manages
+the registry.
 """
 
 from __future__ import annotations
@@ -131,6 +147,13 @@ def _cmd_train(args) -> int:
     if args.checkpoint:
         trainer.save_checkpoint(args.checkpoint)
         print(f"checkpoint saved to {args.checkpoint}")
+    if args.register:
+        from .deploy.registry import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        entry_id = registry.register(args.register, trainer)
+        print(f"policy registered as {args.register!r} "
+              f"({entry_id}) in {registry.root}")
     curve = result.episode_reward_mean()
     best = result.best_cycles if result.best_cycles is not None else "n/a"
     print(f"episodes {len(result.episode_rewards)}  "
@@ -143,6 +166,102 @@ def _cmd_train(args) -> int:
           f"update {trainer.seconds['update']:.2f}s)")
     if args.cache_stats:
         _print_cache_stats()
+    return 0
+
+
+def _cmd_serve_policy(args) -> int:
+    from .deploy.server import PolicyServer
+
+    server = PolicyServer(args.socket, registry_root=args.registry,
+                          policies=args.policy or None,
+                          allow_mismatch=args.allow_mismatch)
+    names = ", ".join(sorted(server._runners)) or "(lazy-loaded on request)"
+    print(f"policy inference service on {args.socket} "
+          f"(registry={server.registry.root}, policies: {names})")
+    print("ops: ping / infer / optimize / policies / stats / shutdown "
+          "(JSON lines; see repro.deploy.server)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from .passes.registry import pass_name_for_index
+    from .service.server import resolve_program_spec
+
+    if args.socket:
+        from .deploy.client import InferenceClient
+
+        with InferenceClient(args.socket) as client:
+            decision = client.optimize(args.program, policy=args.policy,
+                                       refine=args.refine, seed=args.seed)
+    else:
+        from .deploy.registry import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        runner = registry.load(args.policy, toolchain=HLSToolchain(),
+                               allow_mismatch=args.allow_mismatch)
+        module = resolve_program_spec(args.program)
+        decision = runner.optimize(module, refine=args.refine,
+                                   seed=args.seed).to_json()
+    names = " ".join(a if isinstance(a, str) else pass_name_for_index(a)
+                     for a in decision["sequence"])
+    print(f"{args.program}: {decision['cycles']} cycles vs "
+          f"-O3 {decision['o3_cycles']} "
+          f"({decision['improvement_over_o3']:+.1%}), "
+          f"source: {decision['source']}, "
+          f"{decision['evaluations']} candidate evaluation(s)")
+    if decision["source"] != "policy" and decision["policy_cycles"] is not None:
+        print(f"  policy alone: {decision['policy_cycles']} cycles")
+    print(f"  sequence: {names or '(empty — -O0)'}")
+    return 0
+
+
+def _cmd_generalize(args) -> int:
+    from .deploy.registry import ModelRegistry
+    from .experiments import run_generalization
+
+    result = run_generalization(
+        scale=get_scale(args.scale), seed=args.seed, lanes=args.lanes,
+        registry=ModelRegistry(args.registry), policy_name=args.policy,
+        episodes=args.episodes, search_budget=args.search_budget,
+        refine=args.refine)
+    print(result.render())
+    result.to_csv()
+    print(f"\npolicy registered as {result.policy_name!r} "
+          f"({result.entry_id}); training took {result.train_seconds:.1f}s")
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from .deploy.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.action == "list":
+        entries = registry.entries()
+        if not entries:
+            print(f"(no policies registered under {registry.root})")
+            return 0
+        print(f"{'name':<24} {'id':<18} {'agent':<10} {'obs':<10} "
+              f"{'episodes':>8}  toolchain")
+        for e in entries:
+            print(f"{e['name']:<24} {e['id']:<18} {str(e['agent']):<10} "
+                  f"{str(e['observation']):<10} {str(e['episodes']):>8}  "
+                  f"{e['toolchain']}")
+    elif args.action == "show":
+        import json as _json
+
+        if not args.name:
+            print("models show needs a policy NAME", file=sys.stderr)
+            return 2
+        print(_json.dumps(registry.meta(args.name), indent=2, sort_keys=True))
+    elif args.action == "rm":
+        if not args.name:
+            print("models rm needs a policy NAME", file=sys.stderr)
+            return 2
+        entry_id = registry.remove(args.name)
+        print(f"removed {args.name!r} (object {entry_id} kept on disk)")
     return 0
 
 
@@ -220,6 +339,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="exploration budget of the pruning stage "
                          "(default: the scale profile's exploration episodes)")
     pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--register", default=None, metavar="NAME",
+                    help="store the trained policy in the model registry "
+                         "under NAME (ready for `repro serve-policy`)")
+    pt.add_argument("--registry", default=None,
+                    help="model registry root (default: $REPRO_MODEL_DIR "
+                         "or .repro-models)")
     _add_scale(pt)
     _add_cache_stats(pt)
 
@@ -236,6 +361,72 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="worker processes (default: $REPRO_SERVICE_WORKERS or cpu-based)")
     ps.add_argument("--store", default=None,
                     help="persistent store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+
+    pp = sub.add_parser("serve-policy",
+                        help="serve registered policies with cross-request "
+                             "batched inference")
+    pp.add_argument("--socket", default="/tmp/repro-policy.sock",
+                    help="Unix socket path (default: /tmp/repro-policy.sock)")
+    pp.add_argument("--policy", action="append", default=None, metavar="NAME",
+                    help="registry policy to preload (repeatable; first is "
+                         "the default; omit to lazy-load on request)")
+    pp.add_argument("--registry", default=None,
+                    help="model registry root (default: $REPRO_MODEL_DIR "
+                         "or .repro-models)")
+    pp.add_argument("--allow-mismatch", action="store_true",
+                    help="serve policies whose toolchain fingerprint does "
+                         "not match (danger: actions may be remapped)")
+
+    po = sub.add_parser("optimize",
+                        help="ask a trained policy for a verified pass "
+                             "ordering on one program")
+    po.add_argument("program",
+                    help="CHStone benchmark name or 'gen:<seed>' for a "
+                         "random program")
+    po.add_argument("--policy", required=True,
+                    help="registered policy name (or entry id)")
+    po.add_argument("--registry", default=None,
+                    help="model registry root (default: $REPRO_MODEL_DIR "
+                         "or .repro-models)")
+    po.add_argument("--socket", default=None,
+                    help="query a running `repro serve-policy` server "
+                         "instead of loading the policy locally")
+    po.add_argument("--refine", type=int, default=0, metavar="K",
+                    help="search-refinement budget when the policy "
+                         "underperforms -O3 (default 0: plain fallback)")
+    po.add_argument("--allow-mismatch", action="store_true",
+                    help="load despite a toolchain fingerprint mismatch")
+    po.add_argument("--seed", type=int, default=0)
+
+    pg = sub.add_parser("generalize",
+                        help="train-on-generated / serve-on-held-out "
+                             "generalization harness")
+    pg.add_argument("--policy", default="generalization-ppo2",
+                    help="registry name for the trained policy")
+    pg.add_argument("--registry", default=None,
+                    help="model registry root (default: $REPRO_MODEL_DIR "
+                         "or .repro-models)")
+    pg.add_argument("--episodes", type=int, default=None,
+                    help="training episode budget (default: the scale "
+                         "profile's fig8 budget)")
+    pg.add_argument("--search-budget", type=int, default=None,
+                    help="random-search samples per held-out program "
+                         "(default: 2x episode length)")
+    pg.add_argument("--refine", type=int, default=0, metavar="K",
+                    help="per-program refinement budget for the served "
+                         "decision")
+    pg.add_argument("--lanes", type=int, default=1)
+    pg.add_argument("--seed", type=int, default=0)
+    _add_scale(pg)
+    _add_cache_stats(pg)
+
+    pm = sub.add_parser("models", help="manage the policy model registry")
+    pm.add_argument("action", choices=["list", "show", "rm"])
+    pm.add_argument("name", nargs="?", default=None,
+                    help="policy name (show/rm)")
+    pm.add_argument("--registry", default=None,
+                    help="model registry root (default: $REPRO_MODEL_DIR "
+                         "or .repro-models)")
 
     pk = sub.add_parser("cache", help="manage the persistent result store")
     pk.add_argument("action", choices=["stats", "clear", "export"])
@@ -256,6 +447,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "serve-policy":
+        return _cmd_serve_policy(args)
+
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+
+    if args.command == "generalize":
+        return _cmd_generalize(args)
+
+    if args.command == "models":
+        return _cmd_models(args)
 
     if args.command == "cache":
         return _cmd_cache(args)

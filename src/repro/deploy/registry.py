@@ -1,0 +1,246 @@
+"""Content-addressed model registry: trained policies as served artifacts.
+
+A registry entry is a :class:`~repro.deploy.policy.PolicySpec` (agent
+architecture + observation configuration, including pruned
+feature/action spaces from the §4 forest stage), the agent's weights,
+and the *toolchain fingerprint* the policy was trained against
+(``repro/service/fingerprint.py`` — pass table, HLS constraints, step
+budget). Entries are addressed by a digest over all of that, so:
+
+* identical policies registered twice share one object directory;
+* a corrupted or hand-edited entry fails its integrity check at load
+  time instead of serving garbage actions;
+* :meth:`ModelRegistry.load` refuses to serve a policy against a
+  toolchain whose fingerprint differs from the training one — a pass
+  table reshuffle would silently remap every action the policy emits
+  (``allow_mismatch=True`` is the explicit escape hatch).
+
+Layout (``REPRO_MODEL_DIR`` or ``.repro-models``)::
+
+    index.json              # human name -> entry id
+    objects/<id>/meta.json  # spec + fingerprints + training provenance
+    objects/<id>/policy.npz # agent state (weights, optimizer, RNG)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..rl.trainer import _flatten_state, _set_nested
+from ..toolchain import HLSToolchain
+from .policy import PolicyRunner, PolicySpec, build_agent
+
+__all__ = ["ModelRegistry", "PolicyMismatchError", "RegistryError"]
+
+_META_VERSION = 1
+
+
+class RegistryError(RuntimeError):
+    """Unknown entry, corrupted object, or malformed index."""
+
+
+class PolicyMismatchError(RegistryError):
+    """The serving toolchain's fingerprint differs from the training one."""
+
+
+def _state_digest(spec_json: Dict, arrays: Dict[str, np.ndarray],
+                  leaves: Dict) -> str:
+    """Deterministic content address: spec + weight bytes + leaf state.
+    Computed over array *contents* (not the npz container, whose zip
+    headers embed write timestamps), so identical policies always hash
+    identically and a load can re-verify from the parsed arrays."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(spec_json, sort_keys=True).encode())
+    digest.update(json.dumps(leaves, sort_keys=True, default=str).encode())
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+class ModelRegistry:
+    """File-backed policy store; safe to share between processes (index
+    updates are atomic write-then-rename, objects are immutable)."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = (root or os.environ.get("REPRO_MODEL_DIR")
+                     or ".repro-models")
+
+    # -- index --------------------------------------------------------------
+    @property
+    def _index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _load_index(self) -> Dict[str, Dict]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return {}
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"registry index {self._index_path} is not valid JSON: {exc}")
+
+    def _save_index(self, index: Dict[str, Dict]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{self._index_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self._index_path)
+
+    def _object_dir(self, entry_id: str) -> str:
+        return os.path.join(self.root, "objects", entry_id)
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str, trainer, extra_meta: Optional[Dict] = None
+                 ) -> str:
+        """Store a trained :class:`~repro.rl.trainer.Trainer`'s policy
+        under ``name``; returns the content-addressed entry id.
+        Re-registering a name repoints it (the old object survives under
+        its id until garbage-collected by hand)."""
+        from ..service.fingerprint import toolchain_fingerprint
+
+        spec = PolicySpec.from_trainer(trainer)
+        spec_json = spec.to_json()
+        arrays: Dict[str, np.ndarray] = {}
+        leaves: Dict[str, object] = {}
+        _flatten_state("agent", trainer.agent.state_dict(), arrays, leaves)
+        digest = _state_digest(spec_json, arrays, leaves)
+        entry_id = digest[:16]
+        meta = {
+            "version": _META_VERSION,
+            "id": entry_id,
+            "digest": digest,
+            "spec": spec_json,
+            "toolchain": toolchain_fingerprint(trainer.vec.toolchain),
+            "corpus": trainer._corpus_fingerprint(),
+            "episodes_done": trainer.episodes_done,
+            "best_cycles": (None if trainer.best_cycles is None
+                            else float(trainer.best_cycles)),
+            "best_sequence": [int(a) for a in trainer.best_sequence],
+            "pruned": trainer.pruning is not None,
+            "created": time.time(),
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        obj_dir = self._object_dir(entry_id)
+        os.makedirs(obj_dir, exist_ok=True)
+        npz_tmp = os.path.join(obj_dir, f"policy.npz.tmp.{os.getpid()}")
+        with open(npz_tmp, "wb") as fh:
+            np.savez(fh, leaves=np.array(json.dumps(leaves)), **arrays)
+        os.replace(npz_tmp, os.path.join(obj_dir, "policy.npz"))
+        meta_tmp = os.path.join(obj_dir, f"meta.json.tmp.{os.getpid()}")
+        with open(meta_tmp, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+        os.replace(meta_tmp, os.path.join(obj_dir, "meta.json"))
+        index = self._load_index()
+        index[name] = {"id": entry_id, "agent": spec.agent_name,
+                       "created": meta["created"]}
+        self._save_index(index)
+        return entry_id
+
+    # -- lookup -------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._load_index())
+
+    def resolve(self, name: str) -> str:
+        """Name (or raw entry id) → entry id."""
+        index = self._load_index()
+        if name in index:
+            return index[name]["id"]
+        if os.path.isdir(self._object_dir(name)):
+            return name
+        known = ", ".join(sorted(index)) or "(registry is empty)"
+        raise RegistryError(f"no policy named {name!r} in {self.root}; "
+                            f"known: {known}")
+
+    def meta(self, name: str) -> Dict:
+        entry_id = self.resolve(name)
+        path = os.path.join(self._object_dir(entry_id), "meta.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"registry object {entry_id} is missing or "
+                                f"corrupt ({exc}); re-register the policy")
+
+    def entries(self) -> List[Dict]:
+        """One summary dict per registered name (index order)."""
+        out = []
+        for name in self.names():
+            meta = self.meta(name)
+            out.append({"name": name, "id": meta["id"],
+                        "agent": meta["spec"].get("agent_name"),
+                        "observation": meta["spec"].get("observation"),
+                        "pruned": meta.get("pruned", False),
+                        "episodes": meta.get("episodes_done"),
+                        "toolchain": meta.get("toolchain", "")[:12]})
+        return out
+
+    def remove(self, name: str) -> str:
+        """Drop ``name`` from the index (the object stays — other names
+        may alias the same content)."""
+        index = self._load_index()
+        if name not in index:
+            raise RegistryError(f"no policy named {name!r} in {self.root}")
+        entry = index.pop(name)
+        self._save_index(index)
+        return entry["id"]
+
+    # -- loading ------------------------------------------------------------
+    def load(self, name: str, toolchain: Optional[HLSToolchain] = None,
+             allow_mismatch: bool = False) -> PolicyRunner:
+        """Rebuild ``name``'s policy as a ready-to-serve
+        :class:`PolicyRunner` bound to ``toolchain``.
+
+        Raises :class:`PolicyMismatchError` when the toolchain's
+        fingerprint differs from the one the policy trained against —
+        serving across a changed pass table would silently remap every
+        emitted action — and :class:`RegistryError` when the stored
+        weights fail their content-digest integrity check.
+        """
+        from ..service.fingerprint import toolchain_fingerprint
+
+        meta = self.meta(name)
+        toolchain = toolchain or HLSToolchain()
+        current_fp = toolchain_fingerprint(toolchain)
+        if meta["toolchain"] != current_fp and not allow_mismatch:
+            raise PolicyMismatchError(
+                f"policy {name!r} was trained against toolchain "
+                f"{meta['toolchain'][:12]} but is being served against "
+                f"{current_fp[:12]} — the pass table, HLS constraints or "
+                f"step budget changed, so the policy's actions no longer "
+                f"mean what it learned. Retrain/re-register, or pass "
+                f"allow_mismatch=True to override.")
+        spec = PolicySpec.from_json(meta["spec"])
+        npz_path = os.path.join(self._object_dir(meta["id"]), "policy.npz")
+        arrays: Dict[str, np.ndarray] = {}
+        with np.load(npz_path) as data:
+            leaves = json.loads(str(data["leaves"][()]))
+            for key in data.files:
+                if key != "leaves":
+                    arrays[key] = data[key]
+        digest = _state_digest(meta["spec"], arrays, leaves)
+        if digest != meta["digest"]:
+            raise RegistryError(
+                f"registry object {meta['id']} failed its integrity check "
+                f"(stored digest {meta['digest'][:12]}, recomputed "
+                f"{digest[:12]}) — the policy file was modified or torn; "
+                f"re-register the policy")
+        state: Dict = {}
+        for key, value in arrays.items():
+            _set_nested(state, key, value)
+        for key, value in leaves.items():
+            _set_nested(state, key, value)
+        agent = build_agent(spec)
+        agent.load_state_dict(state["agent"])
+        return PolicyRunner(agent, spec, toolchain=toolchain)

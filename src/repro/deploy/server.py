@@ -1,0 +1,362 @@
+"""``repro serve-policy`` — batched policy inference on a Unix socket.
+
+The serving half of the deployment story: one process owns the loaded
+policies and the evaluation toolchain, and any number of concurrent
+clients ask it for pass orderings over a JSON-lines protocol::
+
+    {"op": "ping"}
+    {"op": "infer", "policy": "prod", "program": "gsm", "id": 1}
+                                 → {"ok": true, "sequence": [...], "id": 1}
+    {"op": "optimize", "policy": "prod", "program": "gen:7", "refine": 8}
+                                 → {"ok": true, "sequence": [...], "cycles": ...,
+                                    "o3_cycles": ..., "source": "policy", ...}
+    {"op": "policies"} / {"op": "stats"} / {"op": "shutdown"}
+
+**Cross-request batching.** Handler threads never run the policy; they
+parse a request, enqueue it with a Future, and write the reply (tagged
+with the request's ``id``, possibly out of order) when the Future
+resolves — the same reader-thread discipline the evaluation service's
+client uses. One batcher thread drains the queue, groups pending
+requests by (policy, op), and serves each group as a single
+:meth:`~repro.deploy.policy.PolicyRunner.infer_batch` rollout — N
+concurrent clients cost one ``act_greedy_batch`` forward per rollout
+step, not N.
+
+**Graceful shutdown.** SIGTERM (or a ``shutdown`` op) stops accepting
+connections, lets the wave in flight finish and reply, fails every
+queued-but-unstarted Future with a clean "shutting down" error, and
+only then closes the toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socketserver
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+from ..service.server import install_shutdown_signals, resolve_program_spec
+from ..toolchain import HLSToolchain
+from .policy import PolicyRunner
+from .registry import ModelRegistry
+
+__all__ = ["PolicyServer", "ServerClosing"]
+
+
+class ServerClosing(RuntimeError):
+    """Raised into Futures whose request was queued when shutdown began."""
+
+
+class _Pending:
+    __slots__ = ("op", "policy", "program", "opts", "future")
+
+    def __init__(self, op: str, policy: str, program: str,
+                 opts: Tuple, future: Future) -> None:
+        self.op = op
+        self.policy = policy
+        self.program = program
+        self.opts = opts
+        self.future = future
+
+
+_STOP = object()   # batcher sentinel: fail everything still queued, exit
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: PolicyServer = self.server.policy_server
+        write_lock = threading.Lock()
+        pending: List[Future] = []
+
+        def reply(payload: Dict, request_id) -> None:
+            if request_id is not None:
+                payload = {**payload, "id": request_id}
+            data = (json.dumps(payload) + "\n").encode("utf-8")
+            try:
+                with write_lock:
+                    self.wfile.write(data)
+                    self.wfile.flush()
+            except (OSError, ValueError):   # client went away mid-reply
+                pass
+
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            request_id = None
+            try:
+                req = json.loads(line.decode("utf-8"))
+                request_id = req.get("id")
+                op = req.get("op")
+                if op in ("infer", "optimize"):
+                    future = server.enqueue(req)
+                    pending.append(future)
+                    future.add_done_callback(
+                        lambda fut, rid=request_id: reply(
+                            _future_payload(fut), rid))
+                    continue
+                out = server.handle_control(req)
+            except Exception as exc:    # malformed JSON, unknown policy, ...
+                out = {"ok": False, "error": repr(exc)}
+            reply(out, request_id)
+            if out.get("shutdown"):
+                threading.Thread(target=server.initiate_shutdown,
+                                 daemon=True).start()
+                break
+        # EOF with replies still in flight: give their callbacks a moment
+        # to write before the connection objects are torn down.
+        for future in pending:
+            try:
+                future.exception(timeout=60.0)
+            except Exception:
+                pass
+
+
+def _future_payload(future: Future) -> Dict:
+    try:
+        return {"ok": True, **future.result()}
+    except Exception as exc:
+        return {"ok": False, "error": str(exc) or repr(exc)}
+
+
+class _SocketServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class PolicyServer:
+    """Serve registry policies with cross-request batched inference."""
+
+    def __init__(self, socket_path: str,
+                 registry: Optional[ModelRegistry] = None,
+                 registry_root: Optional[str] = None,
+                 policies: Optional[List[str]] = None,
+                 default_policy: Optional[str] = None,
+                 toolchain: Optional[HLSToolchain] = None,
+                 allow_mismatch: bool = False) -> None:
+        self.socket_path = socket_path
+        self.registry = registry or ModelRegistry(registry_root)
+        self.toolchain = toolchain or HLSToolchain()
+        self.allow_mismatch = allow_mismatch
+        self._runners: Dict[str, PolicyRunner] = {}
+        self._modules: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        if policies:
+            for name in policies:
+                self._runner(name)      # fail fast on unknown/mismatched
+        self.default_policy = default_policy or (policies[0] if policies
+                                                 else None)
+        self.stats = {"requests": 0, "waves": 0, "forwards": 0,
+                      "batched_requests": 0, "max_batch": 0, "errors": 0}
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closing = False
+        self._closed = False
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="repro-policy-batcher",
+                                         daemon=True)
+        self._batcher.start()
+        if os.path.exists(socket_path):
+            os.remove(socket_path)
+        self._server = _SocketServer(socket_path, _Handler)
+        self._server.policy_server = self
+
+    # -- policy / program resolution ----------------------------------------
+    def _runner(self, name: Optional[str]) -> PolicyRunner:
+        if name is None:
+            raise ValueError("no policy named in the request and the server "
+                             "has no default policy")
+        with self._lock:
+            runner = self._runners.get(name)
+        if runner is None:
+            runner = self.registry.load(name, toolchain=self.toolchain,
+                                        allow_mismatch=self.allow_mismatch)
+            with self._lock:
+                runner = self._runners.setdefault(name, runner)
+        return runner
+
+    def _module(self, spec: str):
+        with self._lock:
+            module = self._modules.get(spec)
+        if module is None:
+            module = resolve_program_spec(spec)
+            with self._lock:
+                module = self._modules.setdefault(spec, module)
+        return module
+
+    # -- request intake ------------------------------------------------------
+    def enqueue(self, req: Dict) -> Future:
+        future: Future = Future()
+        if "program" not in req:
+            future.set_exception(KeyError("request is missing 'program'"))
+            return future
+        opts = ((int(req.get("refine", 0)), int(req.get("seed", 0)))
+                if req["op"] == "optimize" else ())
+        # The closing check and the put share the lock close() takes
+        # before it enqueues the stop sentinel, so a request can never
+        # slip in behind _STOP and sit unresolved after the batcher
+        # exits — it is either ahead of the sentinel (drained/failed by
+        # the batcher) or rejected here.
+        with self._lock:
+            if self._closing:
+                future.set_exception(ServerClosing(
+                    "policy server is shutting down; request was not "
+                    "processed"))
+                return future
+            self.stats["requests"] += 1
+            self._queue.put(_Pending(req["op"],
+                                     req.get("policy") or self.default_policy,
+                                     str(req["program"]), opts, future))
+        return future
+
+    def handle_control(self, req: Dict) -> Dict:
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        if op == "policies":
+            with self._lock:   # the batcher lazy-loads runners concurrently
+                loaded = sorted(self._runners)
+            return {"ok": True, "default": self.default_policy,
+                    "loaded": loaded, "registry": self.registry.entries()}
+        if op == "stats":
+            with self._lock:
+                stats = dict(self.stats)
+            stats["samples_taken"] = self.toolchain.samples_taken
+            return {"ok": True, "stats": stats}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- the batching core ----------------------------------------------------
+    def _batch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._fail_queued()
+                return
+            batch = [item]
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    # Shutdown arrived behind a burst: the burst is
+                    # in flight, everything after the sentinel fails.
+                    self._run_batch(batch)
+                    self._fail_queued()
+                    return
+                batch.append(extra)
+            self._run_batch(batch)
+
+    def _fail_queued(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _STOP:
+                item.future.set_exception(ServerClosing(
+                    "policy server is shutting down; request was not "
+                    "processed"))
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        groups: Dict[Tuple, List[_Pending]] = {}
+        for item in batch:
+            groups.setdefault((item.policy, item.op, item.opts),
+                              []).append(item)
+        for (policy, op, opts), items in groups.items():
+            try:
+                runner = self._runner(policy)
+            except Exception as exc:
+                self._fail_items(items, exc)
+                continue
+            resolved: List[Tuple[_Pending, object]] = []
+            for item in items:
+                try:
+                    resolved.append((item, self._module(item.program)))
+                except Exception as exc:
+                    self._fail_items([item], exc)
+            if not resolved:
+                continue
+            modules = [module for _, module in resolved]
+            before = runner.forwards
+            try:
+                if op == "infer":
+                    sequences = runner.infer_batch(modules)
+                    results = [{"sequence": [int(a) for a in seq]}
+                               for seq in sequences]
+                else:
+                    refine, seed = opts
+                    decisions = runner.optimize_batch(modules, refine=refine,
+                                                      seed=seed)
+                    results = [d.to_json() for d in decisions]
+            except Exception as exc:
+                self._fail_items([item for item, _ in resolved], exc)
+                continue
+            with self._lock:
+                self.stats["waves"] += 1
+                self.stats["forwards"] += runner.forwards - before
+                self.stats["max_batch"] = max(self.stats["max_batch"],
+                                              len(resolved))
+                if len(resolved) > 1:
+                    self.stats["batched_requests"] += len(resolved)
+            for (item, _), result in zip(resolved, results):
+                item.future.set_result(result)
+
+    def _fail_items(self, items: List[_Pending], exc: Exception) -> None:
+        with self._lock:
+            self.stats["errors"] += len(items)
+        for item in items:
+            if not item.future.done():
+                item.future.set_exception(exc)
+
+    # -- lifecycle -----------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until SIGTERM, a shutdown op, or
+        KeyboardInterrupt; drains in-flight work before returning."""
+        restore = install_shutdown_signals(self.initiate_shutdown)
+        try:
+            self._server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            restore()
+            self.close()
+
+    def initiate_shutdown(self) -> None:
+        """Begin a graceful stop from any thread (signal handler, the
+        shutdown op): new requests are rejected, the accept loop stops,
+        queued futures fail cleanly."""
+        self._closing = True
+        # shutdown() blocks until serve_forever exits, so never call it
+        # from a handler thread directly.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop the batcher (finishing the wave in flight), fail queued
+        requests, and release the socket + toolchain. Idempotent."""
+        with self._lock:    # pairs with enqueue(): nothing lands after _STOP
+            if self._closed:
+                return
+            self._closed = True
+            self._closing = True
+            self._queue.put(_STOP)
+        self._batcher.join(timeout=timeout)
+        self._server.server_close()
+        if os.path.exists(self.socket_path):
+            try:
+                os.remove(self.socket_path)
+            except OSError:
+                pass
+        engine_close = getattr(self.toolchain.engine, "close", None)
+        if engine_close is not None:
+            engine_close()
+
+    def __enter__(self) -> "PolicyServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,6 +8,7 @@ Figure 5, Figure 6    :func:`repro.experiments.run_fig5_fig6`
 Figure 7              :func:`repro.experiments.run_fig7`
 Figure 8              :func:`repro.experiments.run_fig8`
 Figure 9 + §6.2       :func:`repro.experiments.run_fig9`
+§6 generalization     :func:`repro.experiments.run_generalization`
 ====================  =====================================
 
 Scaling: drivers accept an :class:`ExperimentScale` (or read
@@ -19,6 +20,11 @@ from .fig5_fig6 import Fig56Result, run_fig5_fig6
 from .fig7 import ALGORITHM_ORDER, Fig7Result, Fig7Row, run_fig7
 from .fig8 import Fig8Result, VARIANTS, run_fig8
 from .fig9 import Fig9Result, Fig9Row, run_fig9
+from .generalization import (
+    GeneralizationResult,
+    GeneralizationRow,
+    run_generalization,
+)
 from .reporting import format_bar_chart, format_heatmap, format_series, write_csv
 from .tables import render_table1, render_table2, render_table3
 
@@ -28,6 +34,7 @@ __all__ = [
     "ALGORITHM_ORDER", "Fig7Result", "Fig7Row", "run_fig7",
     "Fig8Result", "VARIANTS", "run_fig8",
     "Fig9Result", "Fig9Row", "run_fig9",
+    "GeneralizationResult", "GeneralizationRow", "run_generalization",
     "format_bar_chart", "format_heatmap", "format_series", "write_csv",
     "render_table1", "render_table2", "render_table3",
 ]

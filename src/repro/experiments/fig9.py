@@ -24,12 +24,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..deploy.policy import PolicyRunner, PolicySpec
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
 from ..passes.registry import NUM_TRANSFORMS
 from ..programs import chstone
 from ..programs.generator import generate_corpus
-from ..rl.agents import infer_sequence, train_agent
+from ..rl.agents import train_agent
 from ..search.base import SequenceEvaluator
 from ..search.genetic import GAConfig, genetic_search
 from ..search.greedy import greedy_search
@@ -165,14 +166,18 @@ def run_fig9(corpus: Optional[Sequence[Module]] = None,
                              action_indices=action_indices,
                              normalization=norm, reward_mode="log", seed=seed,
                              lanes=lanes)
-        trained[variant] = (result, norm)
+        # Figure inference runs through the deployment subsystem's
+        # PolicyRunner — the same code path `repro serve-policy` serves.
+        runner = PolicyRunner(
+            result.agent,
+            PolicySpec(observation="both", episode_length=cfg.episode_length,
+                       feature_indices=feature_indices,
+                       action_indices=action_indices, normalization=norm),
+            toolchain=toolchain)
+        trained[variant] = runner
         per = {}
         for name, module in benchmarks.items():
-            applied, optimized = infer_sequence(
-                result.agent, module, length=cfg.episode_length,
-                observation="both", feature_indices=feature_indices,
-                action_indices=action_indices, normalization=norm,
-                toolchain=toolchain)
+            applied, optimized = runner.infer(module)
             try:
                 cycles = toolchain.cycle_count(optimized)
             except HLSCompilationError:
@@ -184,17 +189,13 @@ def run_fig9(corpus: Optional[Sequence[Module]] = None,
     random_improvement = None
     n_test = 0
     if include_random_test:
-        result, norm = trained["RL-filtered-norm2"]
+        runner = trained["RL-filtered-norm2"]
         test_programs = generate_corpus(cfg.n_test_programs, seed=seed + 10_000)
         n_test = len(test_programs)
         improvements = []
         for module in test_programs:
             base_o3 = toolchain.o3_cycles(module)
-            applied, optimized = infer_sequence(
-                result.agent, module, length=cfg.episode_length,
-                observation="both", feature_indices=feature_indices,
-                action_indices=action_indices, normalization=norm,
-                toolchain=toolchain)
+            applied, optimized = runner.infer(module)
             try:
                 cycles = toolchain.cycle_count(optimized)
             except HLSCompilationError:

@@ -26,14 +26,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..features.extractor import features_for
 from ..ir.module import Module
-from ..passes.registry import NUM_ACTIONS, TERMINATE_INDEX
-from ..toolchain import HLSToolchain, clone_module
+from ..toolchain import HLSToolchain
 from .a2c import A2CAgent, A2CConfig
 from .env import MultiActionEnv, PhaseOrderEnv
 from .es import ESAgent, ESConfig
-from .normalization import normalize_features
 from .ppo import PPOAgent, PPOConfig, Rollout
 
 __all__ = ["AGENT_NAMES", "TABLE3", "TrainResult", "make_agent", "train_agent",
@@ -242,27 +239,19 @@ def infer_sequence(agent, module: Module, length: int = 12,
     """Zero-shot inference (Figure 9): greedy policy rollout with NO
     intermediate profiling — features update as passes apply, and the
     final circuit is the single simulator sample.
+
+    Thin wrapper over :class:`~repro.deploy.policy.PolicyRunner`, so
+    figure inference and served inference share one code path (the
+    deployment tests pin the sequences bit-identical to the legacy
+    loop).
     """
-    toolchain = toolchain or HLSToolchain()
-    action_indices = list(action_indices) if action_indices is not None else list(range(NUM_ACTIONS))
-    candidate = clone_module(module)
-    histogram = np.zeros(NUM_ACTIONS, dtype=np.float64)
-    applied: List[int] = []
-    for _ in range(length):
-        parts = []
-        if observation in ("features", "both"):
-            feats = normalize_features(features_for(candidate), normalization)
-            if feature_indices is not None:
-                feats = feats[feature_indices]
-            parts.append(feats)
-        if observation in ("histogram", "both"):
-            parts.append(histogram)
-        obs = np.concatenate(parts)
-        action = agent.act_greedy(obs)
-        pass_index = action_indices[int(action[0])]
-        if pass_index == TERMINATE_INDEX:
-            break
-        applied.append(pass_index)
-        histogram[pass_index] += 1
-        toolchain.apply_passes(candidate, [pass_index])
-    return applied, candidate
+    from ..deploy.policy import PolicyRunner, PolicySpec
+
+    spec = PolicySpec(
+        observation=observation, episode_length=length,
+        feature_indices=(list(feature_indices)
+                         if feature_indices is not None else None),
+        action_indices=(list(action_indices)
+                        if action_indices is not None else None),
+        normalization=normalization)
+    return PolicyRunner(agent, spec, toolchain=toolchain).infer(module)

@@ -442,6 +442,16 @@ class Trainer:
             digest.update(program_fingerprint(program).encode())
         return digest.hexdigest()[:16]
 
+    def _toolchain_fingerprint(self) -> str:
+        """Identity of the evaluation semantics this run trains against
+        (pass table, HLS constraints, step budget) — stored in every
+        checkpoint so a resume can't silently continue against a
+        different pass table, where every learned action index would
+        mean a different transform."""
+        from ..service.fingerprint import toolchain_fingerprint
+
+        return toolchain_fingerprint(self.vec.toolchain)
+
     def save_checkpoint(self, path: str) -> None:
         """Persist policy weights + optimizer moments, normalizer state,
         every RNG stream, the pending (not-yet-updated) rollout, and the
@@ -472,6 +482,7 @@ class Trainer:
             "lanes": self.lanes,
             "seed": self.seed,
             "corpus": self._corpus_fingerprint(),
+            "toolchain": self._toolchain_fingerprint(),
             "episode_length": self.vec.episode_length,
             "update_every": self.update_every,
             "episode_seeding": self.episode_seeding,
@@ -516,6 +527,17 @@ class Trainer:
                     "checkpoint was trained on a different corpus — "
                     "progress and best-sequence bookkeeping would be "
                     "silently mixed between unrelated runs")
+            saved_toolchain = meta.get("toolchain")
+            if saved_toolchain is not None and \
+                    saved_toolchain != self._toolchain_fingerprint():
+                raise ValueError(
+                    f"checkpoint was trained against toolchain "
+                    f"{saved_toolchain[:12]} but this trainer evaluates "
+                    f"against {self._toolchain_fingerprint()[:12]} — the "
+                    f"pass table, HLS constraints or step budget changed, "
+                    f"so resuming would silently train against a different "
+                    f"pass table; rebuild the trainer with the original "
+                    f"toolchain or start a fresh run")
             if meta.get("seed", self.seed) != self.seed:
                 raise ValueError(
                     f"checkpoint was saved with seed={meta['seed']}, "

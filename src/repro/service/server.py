@@ -27,17 +27,42 @@ convention), never an error reply.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import signal
 import socket
 import socketserver
 import threading
-from typing import Dict, Optional
+import time
+from typing import Callable, Dict, Optional
 
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
 
-__all__ = ["EvaluationServer", "request", "resolve_program_spec"]
+__all__ = ["EvaluationServer", "install_shutdown_signals", "request",
+           "resolve_program_spec"]
+
+
+def install_shutdown_signals(initiate: Callable[[], None]) -> Callable[[], None]:
+    """Route SIGTERM/SIGINT to a graceful server stop.
+
+    ``initiate`` must be safe to call from a signal handler (set a flag,
+    kick a thread — never block). Returns a restore callable that puts
+    the previous handlers back; a no-op outside the main thread, where
+    the ``signal`` module refuses to install handlers."""
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(
+            sig, lambda signum, frame: initiate())
+
+    def restore() -> None:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    return restore
 
 
 def resolve_program_spec(spec: str) -> Module:
@@ -56,22 +81,21 @@ def resolve_program_spec(spec: str) -> Module:
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
+        evaluation_server = self.server.evaluation_server
         for line in self.rfile:
             line = line.strip()
             if not line:
                 continue
             try:
-                reply = self.server.evaluation_server.handle_request(
-                    json.loads(line.decode("utf-8")))
+                with evaluation_server._track_request():
+                    reply = evaluation_server.handle_request(
+                        json.loads(line.decode("utf-8")))
             except Exception as exc:  # malformed JSON, unknown spec, ...
                 reply = {"ok": False, "error": repr(exc)}
             self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
             self.wfile.flush()
             if reply.get("shutdown"):
-                # shut down from a helper thread: shutdown() blocks until
-                # serve_forever() exits, which waits on this handler
-                threading.Thread(target=self.server.shutdown,
-                                 daemon=True).start()
+                evaluation_server.initiate_shutdown()
                 return
 
 
@@ -93,10 +117,26 @@ class EvaluationServer:
             backend="service",
             service_config={"workers": workers, "store_dir": store_dir})
         self._modules: Dict[str, Module] = {}
+        # Graceful-shutdown accounting: requests being evaluated right
+        # now. close() drains this to zero before tearing the engine
+        # down, so SIGTERM never kills an evaluation mid-reply.
+        self._inflight = 0
+        self._drained = threading.Condition()
         if os.path.exists(socket_path):
             os.remove(socket_path)
         self._server = _SocketServer(socket_path, _Handler)
         self._server.evaluation_server = self
+
+    @contextlib.contextmanager
+    def _track_request(self):
+        with self._drained:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._drained:
+                self._inflight -= 1
+                self._drained.notify_all()
 
     def _module(self, spec: str) -> Module:
         module = self._modules.get(spec)
@@ -146,16 +186,36 @@ class EvaluationServer:
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def serve_forever(self) -> None:
-        """Block serving requests until a shutdown op (or KeyboardInterrupt)."""
+        """Block serving requests until SIGTERM, a shutdown op, or
+        KeyboardInterrupt; in-flight evaluations drain before the
+        engine closes."""
+        restore = install_shutdown_signals(self.initiate_shutdown)
         try:
             self._server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            restore()
             self.close()
 
-    def close(self) -> None:
+    def initiate_shutdown(self) -> None:
+        """Begin a graceful stop from any thread or a signal handler:
+        stop accepting connections; close() then drains in-flight
+        requests. shutdown() blocks until serve_forever() exits (which
+        can wait on the calling handler), so it runs on a helper
+        thread."""
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self, drain_timeout: float = 30.0) -> None:
         self._server.server_close()
+        # Drain: connections accepted before shutdown may still be mid
+        # evaluation; give them their replies before the engine dies.
+        deadline = time.monotonic() + drain_timeout
+        with self._drained:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._drained.wait(timeout=remaining):
+                    break
         close = getattr(self.toolchain.engine, "close", None)
         if close is not None:
             close()
