@@ -16,6 +16,8 @@
                           [--registry DIR | --socket PATH]
     python -m repro generalize [--scale ...] [--policy NAME] [--refine K]
     python -m repro models list|show|rm [NAME] [--registry DIR]
+    python -m repro profile-hotspots <benchmark> [--passes "..."]
+                          [--sim-kernels off|on|verify] [--top N] [--sort KEY]
     python -m repro cache stats|clear|export [--store DIR]
 
 All figure commands print the rendered artifact and write CSVs under
@@ -265,6 +267,31 @@ def _cmd_models(args) -> int:
     return 0
 
 
+def _cmd_profile_hotspots(args) -> int:
+    import cProfile
+    import pstats
+
+    from .hls.profiler import CycleProfiler
+    from .toolchain import clone_module
+
+    module = chstone.build(args.benchmark)
+    seq = args.passes.split() if args.passes else HLSToolchain().o3_sequence()
+    candidate = clone_module(module)
+    HLSToolchain.apply_passes(candidate, seq)
+    # One *cold* evaluation: a fresh profiler (empty schedule cache), the
+    # path a first-time sequence pays inside the engine.
+    profiler = CycleProfiler(sim_kernels=args.sim_kernels)
+    run = cProfile.Profile()
+    run.enable()
+    report = profiler.profile(candidate)
+    run.disable()
+    print(f"{args.benchmark}: {report.cycles} cycles after {len(seq)} passes "
+          f"(sim_kernels={profiler.sim_kernels})")
+    stats = pstats.Stats(run, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .service.store import ResultStore
 
@@ -428,6 +455,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="model registry root (default: $REPRO_MODEL_DIR "
                          "or .repro-models)")
 
+    ph = sub.add_parser("profile-hotspots",
+                        help="cProfile one cold evaluation of a benchmark "
+                             "(where does simulator time actually go?)")
+    ph.add_argument("benchmark", choices=list(chstone.BENCHMARK_NAMES))
+    ph.add_argument("--passes", default="",
+                    help="space-separated Table-1 pass names applied before "
+                         "profiling (default: -O3 pipeline)")
+    ph.add_argument("--sim-kernels", choices=["off", "on", "verify"],
+                    default=None,
+                    help="simulation backend under the profile "
+                         "(default: $REPRO_SIM_KERNELS or 'on')")
+    ph.add_argument("--top", type=int, default=25,
+                    help="number of stat rows to print (default 25)")
+    ph.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],
+                    default="cumulative",
+                    help="pstats sort order (default cumulative)")
+
     pk = sub.add_parser("cache", help="manage the persistent result store")
     pk.add_argument("action", choices=["stats", "clear", "export"])
     pk.add_argument("--store", default=None,
@@ -462,6 +506,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cache":
         return _cmd_cache(args)
+
+    if args.command == "profile-hotspots":
+        return _cmd_profile_hotspots(args)
 
     if args.command == "train":
         return _cmd_train(args)

@@ -16,12 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..features.extractor import features_for
-from ..hls.profiler import HLSCompilationError
+from ..hls.profiler import HLSCompilationError, StepBudgetError
 from ..ir.cloning import clone_module
 from ..ir.module import Module
 from ..passes import PassManager
 from ..passes.registry import TERMINATE_INDEX, pass_name_for_index
-from .memo import FAILED, EngineStats, ResultMemo
+from .memo import FAILED, FAILED_BUDGET, EngineStats, ResultMemo
 from .trie import NodeBudget, PrefixTrie, SnapshotLRU
 
 __all__ = ["EvaluationEngine", "BatchEvaluationError", "canonicalize_sequence"]
@@ -46,6 +46,18 @@ class BatchEvaluationError(RuntimeError):
             f"{type(original).__name__}: {original}")
         self.sequence = tuple(sequence)
         self.original = original
+
+
+def _cached_failure(cached, canonical) -> Optional[HLSCompilationError]:
+    """The exception a failure-sentinel memo entry stands for, if any."""
+    if cached is FAILED:
+        return HLSCompilationError(
+            f"sequence {canonical!r} is memoized as failing HLS compilation")
+    if cached is FAILED_BUDGET:
+        return StepBudgetError(
+            f"sequence {canonical!r} is memoized as exceeding the "
+            f"simulation step budget")
+    return None
 
 
 def canonicalize_sequence(actions: Sequence[Action]) -> Tuple[Element, ...]:
@@ -166,6 +178,15 @@ class EvaluationEngine:
                                           area_weight, entry, want_module=True)
         return value, module
 
+    def _memoize_failure(self, key: Tuple, exc: HLSCompilationError) -> None:
+        with self._lock:
+            if isinstance(exc, StepBudgetError):
+                self._memo.put(key, FAILED_BUDGET)
+                self.stats.budget_failures_memoized += 1
+            else:
+                self._memo.put(key, FAILED)
+                self.stats.failures_memoized += 1
+
     def _evaluate(self, program: Module, actions: Sequence[Action],
                   objective: str, area_weight: float, entry: str,
                   want_module: bool, want_features: bool = False
@@ -185,9 +206,9 @@ class EvaluationEngine:
             # Base programs handed to the engine are immutable: their
             # features come straight off the shared (module, version) memo.
             feats = features_for(program)
-        if cached is FAILED:
-            raise HLSCompilationError(
-                f"sequence {canonical!r} is memoized as failing HLS compilation")
+        failure = _cached_failure(cached, canonical)
+        if failure is not None:
+            raise failure
         if cached is not None and not want_module and \
                 (not want_features or feats is not None):
             return cached, None, feats
@@ -195,10 +216,8 @@ class EvaluationEngine:
         state = self._state_for(program)
         try:
             module = self._materialize(state, canonical)
-        except HLSCompilationError:
-            with self._lock:
-                self._memo.put(key, FAILED)
-                self.stats.failures_memoized += 1
+        except HLSCompilationError as exc:
+            self._memoize_failure(key, exc)
             raise
         if want_features and feats is None:
             # Memoized before the profile attempt, so even a sequence
@@ -214,10 +233,8 @@ class EvaluationEngine:
             value = self.toolchain.objective_value(module, objective,
                                                    area_weight=area_weight,
                                                    entry=entry)
-        except HLSCompilationError:
-            with self._lock:
-                self._memo.put(key, FAILED)
-                self.stats.failures_memoized += 1
+        except HLSCompilationError as exc:
+            self._memoize_failure(key, exc)
             raise
         with self._lock:
             self._memo.put(key, value)
@@ -241,16 +258,17 @@ class EvaluationEngine:
             node = path[-1] if path and len(path) == len(canonical) else None
             want_snap = node is not None and state.trie.want_snapshot(node)
             cached = self._memo.get(key)
-            if cached is not None and cached is not FAILED:
+            if cached is not None and cached is not FAILED and \
+                    cached is not FAILED_BUDGET:
                 self.stats.memo_hits += 1
         if want_snap:
             snapshot = clone_module(module)
             with self._lock:
                 if state.trie.store_snapshot(node, snapshot):
                     self.stats.snapshots_stored += 1
-        if cached is FAILED:
-            raise HLSCompilationError(
-                f"sequence {canonical!r} is memoized as failing HLS compilation")
+        failure = _cached_failure(cached, canonical)
+        if failure is not None:
+            raise failure
         if cached is not None:
             return cached
         with self._lock:
@@ -259,10 +277,8 @@ class EvaluationEngine:
             value = self.toolchain.objective_value(module, objective,
                                                    area_weight=area_weight,
                                                    entry=entry)
-        except HLSCompilationError:
-            with self._lock:
-                self._memo.put(key, FAILED)
-                self.stats.failures_memoized += 1
+        except HLSCompilationError as exc:
+            self._memoize_failure(key, exc)
             raise
         with self._lock:
             self._memo.put(key, value)
@@ -384,6 +400,20 @@ class EvaluationEngine:
                 raise value from value.original
         return [unique[canonical] for canonical in keyed]
 
+    def memoized_failure(self, program: Module, actions: Sequence[Action],
+                         objective: str = "cycles", area_weight: float = 0.05,
+                         entry: str = "main") -> Optional[HLSCompilationError]:
+        """The exception a memoized failure of this key stands for —
+        :class:`StepBudgetError` for step-budget timeouts, plain
+        :class:`HLSCompilationError` otherwise, ``None`` when the key is
+        not memoized as failing. Lets batch callers (which receive bare
+        ``None`` rows) recover which kind of failure was recorded."""
+        canonical = canonicalize_sequence(actions)
+        key = self._key(program, canonical, objective, area_weight, entry)
+        with self._lock:
+            cached = self._memo.get(key)
+        return _cached_failure(cached, canonical)
+
     # -- materialization ----------------------------------------------------
     def materialize(self, program: Module, actions: Sequence[Action]) -> Module:
         """A fresh module equal to ``program`` with ``actions`` applied,
@@ -430,6 +460,9 @@ class EvaluationEngine:
 
     # -- introspection ------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
+        from ..interp.interpreter import plan_cache_info
+        from ..interp.kernels import kernel_cache_info
+
         info = self.stats.as_dict()
         info["memo_entries"] = len(self._memo)
         info["feature_memo_entries"] = len(self._feature_memo)
@@ -437,13 +470,24 @@ class EvaluationEngine:
         info["snapshot_evictions"] = self._lru.evictions
         info["trie_nodes"] = self._node_budget.used
         info["programs"] = len(self._programs)
+        # process-wide compiled-simulation caches (shared across engines,
+        # keyed by the same structural hash as the schedule cache)
+        info.update(kernel_cache_info())
+        info.update(plan_cache_info())
         return info
 
     def clear(self) -> None:
-        """Drop every cached result, snapshot and trie (keeps statistics)."""
+        """Drop every cached result, snapshot and trie (keeps statistics).
+        Also drops the process-wide compiled-kernel and block-plan caches
+        so a cleared engine re-measures a genuinely cold path."""
+        from ..interp.interpreter import clear_plan_cache
+        from ..interp.kernels import clear_kernel_cache
+
         with self._lock:
             self._memo.clear()
             self._feature_memo.clear()
             self._programs.clear()
             self._lru = SnapshotLRU(self._lru.max_nodes)
             self._node_budget = NodeBudget(self._node_budget.max_nodes)
+        clear_kernel_cache()
+        clear_plan_cache()

@@ -6,11 +6,17 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
-__all__ = ["EngineStats", "ResultMemo", "FAILED"]
+__all__ = ["EngineStats", "ResultMemo", "FAILED", "FAILED_BUDGET"]
 
 # Sentinel memo value for sequences that raised HLSCompilationError —
 # re-evaluating a known-broken sequence must not burn a simulator sample.
 FAILED = object()
+
+# Sentinel for sequences that merely exhausted the simulation *step
+# budget* (StepBudgetError). Still a failure — re-evaluating would time
+# out again — but cache stats must not conflate it with genuine HLS
+# compilation failures (traps, scheduling errors).
+FAILED_BUDGET = object()
 
 
 @dataclass
@@ -24,6 +30,7 @@ class EngineStats:
     passes_applied: int = 0       # suffix passes actually run
     snapshots_stored: int = 0
     failures_memoized: int = 0
+    budget_failures_memoized: int = 0  # step-budget timeouts, not HLS failures
     batches: int = 0
     feature_hits: int = 0         # feature queries answered from the memo
     feature_misses: int = 0       # feature queries that composed a vector
@@ -37,6 +44,7 @@ class EngineStats:
             "passes_applied": self.passes_applied,
             "snapshots_stored": self.snapshots_stored,
             "failures_memoized": self.failures_memoized,
+            "budget_failures_memoized": self.budget_failures_memoized,
             "batches": self.batches,
             "feature_hits": self.feature_hits,
             "feature_misses": self.feature_misses,

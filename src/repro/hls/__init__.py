@@ -8,7 +8,14 @@ emitter, and the slow schedule-replay verifier.
 
 from .delays import DEFAULT_LIBRARY, HLSConstraints, OpTiming, TimingLibrary
 from .scheduler import BlockSchedule, FunctionSchedule, ModuleSchedule, ScheduledOp, Scheduler
-from .profiler import CycleProfiler, CycleReport, HLSCompilationError
+from .sched_vec import function_state_counts_flat
+from .profiler import (
+    CycleProfiler,
+    CycleReport,
+    HLSCompilationError,
+    StepBudgetError,
+    sim_kernels_mode,
+)
 from .area import AreaEstimator, AreaReport
 from .rtl import RTLEmitter
 from .verify import TraceRecorder, replay_cycles, verify_profile
@@ -16,7 +23,9 @@ from .verify import TraceRecorder, replay_cycles, verify_profile
 __all__ = [
     "DEFAULT_LIBRARY", "HLSConstraints", "OpTiming", "TimingLibrary",
     "BlockSchedule", "FunctionSchedule", "ModuleSchedule", "ScheduledOp", "Scheduler",
-    "CycleProfiler", "CycleReport", "HLSCompilationError",
+    "function_state_counts_flat",
+    "CycleProfiler", "CycleReport", "HLSCompilationError", "StepBudgetError",
+    "sim_kernels_mode",
     "AreaEstimator", "AreaReport",
     "RTLEmitter",
     "TraceRecorder", "replay_cycles", "verify_profile",

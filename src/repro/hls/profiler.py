@@ -25,6 +25,7 @@ Two memoization layers make repeated profiling cheap:
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -32,14 +33,17 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..interp.interpreter import ExecutionResult, Interpreter
-from ..interp.state import InterpreterLimitExceeded, TrapError
+from ..interp.kernels import KernelInterpreter, VerificationError, run_verified
+from ..interp.state import InterpreterLimitExceeded, StepBudgetExceeded, TrapError
 from ..ir.instructions import CallInst
 from ..ir.module import BasicBlock, Module
 from .delays import HLSConstraints, TimingLibrary
 from .hashing import structural_key
+from .sched_vec import function_state_counts_flat
 from .scheduler import Scheduler
 
-__all__ = ["CycleReport", "HLSCompilationError", "CycleProfiler"]
+__all__ = ["CycleReport", "HLSCompilationError", "StepBudgetError",
+           "CycleProfiler", "sim_kernels_mode"]
 
 # Burst engines move one slot per cycle after setup (see delays.py).
 _DYNAMIC_BURST = ("llvm.memset", "llvm.memcpy")
@@ -47,6 +51,24 @@ _DYNAMIC_BURST = ("llvm.memset", "llvm.memcpy")
 
 class HLSCompilationError(Exception):
     """The program cannot be synthesized/profiled (the paper's HLS filter)."""
+
+
+class StepBudgetError(HLSCompilationError):
+    """The simulation *step budget* ran out — the program may well be
+    synthesizable; it merely exceeded the CPU-time filter. Cache layers
+    record this separately from genuine HLS failures."""
+
+
+def sim_kernels_mode(override: Optional[str] = None) -> str:
+    """Resolve the simulation-backend toggle: ``off`` (reference
+    interpreter + scheduler), ``on`` (compiled kernels + batched
+    scheduler, the default), or ``verify`` (run both, hard-fail on any
+    divergence)."""
+    mode = override if override is not None else os.environ.get("REPRO_SIM_KERNELS", "on")
+    mode = mode.strip().lower()
+    if mode not in ("off", "on", "verify"):
+        raise ValueError(f"REPRO_SIM_KERNELS must be off|on|verify, got {mode!r}")
+    return mode
 
 
 @dataclass
@@ -70,10 +92,14 @@ class CycleProfiler:
     def __init__(self, constraints: Optional[HLSConstraints] = None,
                  library: Optional[TimingLibrary] = None,
                  max_steps: int = 1_000_000,
-                 schedule_cache_size: int = 512) -> None:
+                 schedule_cache_size: int = 512,
+                 sim_kernels: Optional[str] = None) -> None:
         self.scheduler = Scheduler(constraints, library)
         self.constraints = self.scheduler.constraints
         self.max_steps = max_steps
+        # off | on | verify; results are bit-identical by contract, so the
+        # mode is NOT part of any cache key or toolchain fingerprint.
+        self.sim_kernels = sim_kernels_mode(sim_kernels)
         # structural key -> per-block state counts (block order positional)
         self._schedule_cache: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         self._schedule_cache_size = schedule_cache_size
@@ -85,34 +111,73 @@ class CycleProfiler:
         self._lock = threading.Lock()
 
     def profile(self, module: Module, entry: str = "main") -> CycleReport:
+        # One structural-hash pass feeds every key-addressed cache on the
+        # cold path: FSM schedules, compiled kernels, and block plans.
+        keys = self._structural_keys(module)
         try:
-            block_states = self._module_block_states(module)
+            block_states = self._module_block_states(module, keys)
+        except VerificationError:
+            raise  # a kernel bug, not an HLS failure — fail loudly
         except Exception as exc:  # scheduling failure = HLS failure
             raise HLSCompilationError(f"scheduling failed: {exc}") from exc
         try:
-            execution = Interpreter(module, max_steps=self.max_steps).run(entry)
+            execution = self._execute(module, entry, keys)
+        except StepBudgetExceeded as exc:
+            raise StepBudgetError(f"execution failed: {exc}") from exc
         except (TrapError, InterpreterLimitExceeded) as exc:
             raise HLSCompilationError(f"execution failed: {exc}") from exc
         return self._combine(module, block_states, execution)
 
+    def _execute(self, module: Module, entry: str, keys: Dict) -> ExecutionResult:
+        mode = self.sim_kernels
+        if mode == "on":
+            return KernelInterpreter(module, max_steps=self.max_steps,
+                                     keys=keys).run(entry)
+        if mode == "verify":
+            return run_verified(module, entry, max_steps=self.max_steps,
+                                keys=keys, plan_keys=keys)
+        return Interpreter(module, max_steps=self.max_steps,
+                           plan_keys=keys).run(entry)
+
     # -- incremental scheduling ---------------------------------------------
-    def _module_block_states(self, module: Module) -> Dict[BasicBlock, int]:
+    def _structural_keys(self, module: Module) -> Dict:
+        if self._schedule_cache_size <= 0 and self.sim_kernels == "off":
+            return {}
+        escapes_memo: Dict = {}
+        return {func: structural_key(func, escapes_memo)
+                for func in module.defined_functions()}
+
+    def _schedule_function(self, func) -> List[int]:
+        mode = self.sim_kernels
+        if mode == "on":
+            return function_state_counts_flat(
+                func, self.scheduler.constraints, self.scheduler.library)
+        counts = self.scheduler.function_state_counts(func)
+        if mode == "verify":
+            flat = function_state_counts_flat(
+                func, self.scheduler.constraints, self.scheduler.library)
+            if flat != counts:
+                raise VerificationError(
+                    f"batched-scheduler divergence on @{func.name}: "
+                    f"{flat} != {counts}")
+        return counts
+
+    def _module_block_states(self, module: Module, keys: Dict) -> Dict[BasicBlock, int]:
         """FSM state count per block, rescheduling only functions whose
         structural hash is not already cached."""
         states: Dict[BasicBlock, int] = {}
-        escapes_memo: Dict = {}
         for func in module.defined_functions():
             if self._schedule_cache_size <= 0:
-                counts = self.scheduler.function_state_counts(func)
+                counts = self._schedule_function(func)
             else:
-                key = structural_key(func, escapes_memo)
+                key = keys[func]
                 with self._lock:
                     counts = self._schedule_cache.get(key)
                     if counts is not None:
                         self._schedule_cache.move_to_end(key)
                         self.schedule_cache_hits += 1
                 if counts is None:
-                    counts = self.scheduler.function_state_counts(func)
+                    counts = self._schedule_function(func)
                     with self._lock:
                         self.schedule_cache_misses += 1
                         self._schedule_cache[key] = counts

@@ -1,0 +1,272 @@
+"""Batched FSM scheduling — the scheduler's fast path.
+
+The reference :class:`~repro.hls.scheduler.Scheduler` re-derives
+everything per instruction while scheduling: operation timing through
+isinstance chains, memory-dependence edges through pairwise
+:func:`repro.analysis.alias.alias` queries that re-walk GEP chains for
+every (earlier, later) access pair, and a :class:`ScheduledOp` dataclass
+per placement. On a cold schedule of a memory-heavy block the pairwise
+alias walks are quadratic in chain-walk work.
+
+This module computes the exact same per-block FSM state counts (the only
+piece of a schedule :class:`~repro.hls.profiler.CycleProfiler` consumes)
+through one flat pass per module:
+
+* **timing interning** — each opcode/external resolves once per timing
+  library to a plain tuple ``(is_seq, latency, pipelined, resource,
+  delay)``;
+* **pointer provenance** — each pointer operand is walked once,
+  memoized, to ``(base, const_offset, offsets_all_constant)`` with the
+  reference's 64-hop limits; the pairwise conflict test then reduces to
+  tuple comparisons, with :func:`escapes` results memoized per base
+  (the reference recomputes the use-graph walk per query);
+* **flat placements** — per-instruction end states live in a plain
+  dict of tuples instead of dataclass instances, and no
+  ``BlockSchedule``/``FunctionSchedule`` objects are materialized.
+
+Bit-identity contract: :func:`function_state_counts_flat` equals
+``Scheduler.function_state_counts`` element-for-element for every
+function (pinned by tests and by ``REPRO_SIM_KERNELS=verify``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.alias import _escapes
+from ..ir.instructions import (
+    AllocaInst,
+    CallInst,
+    GEPInst,
+    InvokeInst,
+    LoadInst,
+    StoreInst,
+)
+from ..ir.module import Function
+from ..ir.values import Argument, ConstantInt, GlobalVariable, Value
+from .delays import DEFAULT_LIBRARY, HLSConstraints, TimingLibrary
+
+__all__ = ["function_state_counts_flat"]
+
+# library -> (opcode -> spec, external name -> spec); spec is the interned
+# flat form (is_seq, latency_cycles, pipelined, resource, delay_ns)
+_spec_cache: "weakref.WeakKeyDictionary[TimingLibrary, Tuple[Dict, Dict]]" = (
+    weakref.WeakKeyDictionary())
+
+
+def _specs_for(library: TimingLibrary) -> Tuple[Dict, Dict]:
+    entry = _spec_cache.get(library)
+    if entry is None:
+        entry = ({}, {})
+        _spec_cache[library] = entry
+    return entry
+
+
+def _intern(timing) -> Tuple:
+    return (timing.latency_cycles > 0, timing.latency_cycles,
+            timing.pipelined, timing.resource, timing.delay_ns)
+
+
+def _provenance(ptr: Value, memo: Dict) -> Tuple:
+    """``(base, const_offset, all_constant)`` with the reference limits.
+
+    Mirrors ``underlying_object`` (≤64 GEP hops) and ``constant_offset``
+    (≤64 hops, None on any non-constant index) in a single walk. When an
+    index is non-constant the walk still continues to the base — the
+    reference's ``underlying_object`` does — but ``all_constant`` goes
+    False, which is all ``alias()`` observes of ``constant_offset``'s
+    None.
+    """
+    got = memo.get(ptr)
+    if got is not None:
+        return got
+    base = ptr
+    offset = 0
+    all_const = True
+    depth = 0
+    while isinstance(base, GEPInst) and depth < 64:
+        if all_const:
+            for idx, stride in zip(base.indices, base.element_strides()):
+                if isinstance(idx, ConstantInt):
+                    offset += idx.value * stride
+                else:
+                    all_const = False
+                    break
+        base = base.pointer
+        depth += 1
+    got = (base, offset, all_const)
+    memo[ptr] = got
+    return got
+
+
+def _escapes_cached(base: Value, memo: Dict) -> bool:
+    got = memo.get(base)
+    if got is None:
+        got = memo[base] = _escapes(base)
+    return got
+
+
+def function_state_counts_flat(func: Function,
+                               constraints: Optional[HLSConstraints] = None,
+                               library: Optional[TimingLibrary] = None,
+                               prov_memo: Optional[Dict] = None,
+                               escapes_memo: Optional[Dict] = None) -> List[int]:
+    """Per-block FSM state counts in block order — the batched equivalent
+    of ``Scheduler.function_state_counts``, bit-identical by contract."""
+    constraints = constraints or HLSConstraints()
+    library = library or DEFAULT_LIBRARY
+    op_specs, ext_specs = _specs_for(library)
+    if prov_memo is None:
+        prov_memo = {}
+    if escapes_memo is None:
+        escapes_memo = {}
+
+    period = constraints.clock_period_ns
+    limits = {
+        "mem": constraints.memory_ports,
+        "div": constraints.dividers,
+        "mul": constraints.multipliers,
+        "fpu": constraints.fpu_units,
+        "call": 1,
+    }
+
+    counts: List[int] = []
+    for bb in func.blocks:
+        instructions = bb.instructions
+        if not instructions:
+            counts.append(1)
+            continue
+        usage: Dict[Tuple[int, str], int] = {}
+        busy: Dict[Tuple[int, str], int] = {}
+        # inst -> (end_state, end_time_ns); same role as the reference's
+        # ScheduledOp placements, reduced to what downstream reads.
+        placed: Dict = {}
+        # (is_call, writes, ptr_info, end_state) per prior memory access
+        mem_prev: List[Tuple] = []
+        last_state = 0
+
+        for inst in instructions:
+            # timing (interned per library)
+            if isinstance(inst, (CallInst, InvokeInst)):
+                if isinstance(inst, CallInst) and (
+                        inst.is_external or inst.callee.is_declaration):
+                    name = inst.callee_name
+                    spec = ext_specs.get(name)
+                    if spec is None:
+                        spec = ext_specs[name] = _intern(library.for_external(name))
+                else:
+                    spec = op_specs.get("call")
+                    if spec is None:
+                        spec = op_specs["call"] = _intern(library.for_opcode("call"))
+            else:
+                opcode = inst.opcode
+                spec = op_specs.get(opcode)
+                if spec is None:
+                    spec = op_specs[opcode] = _intern(library.for_opcode(opcode))
+            is_seq, latency, pipelined, resource, delay = spec
+
+            # operand readiness (same-block defs only)
+            ready_state, ready_time = 0, 0.0
+            for op in inst.operands:
+                p = placed.get(op)
+                if p is None:
+                    continue
+                es, et = p
+                if es > ready_state:
+                    ready_state, ready_time = es, et
+                elif es == ready_state and et > ready_time:
+                    ready_time = et
+            # memory-order floor
+            mem_spec = None
+            if isinstance(inst, (LoadInst, StoreInst)):
+                writes = isinstance(inst, StoreInst)
+                ptr = inst.pointer
+                base, off, all_const = _provenance(ptr, prov_memo)
+                mem_spec = (False, writes,
+                            (ptr, inst.is_volatile, base, off, all_const))
+            elif isinstance(inst, (CallInst, InvokeInst)) and (
+                    inst.may_read_memory() or inst.may_write_memory()):
+                mem_spec = (True, inst.may_write_memory(), None)
+            if mem_spec is not None:
+                for prev in mem_prev:
+                    if prev[3] > ready_state and _conflicts(
+                            prev, mem_spec, escapes_memo):
+                        ready_state = prev[3]
+
+            if is_seq:
+                state = ready_state if ready_time == 0.0 else ready_state + 1
+                if resource is None:
+                    start = state
+                else:
+                    limit = limits.get(resource, 1)
+                    for _ in range(100_000):
+                        ok = (usage.get((state, resource), 0) < limit and
+                              busy.get((state, resource), 0) < limit)
+                        if ok and not pipelined:
+                            for s in range(state + 1, state + max(1, latency)):
+                                if not (usage.get((s, resource), 0) < limit and
+                                        busy.get((s, resource), 0) < limit):
+                                    ok = False
+                                    break
+                        if ok:
+                            break
+                        state += 1
+                    else:
+                        raise RuntimeError("scheduler failed to find an issue slot")
+                    start = state
+                end = start + latency
+                placed[inst] = (end, 0.0)
+                key = (start, resource)
+                usage[key] = usage.get(key, 0) + 1
+                if not pipelined and resource is not None:
+                    for s in range(start, end):
+                        key = (s, resource)
+                        busy[key] = busy.get(key, 0) + 1
+                if end > last_state:
+                    last_state = end
+            else:
+                start, t0 = ready_state, ready_time
+                if t0 > 0.0 and t0 + delay > period:
+                    start, t0 = start + 1, 0.0
+                placed[inst] = (start, t0 + delay)
+                if start > last_state:
+                    last_state = start
+            if mem_spec is not None:
+                mem_prev.append(mem_spec + (placed[inst][0] if is_seq
+                                            else start,))
+
+        counts.append(last_state + 1)
+    return counts
+
+
+def _conflicts(prev: Tuple, cur: Tuple, escapes_memo: Dict) -> bool:
+    """Exactly ``_memory_conflict(prev, cur)`` over precomputed specs."""
+    a_call, a_writes, a_info, _ = prev
+    b_call, b_writes, b_info = cur
+    if not a_writes and not b_writes:
+        return False  # two reads commute
+    if a_call or b_call:
+        return True  # calls conflict with everything that touches memory
+    pa, a_vol, a_base, a_off, a_const = a_info
+    pb, b_vol, b_base, b_off, b_const = b_info
+    if a_vol or b_vol:
+        return True
+    # alias(pa, pb) is not NO_ALIAS, over the precomputed provenance
+    if pa is pb:
+        return True  # MUST_ALIAS
+    if a_base is not b_base:
+        a_id = isinstance(a_base, (AllocaInst, GlobalVariable))
+        b_id = isinstance(b_base, (AllocaInst, GlobalVariable))
+        if a_id and b_id:
+            return False  # distinct identified objects never alias
+        if a_id and isinstance(b_base, Argument) and not _escapes_cached(
+                a_base, escapes_memo):
+            return False
+        if b_id and isinstance(a_base, Argument) and not _escapes_cached(
+                b_base, escapes_memo):
+            return False
+        return True  # MAY_ALIAS
+    if a_const and b_const:
+        return a_off == b_off  # MUST when equal, NO when distinct
+    return True  # MAY_ALIAS

@@ -10,6 +10,8 @@ digest of global memory.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -45,11 +47,38 @@ from ..ir.values import (
     Value,
 )
 from .externals import call_external
-from .state import InterpreterLimitExceeded, Memory, MemPointer, TrapError
+from .state import InterpreterLimitExceeded, Memory, MemPointer, StepBudgetExceeded, TrapError
 
-__all__ = ["ExecutionResult", "Interpreter", "run_module"]
+__all__ = ["ExecutionResult", "Interpreter", "run_module",
+           "plan_cache_info", "clear_plan_cache"]
 
 Scalar = Union[int, float, MemPointer, None]
+
+# -- cross-instance block-plan cache ------------------------------------------
+# A block plan's handler bindings depend only on the instruction-class
+# sequence, which the structural body hash pins positionally — so plans
+# built for one Interpreter transfer to any later instance executing a
+# structurally identical function (clones, pass-untouched functions). The
+# cache stores the module-independent skeleton (phi count + handler tuple
+# per block); each Interpreter zips it with its own instruction objects.
+_PLAN_CACHE_SIZE = 1024
+_plan_cache: "OrderedDict[Tuple, List[Tuple[int, Tuple]]]" = OrderedDict()
+_plan_lock = threading.Lock()
+_plan_hits = 0
+_plan_misses = 0
+
+
+def plan_cache_info() -> Dict[str, int]:
+    with _plan_lock:
+        return {"plan_entries": len(_plan_cache), "plan_hits": _plan_hits,
+                "plan_misses": _plan_misses}
+
+
+def clear_plan_cache() -> None:
+    global _plan_hits, _plan_misses
+    with _plan_lock:
+        _plan_cache.clear()
+        _plan_hits = _plan_misses = 0
 
 
 @dataclass
@@ -87,10 +116,15 @@ class _Frame:
 class Interpreter:
     """Executes one module. Construct fresh per execution."""
 
-    def __init__(self, module: Module, max_steps: int = 1_000_000, max_call_depth: int = 64) -> None:
+    def __init__(self, module: Module, max_steps: int = 1_000_000, max_call_depth: int = 64,
+                 plan_keys: Optional[Dict[Function, Tuple]] = None) -> None:
         self.module = module
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
+        # structural body hash per function (when the caller — typically the
+        # profiler — already computed them); unlocks the cross-instance
+        # block-plan cache. Without keys, plans are built lazily as before.
+        self._plan_keys = plan_keys or {}
         self.memory = Memory()
         self.steps = 0
         self.block_counts: Dict[BasicBlock, int] = {}
@@ -176,10 +210,15 @@ class Interpreter:
                    prev_block: Optional[BasicBlock], depth: int):
         plan = self._block_plans.get(block)
         if plan is None:
-            phis = block.phis()
-            plan = (phis, [(self._handler_for(inst.__class__), inst)
-                           for inst in block.instructions[len(phis):]])
-            self._block_plans[block] = plan
+            key = self._plan_keys.get(func)
+            if key is not None:
+                self._bind_function_plans(func, key)
+                plan = self._block_plans.get(block)
+            if plan is None:
+                phis = block.phis()
+                plan = (phis, [(self._handler_for(inst.__class__), inst)
+                               for inst in block.instructions[len(phis):]])
+                self._block_plans[block] = plan
         phis, body = plan
 
         # Phis first, evaluated simultaneously from the predecessor edge.
@@ -192,11 +231,35 @@ class Interpreter:
         for handler, inst in body:
             self.steps += 1
             if self.steps > self.max_steps:
-                raise InterpreterLimitExceeded(f"step budget exhausted in @{func.name}")
+                raise StepBudgetExceeded(f"step budget exhausted in @{func.name}")
             result = handler(self, frame, inst, depth)
             if result is not None:
                 return result
         raise TrapError(f"block {block.name} fell through without terminator")
+
+    def _bind_function_plans(self, func: Function, key: Tuple) -> None:
+        """Populate every block plan of ``func`` from the cross-instance
+        skeleton cache (building and caching the skeleton on a miss)."""
+        global _plan_hits, _plan_misses
+        with _plan_lock:
+            skeleton = _plan_cache.get(key)
+            if skeleton is not None:
+                _plan_cache.move_to_end(key)
+                _plan_hits += 1
+        if skeleton is None:
+            skeleton = []
+            for bb in func.blocks:
+                n_phis = len(bb.phis())
+                skeleton.append((n_phis, tuple(self._handler_for(inst.__class__)
+                                               for inst in bb.instructions[n_phis:])))
+            with _plan_lock:
+                _plan_misses += 1
+                _plan_cache[key] = skeleton
+                while len(_plan_cache) > _PLAN_CACHE_SIZE:
+                    _plan_cache.popitem(last=False)
+        for bb, (n_phis, handlers) in zip(func.blocks, skeleton):
+            self._block_plans[bb] = (list(bb.instructions[:n_phis]),
+                                     list(zip(handlers, bb.instructions[n_phis:])))
 
     # -- instruction handlers (opcode-indexed dispatch) --------------------
     # Handlers share the _execute contract: mutate the frame and return

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Union
 
-__all__ = ["MemPointer", "Memory", "TrapError", "InterpreterLimitExceeded"]
+__all__ = ["MemPointer", "Memory", "TrapError", "InterpreterLimitExceeded",
+           "StepBudgetExceeded"]
 
 Scalar = Union[int, float]
 
@@ -23,6 +24,15 @@ class TrapError(Exception):
 
 class InterpreterLimitExceeded(Exception):
     """The step/recursion budget ran out (the '5 minutes on CPU' filter)."""
+
+
+class StepBudgetExceeded(InterpreterLimitExceeded):
+    """Specifically the *step* budget (not recursion depth) ran out.
+
+    Distinguished so cache layers can record "this sequence merely timed
+    out of its simulation budget" separately from genuine HLS failures
+    (traps, scheduling errors); existing handlers that catch
+    :class:`InterpreterLimitExceeded` keep working unchanged."""
 
 
 @dataclass(frozen=True)

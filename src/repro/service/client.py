@@ -48,9 +48,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..engine.core import BatchEvaluationError, EvaluationEngine, canonicalize_sequence
-from ..engine.memo import FAILED
-from ..hls.profiler import HLSCompilationError
+from ..engine.core import (
+    BatchEvaluationError,
+    EvaluationEngine,
+    _cached_failure,
+    canonicalize_sequence,
+)
+from ..engine.memo import FAILED, FAILED_BUDGET
+from ..hls.profiler import HLSCompilationError, StepBudgetError
 from ..ir.module import Module
 from .fingerprint import program_fingerprint, toolchain_fingerprint
 from .store import ResultStore, StoreKey, make_key
@@ -324,6 +329,11 @@ class EvaluationClient:
                 feats = _feature_array(payload[2])
             elif tag == "failed" and len(payload) > 1 and payload[1] is not None:
                 feats = _feature_array(payload[1])
+            # budget flag (third element of a "failed" payload): the
+            # worker tells step-budget timeouts from genuine HLS failures
+            sentinel = FAILED
+            if tag == "failed" and len(payload) > 2 and payload[2]:
+                sentinel = FAILED_BUDGET
             with self._lock:
                 self._inflight.pop(fullkey, None)
                 prog = next((p for p in self._programs.values()
@@ -333,7 +343,7 @@ class EvaluationClient:
                         prog.persisted[key] = payload[1]
                         prog.remember(key)
                     elif tag == "failed":
-                        prog.persisted[key] = FAILED
+                        prog.persisted[key] = sentinel
                         prog.remember(key)
                     if feats is not None:
                         prog.features[key[3]] = feats
@@ -341,8 +351,7 @@ class EvaluationClient:
                 future.set_result((payload[1], feats) if want_features
                                   else payload[1])
             elif tag == "failed":
-                future.set_exception(HLSCompilationError(
-                    f"sequence {key[3]!r} is memoized as failing HLS compilation"))
+                future.set_exception(_cached_failure(sentinel, key[3]))
             else:
                 future.set_exception(BatchEvaluationError(
                     key[3], RuntimeError(f"{payload[1]}\n{payload[2]}")))
@@ -359,9 +368,9 @@ class EvaluationClient:
                          feats: Optional[np.ndarray] = None,
                          want_features: bool = False) -> Future:
         future: Future = Future()
-        if value is FAILED:
-            future.set_exception(HLSCompilationError(
-                f"sequence {key[3]!r} is memoized as failing HLS compilation"))
+        failure = _cached_failure(value, key[3])
+        if failure is not None:
+            future.set_exception(failure)
         elif want_features:
             future.set_result((value, feats))
         else:
@@ -412,10 +421,11 @@ class EvaluationClient:
                 value = self.local.evaluate(prog.program, canonical,
                                             objective=objective,
                                             area_weight=area_weight, entry=entry)
-        except HLSCompilationError:
+        except HLSCompilationError as exc:
+            sentinel = FAILED_BUDGET if isinstance(exc, StepBudgetError) else FAILED
             feats = (self.local.features_after(prog.program, canonical)
                      if want_features else None)
-            self._persist(prog, key, FAILED, features=feats)
+            self._persist(prog, key, sentinel, features=feats)
             raise
         if want_features:
             self._persist(prog, key, value, features=feats)
@@ -443,7 +453,8 @@ class EvaluationClient:
             cached = prog.persisted.get(key)
             feats = prog.features.get(canonical) if want_features else None
             if cached is not None and \
-                    (not want_features or cached is FAILED or feats is not None):
+                    (not want_features or cached is FAILED
+                     or cached is FAILED_BUDGET or feats is not None):
                 self.persistent_hits += 1
                 return self._resolved_future(key, cached, feats, want_features)
             existing = self._inflight.get(fullkey)
@@ -521,7 +532,7 @@ class EvaluationClient:
                 feats = prog.features.get(canonical) if want_features else None
                 if cached is not None and \
                         (not want_features or cached is FAILED
-                         or feats is not None):
+                         or cached is FAILED_BUDGET or feats is not None):
                     self.persistent_hits += 1
                     futures[canonical] = self._resolved_future(
                         key, cached, feats, want_features)
@@ -571,10 +582,21 @@ class EvaluationClient:
                     future = futures[canonical]
                     value, feats = row if want_features else (row, None)
                     if value is None:
-                        self._persist(prog, key, FAILED, features=feats)
-                        future.set_exception(HLSCompilationError(
-                            f"sequence {canonical!r} is memoized as failing "
-                            f"HLS compilation"))
+                        # The engine collapsed the failure to a bare None
+                        # row; its memo still knows which kind — recover
+                        # it so budget timeouts persist as such.
+                        failure = self.local.memoized_failure(
+                            prog.program, canonical, objective=objective,
+                            area_weight=area_weight, entry=entry)
+                        if failure is None:
+                            failure = HLSCompilationError(
+                                f"sequence {canonical!r} is memoized as "
+                                f"failing HLS compilation")
+                        sentinel = (FAILED_BUDGET
+                                    if isinstance(failure, StepBudgetError)
+                                    else FAILED)
+                        self._persist(prog, key, sentinel, features=feats)
+                        future.set_exception(failure)
                     elif want_features:
                         future.set_result((value, feats))
                         self._persist(prog, key, value, features=feats)
@@ -603,19 +625,21 @@ class EvaluationClient:
             cached = prog.persisted.get(key)
             if cached is not None:
                 self.persistent_hits += 1
-        if cached is FAILED:
+        failure = _cached_failure(cached, key[3])
+        if failure is not None:
             # engine semantics: a memoized failure re-raises sample-free
             # without materializing (callers materialize if they need to)
-            raise HLSCompilationError(
-                f"sequence {key[3]!r} is memoized as failing HLS compilation")
+            raise failure
         if cached is not None:
             return cached, self.local.materialize(program, canonical)
         try:
             value, module = self.local.evaluate_with_module(
                 program, canonical, objective=objective,
                 area_weight=area_weight, entry=entry)
-        except HLSCompilationError:
-            self._persist(prog, key, FAILED)
+        except HLSCompilationError as exc:
+            self._persist(prog, key,
+                          FAILED_BUDGET if isinstance(exc, StepBudgetError)
+                          else FAILED)
             raise
         self._persist(prog, key, value)
         return value, module
@@ -630,9 +654,9 @@ class EvaluationClient:
             cached = prog.persisted.get(key)
             if cached is not None:
                 self.persistent_hits += 1
-        if cached is FAILED:
-            raise HLSCompilationError(
-                f"sequence {key[3]!r} is memoized as failing HLS compilation")
+        failure = _cached_failure(cached, key[3])
+        if failure is not None:
+            raise failure
         if cached is not None:
             return cached
         try:
@@ -640,8 +664,10 @@ class EvaluationClient:
                                                  objective=objective,
                                                  area_weight=area_weight,
                                                  entry=entry)
-        except HLSCompilationError:
-            self._persist(prog, key, FAILED)
+        except HLSCompilationError as exc:
+            self._persist(prog, key,
+                          FAILED_BUDGET if isinstance(exc, StepBudgetError)
+                          else FAILED)
             raise
         self._persist(prog, key, value)
         return value

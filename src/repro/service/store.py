@@ -10,7 +10,11 @@ fingerprint) under the store root (``REPRO_CACHE_DIR`` or
 ``ok: false`` records memoize sequences that raise
 :class:`~repro.hls.profiler.HLSCompilationError` — a warm run re-raises
 without burning a simulator sample, exactly like the in-memory memo's
-failure sentinel.
+failure sentinel. A failure that was merely a simulation step-budget
+timeout (:class:`~repro.hls.profiler.StepBudgetError`) additionally
+carries ``"budget": true`` so cache statistics can tell timeouts from
+genuine HLS failures; readers without the key default to a genuine
+failure, keeping old records valid.
 
 Schema compatibility: ``feat`` (the 56-element Table-2 feature vector of
 the program *after* the sequence) arrived with schema version 2 and is
@@ -38,7 +42,7 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from ..engine.memo import FAILED
+from ..engine.memo import FAILED, FAILED_BUDGET
 
 __all__ = ["ResultStore", "default_store_dir", "make_key"]
 
@@ -80,10 +84,13 @@ class ResultStore:
         sentinel; ``features`` the post-sequence feature vector, omitted
         when the writer never extracted one)."""
         objective, area_weight, entry, canonical = key
+        is_failure = value is FAILED or value is FAILED_BUDGET
         record = {"v": SCHEMA_VERSION, "obj": objective, "aw": area_weight,
                   "entry": entry, "seq": list(canonical),
-                  "ok": value is not FAILED,
-                  "val": None if value is FAILED else value}
+                  "ok": not is_failure,
+                  "val": None if is_failure else value}
+        if value is FAILED_BUDGET:
+            record["budget"] = True
         if features is not None:
             record["feat"] = [int(x) for x in features]
         os.makedirs(self.root, exist_ok=True)
@@ -130,7 +137,11 @@ class ResultStore:
                 canonical = tuple(record["seq"])
                 key = make_key(record["obj"], record["aw"], record["entry"],
                                canonical)
-                results[key] = record["val"] if record["ok"] else FAILED
+                if record["ok"]:
+                    results[key] = record["val"]
+                else:
+                    results[key] = (FAILED_BUDGET if record.get("budget")
+                                    else FAILED)
                 feat = record.get("feat")
                 if feat is not None:
                     features[canonical] = feat
@@ -171,11 +182,15 @@ class ResultStore:
 
     def stats(self) -> Dict[str, Any]:
         shards = self._shards()
-        records = failures = feature_records = 0
+        records = failures = budget_failures = feature_records = 0
         distinct = set()
         for name, record in self.iter_records():
             records += 1
-            failures += 0 if record["ok"] else 1
+            if not record["ok"]:
+                if record.get("budget"):
+                    budget_failures += 1
+                else:
+                    failures += 1
             feature_records += 1 if record.get("feat") is not None else 0
             distinct.add((name, record["obj"], record["aw"], record["entry"],
                           tuple(record["seq"])))
@@ -183,7 +198,9 @@ class ResultStore:
                    for n in shards if os.path.exists(os.path.join(self.root, n)))
         return {"root": os.path.abspath(self.root), "shards": len(shards),
                 "records": records, "distinct_results": len(distinct),
-                "failed_results": failures, "feature_records": feature_records,
+                "failed_results": failures,
+                "budget_failed_results": budget_failures,
+                "feature_records": feature_records,
                 "size_bytes": size}
 
     def clear(self) -> int:

@@ -28,8 +28,8 @@ import sys
 import traceback
 from typing import Any, Dict, Optional, Tuple
 
-from ..engine.memo import FAILED
-from ..hls.profiler import HLSCompilationError
+from ..engine.memo import FAILED, FAILED_BUDGET
+from ..hls.profiler import HLSCompilationError, StepBudgetError
 from .fingerprint import toolchain_fingerprint
 from .store import ResultStore, make_key
 
@@ -44,10 +44,12 @@ MSG_STATS = "stats"          # (tag, request_id)
 MSG_SHUTDOWN = "shutdown"    # (tag,)
 
 # Per-item response payloads inside a ("result", request_id, items, samples)
-# message: ("ok", value, feat|None) | ("failed", feat|None) |
+# message: ("ok", value, feat|None) | ("failed", feat|None, budget) |
 # ("error", repr, traceback) — ``feat`` is the post-sequence Table-2
 # feature vector as a plain int list (present whenever the item asked
-# for features; computing it never costs a simulator sample).
+# for features; computing it never costs a simulator sample), and
+# ``budget`` is True when the failure was a simulation step-budget
+# timeout rather than a genuine HLS failure.
 _PICKLE_RECURSION_LIMIT = 100_000
 
 
@@ -128,7 +130,9 @@ class _WorkerState:
                 self.features[(program_id, canonical)] = feat
                 self.store.append(self.fingerprints[program_id],
                                   self.toolchain_fp, key, cached, feat)
-            return ("failed", feat) if cached is FAILED else ("ok", cached, feat)
+            if cached is FAILED or cached is FAILED_BUDGET:
+                return ("failed", feat, cached is FAILED_BUDGET)
+            return ("ok", cached, feat)
         try:
             if want_features:
                 value, feats = engine.evaluate_with_features(
@@ -138,14 +142,15 @@ class _WorkerState:
             else:
                 value = engine.evaluate(program, canonical, objective=objective,
                                         area_weight=area_weight, entry=entry)
-        except HLSCompilationError:
+        except HLSCompilationError as exc:
+            sentinel = FAILED_BUDGET if isinstance(exc, StepBudgetError) else FAILED
             if want_features:
                 feat = [int(x) for x in engine.features_after(program, canonical)]
                 self.features[(program_id, canonical)] = feat
-            self.persisted[(program_id, key)] = FAILED
+            self.persisted[(program_id, key)] = sentinel
             self.store.append(self.fingerprints[program_id], self.toolchain_fp,
-                              key, FAILED, feat)
-            return ("failed", feat)
+                              key, sentinel, feat)
+            return ("failed", feat, sentinel is FAILED_BUDGET)
         self.persisted[(program_id, key)] = value
         if feat is not None:
             self.features[(program_id, canonical)] = feat

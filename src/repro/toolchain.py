@@ -65,13 +65,21 @@ class HLSToolchain:
     _retired_cache_totals: Dict[str, int] = {}
     # gauges (point-in-time sizes, not counters): summing them across
     # toolchains would report e.g. phantom worker processes
-    _NON_ADDITIVE_KEYS = frozenset({"workers"})
+    # (kernel/plan cache stats are process-wide singletons reported by
+    # every engine's cache_info; summing across toolchains would
+    # multiply-count them)
+    _NON_ADDITIVE_KEYS = frozenset({
+        "workers",
+        "kernel_entries", "kernel_hits", "kernel_misses", "kernel_fallbacks",
+        "plan_entries", "plan_hits", "plan_misses",
+    })
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
                  max_steps: int = 1_000_000, use_engine: bool = True,
                  engine_config: Optional[dict] = None,
                  backend: Optional[str] = None,
-                 service_config: Optional[dict] = None) -> None:
+                 service_config: Optional[dict] = None,
+                 sim_kernels: Optional[str] = None) -> None:
         if backend is None:
             backend = os.environ.get("REPRO_EVAL_BACKEND") or "engine"
         if not use_engine:
@@ -80,9 +88,13 @@ class HLSToolchain:
             raise ValueError(f"unknown backend {backend!r}; "
                              "choose 'engine', 'service' or 'none'")
         self.backend = backend
+        # sim_kernels: off | on | verify (None -> REPRO_SIM_KERNELS, default
+        # "on"). Deliberately NOT part of the toolchain fingerprint or any
+        # cache key — backends are bit-identical by contract.
         self.profiler = CycleProfiler(
             constraints, max_steps=max_steps,
-            schedule_cache_size=0 if backend == "none" else 512)
+            schedule_cache_size=0 if backend == "none" else 512,
+            sim_kernels=sim_kernels)
         self.samples_taken = 0
         # The engine's batch API profiles from worker threads; a bare
         # ``+= 1`` would drop increments under that interleaving.

@@ -165,7 +165,10 @@ class TestCacheCorrectness:
         with pytest.raises(HLSCompilationError):
             tc.cycle_count_with_passes(benchmarks["gsm"], [38])
         assert tc.samples_taken == taken  # failure hit: no new sample
-        assert tc.engine.stats.failures_memoized == 1
+        # step-budget exhaustion memoizes under its own sentinel,
+        # distinguishable from a genuine HLS failure
+        assert tc.engine.stats.budget_failures_memoized == 1
+        assert tc.engine.stats.failures_memoized == 0
 
 
 class TestCloneAliasing:
