@@ -1,0 +1,153 @@
+"""Telemetry overhead gate: the instrumented evaluation stack with
+``REPRO_TELEMETRY=on`` must stay within ``MAX_OVERHEAD`` of the same
+workload with telemetry off, and produce bit-identical evaluation
+values — observability must never cost correctness, and near-zero cost
+when measuring.
+
+The workload is a fresh-toolchain sweep over every CHStone program
+(three pass sequences each): engine memo misses, pass pipelines, cycle
+profiles and kernel execution — every instrumented layer on the hot
+path. Toolchains are rebuilt per pass so both modes repeatedly pay the
+span-wrapped cold engine paths rather than a memoized lookup loop.
+
+Also validates every ``BENCH_*.json`` trajectory file at the repo root:
+each must parse and keep the github-action-benchmark shape (a list of
+runs, each a list of ``{name, unit, value}`` records) — the CI gate
+that notices a bench writer corrupting the shared trajectory format.
+
+Run via pytest (``pytest benchmarks/bench_telemetry.py``) or standalone
+(``python benchmarks/bench_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro import telemetry as tm
+from repro.toolchain import HLSToolchain
+
+MAX_OVERHEAD = 1.05     # telemetry-on wall-clock ≤ 5% over telemetry-off
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_telemetry.json")
+
+# Interleaved best-of-N (the bench_interp defence): per round one pass
+# per mode back to back, each mode keeps its minimum, so CPU-frequency
+# regime shifts on shared runners hit both modes alike.
+ITERATIONS = 12
+SEQUENCES = [[38, 31], [38, 31, 7], [31, 7, 11]]
+
+
+def _time_suite(programs: Dict[str, object],
+                values: Dict[str, List]) -> float:
+    """One sweep: fresh toolchain, evaluate_batch on every program."""
+    toolchain = HLSToolchain()
+    t0 = time.perf_counter()
+    for name, module in programs.items():
+        values[name] = toolchain.engine.evaluate_batch(module, SEQUENCES)
+    return time.perf_counter() - t0
+
+
+def run_bench(programs: Dict[str, object]) -> Dict:
+    previous_mode = tm.mode()
+    off_values: Dict[str, List] = {}
+    on_values: Dict[str, List] = {}
+    off_best = on_best = float("inf")
+    try:
+        for _ in range(ITERATIONS):
+            tm.configure("off")
+            off_best = min(off_best, _time_suite(programs, off_values))
+            tm.configure("on")
+            on_best = min(on_best, _time_suite(programs, on_values))
+    finally:
+        tm.stop_exporter(flush=False)
+        tm.configure(previous_mode)
+    diverged = [n for n in programs if off_values[n] != on_values[n]]
+    assert not diverged, \
+        f"telemetry-on evaluations diverged from telemetry-off on {diverged}"
+    return {
+        "programs": len(programs),
+        "evaluations_per_pass": len(programs) * len(SEQUENCES),
+        "off_seconds": off_best,
+        "on_seconds": on_best,
+        "overhead": on_best / off_best,
+    }
+
+
+def validate_trajectories() -> Dict[str, int]:
+    """Every BENCH_*.json must parse and keep the trajectory shape."""
+    counts: Dict[str, int] = {}
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))):
+        with open(path) as fh:
+            history = json.load(fh)
+        assert isinstance(history, list) and history, \
+            f"{path}: expected a non-empty list of runs"
+        for run in history:
+            assert isinstance(run, list) and run, \
+                f"{path}: each run must be a non-empty entry list"
+            for entry in run:
+                assert {"name", "unit", "value"} <= set(entry), \
+                    f"{path}: malformed entry {entry!r}"
+                assert isinstance(entry["value"], (int, float)), \
+                    f"{path}: non-numeric value in {entry!r}"
+        counts[os.path.basename(path)] = len(history)
+    return counts
+
+
+def append_trajectory(result: Dict) -> None:
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    history.append([
+        {"name": "telemetry_off_seconds", "unit": "s",
+         "value": round(result["off_seconds"], 4)},
+        {"name": "telemetry_on_seconds", "unit": "s",
+         "value": round(result["on_seconds"], 4)},
+        {"name": "telemetry_overhead", "unit": "x",
+         "value": round(result["overhead"], 4)},
+    ])
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict, trajectories: Dict[str, int]) -> str:
+    lines = [
+        f"workload: {result['evaluations_per_pass']} evaluations/pass "
+        f"({result['programs']} CHStone programs x {len(SEQUENCES)} "
+        f"sequences), {ITERATIONS} interleaved rounds per mode",
+        f"telemetry off: {result['off_seconds'] * 1e3:.1f}ms/pass",
+        f"telemetry on : {result['on_seconds'] * 1e3:.1f}ms/pass",
+        f"overhead     : {result['overhead']:.4f}x "
+        f"(ceiling {MAX_OVERHEAD}x), values bit-identical",
+        "trajectories : " + ", ".join(f"{name}({runs})" for name, runs
+                                      in trajectories.items()),
+    ]
+    return "\n".join(lines)
+
+
+def test_telemetry_overhead_and_trajectories(benchmarks):
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    result = run_bench(benchmarks)
+    trajectories = validate_trajectories()
+    emit("BENCH telemetry — instrumentation overhead on the hot path",
+         _render(result, trajectories))
+    append_trajectory(result)
+    assert result["overhead"] <= MAX_OVERHEAD, _render(result, trajectories)
+
+
+if __name__ == "__main__":
+    from repro.programs import chstone
+
+    result = run_bench(chstone.build_all())
+    trajectories = validate_trajectories()
+    print(_render(result, trajectories))
+    append_trajectory(result)
+    if result["overhead"] > MAX_OVERHEAD:
+        raise SystemExit(f"telemetry overhead {result['overhead']:.4f}x "
+                         f"exceeds the {MAX_OVERHEAD}x ceiling")

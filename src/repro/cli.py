@@ -18,7 +18,9 @@
     python -m repro models list|show|rm [NAME] [--registry DIR]
     python -m repro profile-hotspots <benchmark> [--passes "..."]
                           [--sim-kernels off|on|verify] [--top N] [--sort KEY]
+                          [--json PATH]
     python -m repro cache stats|clear|export [--store DIR]
+    python -m repro stats [--json] [--watch N] [--log PATH] [--socket PATH]
 
 All figure commands print the rendered artifact and write CSVs under
 ``results/`` (override with ``REPRO_RESULTS``). ``--cache-stats`` prints
@@ -33,6 +35,11 @@ policy weights + normalizer + RNG state, and
 pipeline first: collect exploration rollouts through the evaluation
 stack, fit the per-pass random forests, and train the agent on the
 pruned observation/action spaces.
+
+``stats`` renders the telemetry spine's cross-process dashboard (set
+``REPRO_TELEMETRY=on`` on the instrumented runs; they leave JSONL
+snapshots under ``.repro-telemetry/``, or answer the ``metrics`` op
+live over ``--socket``).
 
 The deployment commands close the train → serve loop: ``train
 --register NAME`` stores the trained policy in the content-addressed
@@ -78,6 +85,10 @@ def _add_cache_stats(parser: argparse.ArgumentParser) -> None:
 
 
 def _print_cache_stats() -> None:
+    from .interp.interpreter import plan_cache_info
+    from .interp.kernels import kernel_cache_info
+    from .telemetry.render import render_cache_table
+
     info = HLSToolchain.aggregate_cache_info()
     print("\ncache statistics (aggregated over run toolchains):")
     if not info:
@@ -85,6 +96,14 @@ def _print_cache_stats() -> None:
         return
     for key in sorted(info):
         print(f"  {key:<24} {info[key]}")
+    # Hit-rate view over the whole hierarchy: the aggregate deliberately
+    # excludes the process-wide kernel/plan caches as non-additive, so
+    # fold them back in here for the rendered table.
+    merged = dict(info)
+    merged.update(kernel_cache_info())
+    merged.update(plan_cache_info())
+    print()
+    print(render_cache_table(merged))
 
 
 def _cmd_serve(args) -> int:
@@ -130,7 +149,7 @@ def _cmd_train(args) -> int:
         reward_mode="log",
         normalize_observations=args.obs_norm, seed=args.seed,
         prune_features=args.prune_features, prune_passes=args.prune_passes,
-        prune_episodes=prune_episodes)
+        prune_episodes=prune_episodes, events_path=args.events)
     if trainer.pruning is not None:
         pruned = trainer.pruning
         feats = (f"{len(pruned.feature_indices)} features"
@@ -269,6 +288,7 @@ def _cmd_models(args) -> int:
 
 def _cmd_profile_hotspots(args) -> int:
     import cProfile
+    import json
     import pstats
 
     from .hls.profiler import CycleProfiler
@@ -289,6 +309,74 @@ def _cmd_profile_hotspots(args) -> int:
           f"(sim_kernels={profiler.sim_kernels})")
     stats = pstats.Stats(run, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
+    if args.json:
+        sort_field = {"cumulative": "cumtime", "tottime": "tottime",
+                      "ncalls": "ncalls"}[args.sort]
+        rows = []
+        for (filename, lineno, funcname), \
+                (primitive, ncalls, tottime, cumtime, _callers) in \
+                stats.stats.items():
+            rows.append({"file": filename, "line": lineno,
+                         "function": funcname, "ncalls": ncalls,
+                         "primitive_calls": primitive,
+                         "tottime": round(tottime, 6),
+                         "cumtime": round(cumtime, 6)})
+        rows.sort(key=lambda r: r[sort_field], reverse=True)
+        payload = {"benchmark": args.benchmark, "cycles": report.cycles,
+                   "passes": len(seq), "sim_kernels": profiler.sim_kernels,
+                   "sort": args.sort, "hotspots": rows[:args.top]}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {min(len(rows), args.top)} hotspot row(s) to {args.json}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+    import os
+    import time
+
+    from . import telemetry
+    from .telemetry.render import aggregate, render_dashboard, summarize
+
+    def collect():
+        if args.socket:
+            # Live registries from a running server (evaluation or
+            # policy — both answer the metrics op).
+            from .service.server import request
+
+            reply = request(args.socket, {"op": "metrics"})
+            if not reply.get("ok"):
+                raise RuntimeError(f"metrics op failed: "
+                                   f"{reply.get('error', reply)}")
+            records = reply.get("snapshots") or []
+        else:
+            records = list(telemetry.read_log(args.log).values())
+        return aggregate(rec["snapshot"] for rec in records
+                         if rec.get("snapshot"))
+
+    def show() -> None:
+        aggregated = collect()
+        if args.json:
+            print(json.dumps(summarize(aggregated), indent=2, sort_keys=True))
+        else:
+            source = (f"socket {args.socket}" if args.socket
+                      else args.log or os.environ.get("REPRO_TELEMETRY_LOG")
+                      or telemetry.DEFAULT_LOG_PATH)
+            print(render_dashboard(aggregated))
+            print(f"\nsource: {source}")
+
+    if args.watch:
+        try:
+            while True:
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+                show()
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    show()
     return 0
 
 
@@ -299,6 +387,15 @@ def _cmd_cache(args) -> int:
     if args.action == "stats":
         for key, value in store.stats().items():
             print(f"{key:<18} {value}")
+        from .interp.interpreter import plan_cache_info
+        from .interp.kernels import kernel_cache_info
+        from .telemetry.render import render_cache_table
+
+        info = HLSToolchain.aggregate_cache_info()
+        info.update(kernel_cache_info())
+        info.update(plan_cache_info())
+        print("\nin-process cache hierarchy:")
+        print(render_cache_table(info))
     elif args.action == "clear":
         print(f"removed {store.clear()} shard(s) from {store.root}")
     elif args.action == "export":
@@ -366,6 +463,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="exploration budget of the pruning stage "
                          "(default: the scale profile's exploration episodes)")
     pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--events", default=None, metavar="PATH",
+                    help="append per-wave / per-update training events as "
+                         "JSONL to PATH (also: $REPRO_TRAIN_EVENTS)")
     pt.add_argument("--register", default=None, metavar="NAME",
                     help="store the trained policy in the model registry "
                          "under NAME (ready for `repro serve-policy`)")
@@ -471,6 +571,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     ph.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],
                     default="cumulative",
                     help="pstats sort order (default cumulative)")
+    ph.add_argument("--json", default=None, metavar="PATH",
+                    help="additionally write the hotspot rows as JSON to PATH "
+                         "(machine-readable: file/line/function/ncalls/"
+                         "tottime/cumtime)")
+
+    pst = sub.add_parser("stats",
+                         help="render the telemetry dashboard (latency "
+                              "histograms with p50/p90/p99, counters, gauges) "
+                              "merged across processes")
+    pst.add_argument("--json", action="store_true",
+                     help="print the aggregated summary as JSON instead of "
+                          "the dashboard")
+    pst.add_argument("--watch", type=float, default=None, metavar="N",
+                     help="refresh every N seconds until interrupted")
+    pst.add_argument("--log", default=None,
+                     help="telemetry JSONL log to read (default: "
+                          "$REPRO_TELEMETRY_LOG or .repro-telemetry/"
+                          "metrics.jsonl)")
+    pst.add_argument("--socket", default=None,
+                     help="query a running repro server's `metrics` op "
+                          "instead of reading the log")
 
     pk = sub.add_parser("cache", help="manage the persistent result store")
     pk.add_argument("action", choices=["stats", "clear", "export"])
@@ -480,6 +601,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="export destination (cache export)")
 
     args = parser.parse_args(argv)
+
+    # Start the JSONL snapshot exporter when REPRO_TELEMETRY is on, so
+    # every instrumented command leaves a metrics trail for `repro stats`.
+    from . import telemetry
+    telemetry.init_process()
+
+    if args.command == "stats":
+        return _cmd_stats(args)
 
     if args.command == "tables":
         print(render_table1())

@@ -10,7 +10,7 @@ clients ask it for pass orderings over a JSON-lines protocol::
     {"op": "optimize", "policy": "prod", "program": "gen:7", "refine": 8}
                                  → {"ok": true, "sequence": [...], "cycles": ...,
                                     "o3_cycles": ..., "source": "policy", ...}
-    {"op": "policies"} / {"op": "stats"} / {"op": "shutdown"}
+    {"op": "policies"} / {"op": "stats"} / {"op": "metrics"} / {"op": "shutdown"}
 
 **Cross-request batching.** Handler threads never run the policy; they
 parse a request, enqueue it with a Future, and write the reply (tagged
@@ -35,9 +35,11 @@ import os
 import queue
 import socketserver
 import threading
+import time
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry as tm
 from ..service.server import install_shutdown_signals, resolve_program_spec
 from ..toolchain import HLSToolchain
 from .policy import PolicyRunner
@@ -51,7 +53,7 @@ class ServerClosing(RuntimeError):
 
 
 class _Pending:
-    __slots__ = ("op", "policy", "program", "opts", "future")
+    __slots__ = ("op", "policy", "program", "opts", "future", "enqueued")
 
     def __init__(self, op: str, policy: str, program: str,
                  opts: Tuple, future: Future) -> None:
@@ -60,6 +62,7 @@ class _Pending:
         self.program = program
         self.opts = opts
         self.future = future
+        self.enqueued = time.monotonic()
 
 
 _STOP = object()   # batcher sentinel: fail everything still queued, exit
@@ -162,6 +165,9 @@ class PolicyServer:
             os.remove(socket_path)
         self._server = _SocketServer(socket_path, _Handler)
         self._server.policy_server = self
+        # Long-lived process: leave a periodic metrics trail (no-op when
+        # REPRO_TELEMETRY is off).
+        tm.init_process()
 
     # -- policy / program resolution ----------------------------------------
     def _runner(self, name: Optional[str]) -> PolicyRunner:
@@ -227,6 +233,9 @@ class PolicyServer:
                 stats = dict(self.stats)
             stats["samples_taken"] = self.toolchain.samples_taken
             return {"ok": True, "stats": stats}
+        if op == "metrics":
+            return {"ok": True, "telemetry": tm.mode(),
+                    "snapshots": tm.collect_snapshots()}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # -- the batching core ----------------------------------------------------
@@ -263,8 +272,12 @@ class PolicyServer:
                     "processed"))
 
     def _run_batch(self, batch: List[_Pending]) -> None:
+        tm.observe("policy.batch_size", len(batch))
+        now = time.monotonic()
         groups: Dict[Tuple, List[_Pending]] = {}
         for item in batch:
+            tm.observe("policy.queue_wait.seconds",
+                       max(0.0, now - item.enqueued))
             groups.setdefault((item.policy, item.op, item.opts),
                               []).append(item)
         for (policy, op, opts), items in groups.items():
@@ -285,13 +298,15 @@ class PolicyServer:
             before = runner.forwards
             try:
                 if op == "infer":
-                    sequences = runner.infer_batch(modules)
+                    with tm.span("policy.infer", batch=len(modules)):
+                        sequences = runner.infer_batch(modules)
                     results = [{"sequence": [int(a) for a in seq]}
                                for seq in sequences]
                 else:
                     refine, seed = opts
-                    decisions = runner.optimize_batch(modules, refine=refine,
-                                                      seed=seed)
+                    with tm.span("policy.optimize", batch=len(modules)):
+                        decisions = runner.optimize_batch(
+                            modules, refine=refine, seed=seed)
                     results = [d.to_json() for d in decisions]
             except Exception as exc:
                 self._fail_items([item for item, _ in resolved], exc)

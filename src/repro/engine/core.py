@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..features.extractor import features_for
 from ..hls.profiler import HLSCompilationError, StepBudgetError
 from ..ir.cloning import clone_module
@@ -165,8 +166,9 @@ class EvaluationEngine:
         """Objective value of ``program`` after ``actions``. Memo hits do
         not touch the toolchain (no simulator sample); misses clone from
         the deepest cached prefix and pay only the suffix."""
-        value, _, _ = self._evaluate(program, actions, objective, area_weight,
-                                     entry, want_module=False)
+        with tm.span("engine.evaluate"):
+            value, _, _ = self._evaluate(program, actions, objective,
+                                         area_weight, entry, want_module=False)
         return value
 
     def evaluate_with_module(self, program: Module, actions: Sequence[Action],
@@ -194,7 +196,7 @@ class EvaluationEngine:
         canonical = canonicalize_sequence(actions)
         key = self._key(program, canonical, objective, area_weight, entry)
         feats: Optional[np.ndarray] = None
-        with self._lock:
+        with tm.span("engine.memo_lookup"), self._lock:
             cached = self._memo.get(key)
             if cached is not None:
                 self.stats.memo_hits += 1
@@ -202,6 +204,8 @@ class EvaluationEngine:
                 feats = self._feature_memo.get((id(program), canonical))
                 if feats is not None:
                     self.stats.feature_hits += 1
+        tm.count("engine.memo_hits" if cached is not None
+                 else "engine.memo_misses")
         if want_features and not canonical:
             # Base programs handed to the engine are immutable: their
             # features come straight off the shared (module, version) memo.
@@ -230,9 +234,10 @@ class EvaluationEngine:
         with self._lock:
             self.stats.memo_misses += 1
         try:
-            value = self.toolchain.objective_value(module, objective,
-                                                   area_weight=area_weight,
-                                                   entry=entry)
+            with tm.span("engine.profile", objective=objective):
+                value = self.toolchain.objective_value(module, objective,
+                                                       area_weight=area_weight,
+                                                       entry=entry)
         except HLSCompilationError as exc:
             self._memoize_failure(key, exc)
             raise
@@ -274,9 +279,10 @@ class EvaluationEngine:
         with self._lock:
             self.stats.memo_misses += 1
         try:
-            value = self.toolchain.objective_value(module, objective,
-                                                   area_weight=area_weight,
-                                                   entry=entry)
+            with tm.span("engine.profile", objective=objective):
+                value = self.toolchain.objective_value(module, objective,
+                                                       area_weight=area_weight,
+                                                       entry=entry)
         except HLSCompilationError as exc:
             self._memoize_failure(key, exc)
             raise
@@ -303,19 +309,20 @@ class EvaluationEngine:
         per-function cached contributions, and memoize it next to the
         cycle results. Never profiles, never costs a simulator sample.
         The returned array is read-only — copy before mutating."""
-        canonical = canonicalize_sequence(actions)
-        if not canonical:
-            # Base programs handed to the engine are immutable, so their
-            # features come straight off the shared (module, version) memo.
-            return features_for(program)
-        with self._lock:
-            cached = self._feature_memo.get((id(program), canonical))
+        with tm.span("engine.features_after"):
+            canonical = canonicalize_sequence(actions)
+            if not canonical:
+                # Base programs handed to the engine are immutable, so their
+                # features come straight off the shared (module, version) memo.
+                return features_for(program)
+            with self._lock:
+                cached = self._feature_memo.get((id(program), canonical))
+                if cached is not None:
+                    self.stats.feature_hits += 1
             if cached is not None:
-                self.stats.feature_hits += 1
-        if cached is not None:
-            return cached
-        module = self._materialize(self._state_for(program), canonical)
-        return self._memoize_features(program, canonical, module)
+                return cached
+            module = self._materialize(self._state_for(program), canonical)
+            return self._memoize_features(program, canonical, module)
 
     def evaluate_with_features(self, program: Module, actions: Sequence[Action],
                                objective: str = "cycles",
@@ -356,6 +363,7 @@ class EvaluationEngine:
         Python, so set ``REPRO_ENGINE_WORKERS=1`` for strictly minimal
         work on a GIL-bound build."""
         self.stats.batches += 1
+        tm.observe("engine.batch_size", len(sequences))
         keyed = [canonicalize_sequence(seq) for seq in sequences]
         unique: Dict[Tuple[Element, ...], Optional[float]] = {}
         for canonical in keyed:
@@ -383,18 +391,19 @@ class EvaluationEngine:
                 return BatchEvaluationError(canonical, exc)
 
         pending = list(unique)
-        if self.max_workers > 1 and len(pending) > 1:
-            with self._lock:
-                if self._pool is None:  # persistent: one pool per engine
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self.max_workers,
-                        thread_name_prefix="repro-engine")
-                pool = self._pool
-            for canonical, value in zip(pending, pool.map(run_one, pending)):
-                unique[canonical] = value
-        else:
-            for canonical in pending:
-                unique[canonical] = run_one(canonical)
+        with tm.span("engine.evaluate_batch", size=len(pending)):
+            if self.max_workers > 1 and len(pending) > 1:
+                with self._lock:
+                    if self._pool is None:  # persistent: one pool per engine
+                        self._pool = ThreadPoolExecutor(
+                            max_workers=self.max_workers,
+                            thread_name_prefix="repro-engine")
+                    pool = self._pool
+                for canonical, value in zip(pending, pool.map(run_one, pending)):
+                    unique[canonical] = value
+            else:
+                for canonical in pending:
+                    unique[canonical] = run_one(canonical)
         for value in unique.values():
             if isinstance(value, BatchEvaluationError):
                 raise value from value.original
@@ -423,6 +432,11 @@ class EvaluationEngine:
 
     def _materialize(self, state: _ProgramState,
                      canonical: Tuple[Element, ...]) -> Module:
+        with tm.span("engine.materialize", depth=len(canonical)):
+            return self._materialize_inner(state, canonical)
+
+    def _materialize_inner(self, state: _ProgramState,
+                           canonical: Tuple[Element, ...]) -> Module:
         trie = state.trie
         with self._lock:
             depth, source = trie.deepest_snapshot(canonical)
@@ -444,7 +458,8 @@ class EvaluationEngine:
         for i in range(depth, len(canonical)):
             element = canonical[i]
             name = pass_name_for_index(element) if isinstance(element, int) else element
-            pm.run(module, [name])
+            with tm.span("engine.pass_apply"):
+                pm.run(module, [name])
             d = i + 1
             on_grid = d == shared_depth or (d < shared_depth and d % self.snapshot_stride == 0)
             with self._lock:

@@ -32,6 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry as tm
 from ..interp.interpreter import ExecutionResult, Interpreter
 from ..interp.kernels import KernelInterpreter, VerificationError, run_verified
 from ..interp.state import InterpreterLimitExceeded, StepBudgetExceeded, TrapError
@@ -111,17 +112,20 @@ class CycleProfiler:
         self._lock = threading.Lock()
 
     def profile(self, module: Module, entry: str = "main") -> CycleReport:
+        tm.count("profile.runs")
         # One structural-hash pass feeds every key-addressed cache on the
         # cold path: FSM schedules, compiled kernels, and block plans.
         keys = self._structural_keys(module)
         try:
-            block_states = self._module_block_states(module, keys)
+            with tm.span("profile.schedule"):
+                block_states = self._module_block_states(module, keys)
         except VerificationError:
             raise  # a kernel bug, not an HLS failure — fail loudly
         except Exception as exc:  # scheduling failure = HLS failure
             raise HLSCompilationError(f"scheduling failed: {exc}") from exc
         try:
-            execution = self._execute(module, entry, keys)
+            with tm.span("profile.execute", backend=self.sim_kernels):
+                execution = self._execute(module, entry, keys)
         except StepBudgetExceeded as exc:
             raise StepBudgetError(f"execution failed: {exc}") from exc
         except (TrapError, InterpreterLimitExceeded) as exc:
@@ -168,7 +172,8 @@ class CycleProfiler:
         states: Dict[BasicBlock, int] = {}
         for func in module.defined_functions():
             if self._schedule_cache_size <= 0:
-                counts = self._schedule_function(func)
+                with tm.span("profile.reschedule"):
+                    counts = self._schedule_function(func)
             else:
                 key = keys[func]
                 with self._lock:
@@ -176,8 +181,10 @@ class CycleProfiler:
                     if counts is not None:
                         self._schedule_cache.move_to_end(key)
                         self.schedule_cache_hits += 1
+                        tm.count("profile.schedule_hits")
                 if counts is None:
-                    counts = self._schedule_function(func)
+                    with tm.span("profile.reschedule"):
+                        counts = self._schedule_function(func)
                     with self._lock:
                         self.schedule_cache_misses += 1
                         self._schedule_cache[key] = counts

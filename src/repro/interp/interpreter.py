@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import telemetry as tm
 from ..ir import types as ty
 from ..ir.folding import eval_cast, eval_fcmp, eval_float_binop, eval_icmp, eval_int_binop
 from ..ir.instructions import (
@@ -151,7 +152,9 @@ class Interpreter:
         func = self.module.get_function(entry)
         if func is None or func.is_declaration:
             raise TrapError(f"no defined entry function @{entry}")
-        rv = self._call_function(func, list(args or []), depth=0)
+        with tm.span("interp.execute", entry=entry):
+            rv = self._call_function(func, list(args or []), depth=0)
+        tm.count("interp.steps", self.steps)
         return ExecutionResult(
             return_value=rv,
             steps=self.steps,

@@ -46,6 +46,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry as tm
 from ..ir.folding import cast_fn, fcmp_fn, float_binop_fn, icmp_fn, int_binop_fn
 from ..ir.instructions import (
     FLOAT_BINOPS,
@@ -848,7 +849,8 @@ def compiled_for(func: Function, key: Tuple) -> CompiledFunction:
             _kernel_cache.move_to_end(key)
             _kernel_hits += 1
             return cf
-    cf = _FunctionCompiler(func).compile()
+    with tm.span("kernel.compile", func=func.name):
+        cf = _FunctionCompiler(func).compile()
     with _kernel_lock:
         _kernel_misses += 1
         _kernel_cache[key] = cf
@@ -941,7 +943,9 @@ class KernelInterpreter:
         func = self.module.get_function(entry)
         if func is None or func.is_declaration:
             raise TrapError(f"no defined entry function @{entry}")
-        rv = self._bound[entry].call(list(args or []))
+        with tm.span("kernel.execute", entry=entry):
+            rv = self._bound[entry].call(list(args or []))
+        tm.count("kernel.steps", self._state.steps)
         block_counts: Dict[BasicBlock, int] = {}
         for bf in self._bound.values():
             for bb, count in zip(bf.src_blocks, bf.counts):

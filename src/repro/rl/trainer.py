@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..ir.module import Module
 from .es import ESAgent
 from .nn import StackedMLP, sample_categorical
@@ -150,6 +151,12 @@ class Trainer:
                      single-action agents only (PPO3's multi-action env
                      has no action filter).
     prune_episodes:  exploration budget of the pruning stage.
+    events_path:     append-only JSONL training-events stream — one
+                     record per rollout wave, policy update, and run end,
+                     each carrying wall-clock split, reward statistics,
+                     cumulative evaluation/sample counts and the engine
+                     cache-hit ratio (``REPRO_TRAIN_EVENTS`` is the
+                     env-var fallback; ``None`` + unset env disables).
     Remaining keyword arguments go to ``make_agent`` (episode_length,
     observation, feature/action filters, normalization, seed, ...).
     """
@@ -162,10 +169,14 @@ class Trainer:
                  prune_features: Optional[int] = None,
                  prune_passes: Optional[int] = None,
                  prune_episodes: int = 12,
+                 events_path: Optional[str] = None,
                  **agent_kwargs) -> None:
         from .agents import make_agent  # agents imports Trainer lazily too
 
         self.name = name
+        if events_path is None:
+            events_path = os.environ.get("REPRO_TRAIN_EVENTS") or None
+        self.events_path = events_path
         self.episodes = episodes
         self.update_every = update_every
         self.es_greedy_eval = es_greedy_eval
@@ -223,6 +234,37 @@ class Trainer:
     def lanes(self) -> int:
         return self.vec.num_lanes
 
+    def _emit_event(self, event: str, **fields) -> None:
+        """Append one record to the training-events JSONL stream (a
+        no-op without ``events_path``). Every record carries the shared
+        progress columns; one O_APPEND write per record keeps concurrent
+        runs sharing a stream torn-line free, like the result store."""
+        if self.events_path is None:
+            return
+        stats = getattr(self.vec.toolchain.engine, "stats", None)
+        record = {
+            "event": event,
+            "agent": self.name,
+            "lanes": self.lanes,
+            "episodes_done": int(self.episodes_done),
+            "evaluations": int(self.vec.evaluations),
+            "samples": int(self.vec.toolchain.samples_taken),
+            "cache_hit_rate": (round(float(stats.hit_rate), 6)
+                               if stats is not None else None),
+            "ts": time.time(),
+        }
+        record.update(fields)
+        directory = os.path.dirname(self.events_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        fd = os.open(self.events_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
     def _note_best(self, info: Dict) -> None:
         if self.best_cycles is None or info["best_cycles"] < self.best_cycles:
             self.best_cycles = info["best_cycles"]
@@ -253,6 +295,11 @@ class Trainer:
         self.seconds["total"] += time.perf_counter() - start
         self.seconds["update"] = self.seconds["total"] - self.seconds["rollout"]
         best = self.best_cycles
+        self._emit_event(
+            "train_end",
+            seconds={k: round(v, 6) for k, v in self.seconds.items()},
+            best_cycles=(int(best) if best is not None else None),
+            episode_count=len(self.episode_rewards))
         return TrainResult(
             agent_name=self.name,
             best_cycles=int(best) if best is not None else None,
@@ -312,7 +359,9 @@ class Trainer:
                         fresh.append(lane_id)
                 self._observe_batch(obs, fresh)
                 active = fresh
-            self.seconds["rollout"] += time.perf_counter() - wave_start
+            wave_seconds = time.perf_counter() - wave_start
+            self.seconds["rollout"] += wave_seconds
+            tm.observe("train.rollout.seconds", wave_seconds)
             # Flush in episode order: lane i of this wave is episode
             # ``completed + i``, updates fire at the same episode
             # boundaries the sequential loop used. Dead lanes (base
@@ -324,11 +373,24 @@ class Trainer:
                 if lane_id in final_info:
                     self._note_best(final_info[lane_id])
                     self.episode_rewards.append(totals[lane_id])
+                    tm.observe("train.episode_reward", totals[lane_id])
                 completed += 1
                 self.episodes_done = completed
                 if completed % self.update_every == 0 and len(self._rollout):
+                    transitions_pending = len(self._rollout)
+                    update_start = time.perf_counter()
                     self.agent.update(self._rollout)
+                    update_seconds = time.perf_counter() - update_start
+                    tm.observe("train.update.seconds", update_seconds)
+                    self._emit_event("update",
+                                     update_seconds=round(update_seconds, 6),
+                                     transitions=transitions_pending)
                     self._rollout = Rollout()
+            finished = [totals[i] for i in range(width) if i in final_info]
+            self._emit_event(
+                "wave", wave_seconds=round(wave_seconds, 6), episodes=width,
+                reward_mean=(round(sum(finished) / len(finished), 6)
+                             if finished else None))
 
     # -- ES generation loop ---------------------------------------------------
     def _train_es(self) -> None:
@@ -416,6 +478,7 @@ class Trainer:
                     fitness[m] = totals[m]
                     self._note_best(final_info[m])
                     self.episode_rewards.append(totals[m])
+                    tm.observe("train.episode_reward", totals[m])
                 else:  # base program failed at reset: no fabricated reward
                     dead.append(m)
                 self.episodes_done += 1
@@ -426,7 +489,14 @@ class Trainer:
             worst = min(alive) if alive else 0.0
             for m in dead:
                 fitness[m] = worst
-        self.seconds["rollout"] += time.perf_counter() - t0
+        rollout_seconds = time.perf_counter() - t0
+        self.seconds["rollout"] += rollout_seconds
+        tm.observe("train.rollout.seconds", rollout_seconds)
+        alive = [fitness[m] for m in range(len(thetas)) if m not in dead]
+        self._emit_event(
+            "generation_scored", members=len(thetas),
+            rollout_seconds=round(rollout_seconds, 6),
+            reward_mean=(round(sum(alive) / len(alive), 6) if alive else None))
         return fitness
 
     # -- checkpointing ---------------------------------------------------------

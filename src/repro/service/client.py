@@ -43,11 +43,13 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..engine.core import (
     BatchEvaluationError,
     EvaluationEngine,
@@ -176,9 +178,10 @@ class EvaluationClient:
         # want_features) — feature appetite partitions coalescing, so a
         # value-only waiter never receives a (value, features) pair
         self._inflight: Dict[Tuple[str, StoreKey, bool], Future] = {}
-        # request id → (worker id, [(fullkey, future), ...]) so a dead
-        # worker's in-flight requests can be failed rather than hang
-        self._pending: Dict[int, Tuple[int, List[Tuple[Tuple[str, StoreKey, bool], Future]]]] = {}
+        # request id → (worker id, [(fullkey, future), ...], send ts) so
+        # a dead worker's in-flight requests can be failed rather than
+        # hang, and replies can report the IPC round-trip latency
+        self._pending: Dict[int, Tuple[int, List[Tuple[Tuple[str, StoreKey, bool], Future]], float]] = {}
         self._stats_pending: Dict[int, Future] = {}
         self._request_ids = itertools.count()
         self._handles: List[_WorkerHandle] = []
@@ -192,6 +195,17 @@ class EvaluationClient:
         self.coalesced = 0
         self.dispatched = 0
         self.batches = 0
+
+        # Per-worker-*slot* accounting keyed by worker id, kept client
+        # side so the history of a respawned worker never disappears:
+        # cumulative requests/samples, respawn counts, the latest
+        # telemetry snapshot riding each reply, and snapshots retired
+        # when the reaper replaced the process that produced them.
+        self.worker_respawns: Dict[int, int] = {}
+        self._worker_requests: Dict[int, int] = {}
+        self._worker_samples: Dict[int, int] = {}
+        self._worker_snapshots: Dict[int, Dict[str, Any]] = {}
+        self._retired_snapshots: List[Dict[str, Any]] = []
 
     # -- engine duck-typing: stats attribute --------------------------------
     @property
@@ -235,6 +249,9 @@ class EvaluationClient:
         self._reaper = threading.Thread(target=self._reap_loop,
                                         name="repro-eval-reaper", daemon=True)
         self._reaper.start()
+        # Export worker registries on the workers' behalf: snapshots ride
+        # the reply tuples, the client's exporter writes them to the log.
+        tm.add_snapshot_provider(self._telemetry_records)
 
     def _spawn_worker(self, worker_id: int) -> _WorkerHandle:
         toolchain_config = {
@@ -282,11 +299,22 @@ class EvaluationClient:
                 reason = (f"evaluation worker {worker_id} died "
                           f"(exitcode {handle.process.exitcode}) "
                           f"with requests in flight")
-                for request_id in [rid for rid, (wid, _) in self._pending.items()
+                for request_id in [rid for rid, (wid, _, _) in self._pending.items()
                                    if wid == worker_id]:
-                    _, waiters = self._pending.pop(request_id)
+                    _, waiters, _ = self._pending.pop(request_id)
                     doomed.extend((fullkey, future, reason)
                                   for fullkey, future in waiters)
+                # Retire the dead process's accounting before the slot is
+                # reused: its last snapshot stays exported under its old
+                # generation tag, and the respawn itself is counted.
+                snap = self._worker_snapshots.pop(worker_id, None)
+                if snap is not None:
+                    self._retired_snapshots.append(
+                        {"proc": self._worker_proc(worker_id),
+                         "snapshot": snap})
+                self.worker_respawns[worker_id] = (
+                    self.worker_respawns.get(worker_id, 0) + 1)
+                tm.count("service.worker_respawns")
                 self._handles[worker_id] = self._spawn_worker(worker_id)
                 for prog in self._programs.values():
                     prog.registered_workers.discard(worker_id)
@@ -316,11 +344,25 @@ class EvaluationClient:
             if future is not None:
                 future.set_result(info)
             return
-        _, request_id, results, samples = message
+        request_id, results, samples = message[1], message[2], message[3]
+        worker_snapshot = message[4] if len(message) > 4 else None
         if samples:
             self.toolchain._count_samples(samples)
         with self._lock:
-            _, waiters = self._pending.pop(request_id, (None, ()))
+            worker_id, waiters, send_ts = self._pending.pop(
+                request_id, (None, (), None))
+            if worker_id is not None:
+                self._worker_requests[worker_id] = (
+                    self._worker_requests.get(worker_id, 0) + 1)
+                self._worker_samples[worker_id] = (
+                    self._worker_samples.get(worker_id, 0) + samples)
+                if worker_snapshot is not None:
+                    # latest-wins: snapshots are cumulative per worker
+                    # process, so only the newest one may be exported
+                    self._worker_snapshots[worker_id] = worker_snapshot
+        if send_ts is not None:
+            tm.observe("service.roundtrip.seconds",
+                       max(0.0, time.monotonic() - send_ts))
         for payload, (fullkey, future) in zip(results, waiters):
             fingerprint, key, want_features = fullkey
             tag = payload[0]
@@ -472,12 +514,15 @@ class EvaluationClient:
                 self._start_pool()
                 self._register_with_worker(prog)
                 request_id = next(self._request_ids)
-                self._pending[request_id] = (prog.worker_id, [(fullkey, future)])
+                send_ts = time.monotonic()
+                self._pending[request_id] = (prog.worker_id,
+                                             [(fullkey, future)], send_ts)
                 self.dispatched += 1
+                tm.count("service.dispatched")
                 self._handles[prog.worker_id].queue.put(
                     (MSG_EVALUATE, request_id, id(prog.program),
                      [(list(canonical), objective, area_weight, entry,
-                       want_features)]))
+                       want_features)], send_ts))
                 return future
         if cached is not None:
             # workers=0 + persisted value from a cycle-only (v1) record,
@@ -559,10 +604,14 @@ class EvaluationClient:
                 self._start_pool()
                 self._register_with_worker(prog)
                 request_id = next(self._request_ids)
-                self._pending[request_id] = (prog.worker_id, to_send)
+                send_ts = time.monotonic()
+                self._pending[request_id] = (prog.worker_id, to_send, send_ts)
                 self.dispatched += len(to_send)
+                tm.count("service.dispatched", len(to_send))
+                tm.observe("service.batch_size", len(items))
                 self._handles[prog.worker_id].queue.put(
-                    (MSG_EVALUATE, request_id, id(prog.program), items))
+                    (MSG_EVALUATE, request_id, id(prog.program), items,
+                     send_ts))
         if not self.workers:
             for canonical, (key, cached) in upgrades.items():
                 self.persistent_hits += 1
@@ -715,6 +764,45 @@ class EvaluationClient:
                            want_features=True).result()
 
     # -- introspection / lifecycle ------------------------------------------
+    def _worker_proc(self, worker_id: int) -> str:
+        """Stable export identity for one worker *process*: the slot id
+        plus its respawn generation, so a respawned slot's records never
+        clobber (or merge into) its predecessor's in the JSONL log."""
+        gen = self.worker_respawns.get(worker_id, 0)
+        return f"pid:{os.getpid()}:worker:{worker_id}:g{gen}"
+
+    def _telemetry_records(self) -> List[Dict[str, Any]]:
+        """Snapshot-provider hook (see :mod:`repro.telemetry.export`):
+        the latest snapshot of every live worker plus those retired at
+        respawn — worker metrics reach the log without workers ever
+        opening files."""
+        with self._lock:
+            records = [{"proc": self._worker_proc(wid), "snapshot": snap}
+                       for wid, snap in self._worker_snapshots.items()]
+            records.extend(dict(rec) for rec in self._retired_snapshots)
+        return records
+
+    def worker_info(self) -> List[Dict[str, Any]]:
+        """Per-worker-slot utilization that survives respawns: cumulative
+        reply/sample counts plus how often the reaper replaced the slot's
+        process. (Worker *engine* counters reset with the process —
+        they're a different process's memo — but these client-side tallies
+        keep the full history.)"""
+        with self._lock:
+            slots = max(len(self._handles), self.workers)
+            out = []
+            for wid in range(slots):
+                handle = self._handles[wid] if wid < len(self._handles) else None
+                out.append({
+                    "worker": wid,
+                    "alive": bool(handle is not None
+                                  and handle.process.is_alive()),
+                    "requests": self._worker_requests.get(wid, 0),
+                    "samples": self._worker_samples.get(wid, 0),
+                    "respawns": self.worker_respawns.get(wid, 0),
+                })
+        return out
+
     def worker_cache_info(self, timeout: float = 5.0) -> List[Dict[str, int]]:
         """Engine cache statistics from every live worker process."""
         infos: List[Dict[str, int]] = []
@@ -755,6 +843,7 @@ class EvaluationClient:
         info["dispatched_requests"] = self.dispatched
         info["service_batches"] = self.batches
         info["workers"] = len(self._handles) if self._handles else self.workers
+        info["worker_respawns"] = sum(self.worker_respawns.values())
         if include_workers:
             for worker_info in self.worker_cache_info():
                 for key, value in worker_info.items():
@@ -778,6 +867,7 @@ class EvaluationClient:
                 return
             self._closed = True
             handles, self._handles = self._handles, []
+        tm.remove_snapshot_provider(self._telemetry_records)
         self._stop.set()
         if self._reaper is not None:
             self._reaper.join(timeout=timeout)

@@ -17,6 +17,8 @@ bytes, so any process that can open the socket can query:
     {"op": "features", "program": "gsm", "sequence": [38, 31]}
                                                → {"ok": true, "features": [...]}
     {"op": "stats"}                            → cache_info + store stats
+                                                 + per-worker utilization
+    {"op": "metrics"}                          → live telemetry snapshots
     {"op": "shutdown"}
 
 Program specs: a CHStone benchmark name (``gsm``) or ``gen:<seed>`` for
@@ -37,6 +39,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
+from .. import telemetry as tm
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
 
@@ -126,16 +129,21 @@ class EvaluationServer:
             os.remove(socket_path)
         self._server = _SocketServer(socket_path, _Handler)
         self._server.evaluation_server = self
+        # Long-lived process: leave a periodic metrics trail (no-op when
+        # REPRO_TELEMETRY is off).
+        tm.init_process()
 
     @contextlib.contextmanager
     def _track_request(self):
         with self._drained:
             self._inflight += 1
+            tm.gauge_set("server.inflight", self._inflight)
         try:
             yield
         finally:
             with self._drained:
                 self._inflight -= 1
+                tm.gauge_set("server.inflight", self._inflight)
                 self._drained.notify_all()
 
     def _module(self, spec: str) -> Module:
@@ -146,6 +154,12 @@ class EvaluationServer:
 
     def handle_request(self, req: Dict) -> Dict:
         op = req.get("op")
+        # Per-op latency histograms: op names are a small fixed set, so
+        # the metric-name cardinality stays bounded.
+        with tm.span(f"server.op.{op if isinstance(op, str) else 'unknown'}"):
+            return self._dispatch(op, req)
+
+    def _dispatch(self, op, req: Dict) -> Dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "shutdown":
@@ -154,8 +168,19 @@ class EvaluationServer:
             info = self.toolchain.cache_info()
             info["samples_taken"] = self.toolchain.samples_taken
             store = getattr(self.toolchain.engine, "store", None)
-            return {"ok": True, "cache": info,
-                    "store": store.stats() if store is not None else {}}
+            reply = {"ok": True, "cache": info,
+                     "store": store.stats() if store is not None else {}}
+            # Per-worker utilization incl. respawn history (service
+            # backend only; the plain engine has no workers to report).
+            worker_info = getattr(self.toolchain.engine, "worker_info", None)
+            if worker_info is not None:
+                reply["workers"] = worker_info()
+            return reply
+        if op == "metrics":
+            # Live telemetry: this process's registry plus the worker
+            # snapshots the service client holds on the workers' behalf.
+            return {"ok": True, "telemetry": tm.mode(),
+                    "snapshots": tm.collect_snapshots()}
         if op == "evaluate":
             module = self._module(req["program"])
             try:
@@ -169,6 +194,7 @@ class EvaluationServer:
             return {"ok": True, "value": value}
         if op == "batch":
             module = self._module(req["program"])
+            tm.observe("server.batch_size", len(req["sequences"]))
             values = self.toolchain.engine.evaluate_batch(
                 module, req["sequences"],
                 objective=req.get("objective", "cycles"),

@@ -42,6 +42,7 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from .. import telemetry as tm
 from ..engine.memo import FAILED, FAILED_BUDGET
 
 __all__ = ["ResultStore", "default_store_dir", "make_key"]
@@ -97,12 +98,13 @@ class ResultStore:
         line = json.dumps(record, separators=(",", ":")) + "\n"
         # One write() on an O_APPEND descriptor: concurrent runs may
         # interleave records, never bytes within a record.
-        fd = os.open(self._shard_path(program_fp, toolchain_fp),
-                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        with tm.span("store.append"):
+            fd = os.open(self._shard_path(program_fp, toolchain_fp),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
 
     def load(self, program_fp: str, toolchain_fp: str) -> Dict[StoreKey, Any]:
         """All readable result values of one shard (FAILED for
@@ -125,26 +127,27 @@ class ResultStore:
         path = self._shard_path(program_fp, toolchain_fp)
         results: Dict[StoreKey, Any] = {}
         features: Dict[Tuple[Union[int, str], ...], List[int]] = {}
-        try:
-            fh = open(path, "r", encoding="utf-8")
-        except FileNotFoundError:
-            return results, features
-        with fh:
-            for line in fh:
-                record = self._parse(line)
-                if record is None:
-                    continue
-                canonical = tuple(record["seq"])
-                key = make_key(record["obj"], record["aw"], record["entry"],
-                               canonical)
-                if record["ok"]:
-                    results[key] = record["val"]
-                else:
-                    results[key] = (FAILED_BUDGET if record.get("budget")
-                                    else FAILED)
-                feat = record.get("feat")
-                if feat is not None:
-                    features[canonical] = feat
+        with tm.span("store.load"):
+            try:
+                fh = open(path, "r", encoding="utf-8")
+            except FileNotFoundError:
+                return results, features
+            with fh:
+                for line in fh:
+                    record = self._parse(line)
+                    if record is None:
+                        continue
+                    canonical = tuple(record["seq"])
+                    key = make_key(record["obj"], record["aw"], record["entry"],
+                                   canonical)
+                    if record["ok"]:
+                        results[key] = record["val"]
+                    else:
+                        results[key] = (FAILED_BUDGET if record.get("budget")
+                                        else FAILED)
+                    feat = record.get("feat")
+                    if feat is not None:
+                        features[canonical] = feat
         return results, features
 
     @staticmethod

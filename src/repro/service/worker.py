@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import pickle
 import sys
+import time
 import traceback
 from typing import Any, Dict, Optional, Tuple
 
+from .. import telemetry as tm
 from ..engine.memo import FAILED, FAILED_BUDGET
 from ..hls.profiler import HLSCompilationError, StepBudgetError
 from .fingerprint import toolchain_fingerprint
@@ -39,7 +41,12 @@ __all__ = ["worker_main", "dumps_module", "loads_module",
 # Request message tags (first tuple element on the request queue).
 MSG_REGISTER = "register"    # (tag, program_id, program_fp, module_bytes)
 MSG_EVALUATE = "evaluate"    # (tag, request_id, program_id,
-#                               [(seq, obj, aw, entry, want_features), ...])
+#                               [(seq, obj, aw, entry, want_features), ...]
+#                               [, client_monotonic_enqueue_ts])
+# The optional trailing element is the client's ``time.monotonic()`` at
+# enqueue time; CLOCK_MONOTONIC is machine-wide on Linux, so the worker
+# subtracts it from its own clock to measure queue wait. Old clients
+# that omit it still work (read tolerantly).
 MSG_STATS = "stats"          # (tag, request_id)
 MSG_SHUTDOWN = "shutdown"    # (tag,)
 
@@ -169,6 +176,9 @@ def worker_main(worker_id: int, request_queue, response_queue,
                 store_dir: Optional[str],
                 toolchain_config: Optional[Dict[str, Any]] = None) -> None:
     """Process entry point: serve requests until MSG_SHUTDOWN (or EOF)."""
+    # A forked worker inherits the parent's counters; start from zero so
+    # the snapshot this worker ships back never double-counts the parent.
+    tm.reset_for_child({"role": "worker", "worker": worker_id})
     state = _WorkerState(worker_id, store_dir, toolchain_config or {})
     while True:
         try:
@@ -192,22 +202,33 @@ def worker_main(worker_id: int, request_queue, response_queue,
                                 worker_id))
             continue
         if tag == MSG_EVALUATE:
-            _, request_id, program_id, items = message
+            request_id, program_id, items = message[1], message[2], message[3]
+            enqueue_ts = message[4] if len(message) > 4 else None
+            if enqueue_ts is not None:
+                tm.observe("worker.queue_wait.seconds",
+                           max(0.0, time.monotonic() - enqueue_ts))
+            tm.count("worker.items", len(items))
             before = state.toolchain.samples_taken
             results = []
-            for item in items:
-                if program_id not in state.programs:
-                    detail = state.register_errors.get(program_id, "")
-                    why = ("registration failed" if detail
-                           else "never registered")
-                    results.append(("error",
-                                    f"program {program_id} {why} "
-                                    f"with worker {worker_id}", detail))
-                    continue
-                try:
-                    results.append(state.evaluate_one(program_id, item))
-                except Exception as exc:  # engine/toolchain crash, not HLS
-                    results.append(("error", repr(exc),
-                                    traceback.format_exc()))
+            with tm.span("worker.evaluate", items=len(items)):
+                for item in items:
+                    if program_id not in state.programs:
+                        detail = state.register_errors.get(program_id, "")
+                        why = ("registration failed" if detail
+                               else "never registered")
+                        results.append(("error",
+                                        f"program {program_id} {why} "
+                                        f"with worker {worker_id}", detail))
+                        continue
+                    try:
+                        results.append(state.evaluate_one(program_id, item))
+                    except Exception as exc:  # engine/toolchain crash, not HLS
+                        results.append(("error", repr(exc),
+                                        traceback.format_exc()))
             samples = state.toolchain.samples_taken - before
-            response_queue.put(("result", request_id, results, samples))
+            tm.count("worker.samples", samples)
+            # Cumulative telemetry snapshot rides every reply so the
+            # client always has the latest per-worker view (merged at
+            # read time, never accumulated — see client._worker_snapshots).
+            response_queue.put(("result", request_id, results, samples,
+                                tm.snapshot()))

@@ -1,0 +1,93 @@
+"""Telemetry spine: process-wide metrics, span tracing, JSONL export.
+
+Usage from instrumented code (all hooks are near-zero-cost no-ops when
+``REPRO_TELEMETRY`` is ``off``, the default)::
+
+    from .. import telemetry as tm
+
+    with tm.span("engine.materialize", passes=n):
+        ...
+    tm.count("engine.memo_hits")
+    tm.observe("service.batch_size", len(batch))
+
+``REPRO_TELEMETRY=on`` records metrics; ``trace`` additionally records
+per-span begin/end events with parent/child nesting.
+``REPRO_TELEMETRY_LOG`` points the JSONL snapshot exporter somewhere
+other than ``.repro-telemetry/metrics.jsonl`` (empty value disables it).
+``repro stats`` renders the merged cross-process view.
+"""
+
+from .core import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    configure,
+    configure_from_env,
+    count,
+    enabled,
+    gauge_add,
+    gauge_set,
+    get_registry,
+    merge_snapshots,
+    mode,
+    observe,
+    quantile_from_snapshot,
+    reset_for_child,
+    snapshot,
+    span,
+    trace_enabled,
+    trace_events,
+)
+from .export import (
+    DEFAULT_LOG_PATH,
+    add_snapshot_provider,
+    collect_snapshots,
+    export_now,
+    log_path,
+    read_log,
+    remove_snapshot_provider,
+    start_exporter,
+    stop_exporter,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "DEFAULT_LOG_PATH",
+    "Histogram",
+    "MetricsRegistry",
+    "add_snapshot_provider",
+    "collect_snapshots",
+    "configure",
+    "configure_from_env",
+    "count",
+    "enabled",
+    "export_now",
+    "gauge_add",
+    "gauge_set",
+    "get_registry",
+    "init_process",
+    "log_path",
+    "merge_snapshots",
+    "mode",
+    "observe",
+    "quantile_from_snapshot",
+    "read_log",
+    "remove_snapshot_provider",
+    "reset_for_child",
+    "snapshot",
+    "span",
+    "start_exporter",
+    "stop_exporter",
+    "trace_enabled",
+    "trace_events",
+]
+
+
+def init_process(interval: float = 15.0) -> bool:
+    """Start the periodic JSONL exporter for this process when telemetry
+    is enabled (idempotent; a no-op when off). Entry points — the CLI,
+    both socket servers — call this once so long-lived processes leave a
+    metrics trail without any per-module setup."""
+    if not enabled():
+        return False
+    return start_exporter(interval)

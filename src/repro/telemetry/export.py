@@ -1,0 +1,205 @@
+"""JSONL snapshot exporter.
+
+When telemetry is enabled each participating process periodically (and
+at exit) appends one JSON line to a shared log — default
+``.repro-telemetry/metrics.jsonl``, overridable via
+``REPRO_TELEMETRY_LOG`` (set it empty to disable the exporter while
+keeping in-process metrics). Each line carries a process id and a
+monotonically increasing ``seq``; readers keep only the newest record
+per process and then merge across processes, so the log is an
+append-only stream that always reconstructs current state.
+
+Extra *snapshot providers* let one process export registries it holds
+on behalf of others: the service client registers a provider returning
+the latest telemetry snapshot from each worker (riding the existing
+reply tuples), so worker metrics reach the log without workers ever
+opening files.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from . import core
+
+__all__ = [
+    "DEFAULT_LOG_PATH",
+    "add_snapshot_provider",
+    "collect_snapshots",
+    "export_now",
+    "log_path",
+    "read_log",
+    "remove_snapshot_provider",
+    "start_exporter",
+    "stop_exporter",
+]
+
+DEFAULT_LOG_PATH = os.path.join(".repro-telemetry", "metrics.jsonl")
+
+# Providers return a list of extra snapshot records (already in
+# record-dict form minus seq/ts, see _record()).
+_providers: List[Callable[[], List[Dict[str, Any]]]] = []
+_providers_lock = threading.Lock()
+
+_seq = 0
+_exporter_thread: Optional[threading.Thread] = None
+_exporter_stop: Optional[threading.Event] = None
+_atexit_registered = False
+
+
+def log_path() -> Optional[str]:
+    """Resolved log path, or None when exporting is disabled."""
+    if not core.enabled():
+        return None
+    path = os.environ.get("REPRO_TELEMETRY_LOG")
+    if path is None:
+        return DEFAULT_LOG_PATH
+    path = path.strip()
+    return path or None
+
+
+def add_snapshot_provider(fn: Callable[[], List[Dict[str, Any]]]) -> None:
+    with _providers_lock:
+        if fn not in _providers:
+            _providers.append(fn)
+
+
+def remove_snapshot_provider(fn: Callable[[], List[Dict[str, Any]]]) -> None:
+    with _providers_lock:
+        if fn in _providers:
+            _providers.remove(fn)
+
+
+def _record(proc: str, snap: Dict[str, Any]) -> Dict[str, Any]:
+    return {"proc": proc, "snapshot": snap}
+
+
+def collect_snapshots() -> List[Dict[str, Any]]:
+    """This process's snapshot plus anything the providers contribute."""
+    records: List[Dict[str, Any]] = []
+    snap = core.snapshot()
+    if snap is not None:
+        records.append(_record(f"pid:{os.getpid()}", snap))
+    with _providers_lock:
+        providers = list(_providers)
+    for provider in providers:
+        try:
+            records.extend(provider())
+        except Exception:
+            pass  # a dead provider must never break the exporter
+    return records
+
+
+def export_now(path: Optional[str] = None) -> int:
+    """Append one snapshot line per known process; returns lines written."""
+    global _seq
+    path = path if path is not None else log_path()
+    if path is None or not core.enabled():
+        return 0
+    records = collect_snapshots()
+    if not records:
+        return 0
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    now = time.time()
+    lines = []
+    for rec in records:
+        _seq += 1
+        rec = dict(rec)
+        rec["seq"] = _seq
+        rec["ts"] = now
+        rec["writer"] = os.getpid()
+        lines.append(json.dumps(rec, sort_keys=True))
+    # One os.write of the whole batch onto an O_APPEND fd keeps records
+    # atomic per POSIX even with several exporting processes.
+    data = ("\n".join(lines) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+    return len(lines)
+
+
+def start_exporter(interval: float = 15.0) -> bool:
+    """Start the periodic background exporter (idempotent). Also
+    registers an atexit final flush. No-op when telemetry is off or the
+    log path is disabled."""
+    global _exporter_thread, _exporter_stop, _atexit_registered
+    if log_path() is None:
+        return False
+    if not _atexit_registered:
+        atexit.register(_atexit_flush)
+        _atexit_registered = True
+    if _exporter_thread is not None and _exporter_thread.is_alive():
+        return True
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                export_now()
+            except Exception:
+                pass
+
+    thread = threading.Thread(target=loop, name="telemetry-exporter",
+                              daemon=True)
+    _exporter_stop = stop
+    _exporter_thread = thread
+    thread.start()
+    return True
+
+
+def stop_exporter(flush: bool = True) -> None:
+    global _exporter_thread, _exporter_stop
+    if _exporter_stop is not None:
+        _exporter_stop.set()
+    _exporter_thread = None
+    _exporter_stop = None
+    if flush:
+        try:
+            export_now()
+        except Exception:
+            pass
+
+
+def _atexit_flush() -> None:
+    try:
+        if core.enabled():
+            export_now()
+    except Exception:
+        pass
+
+
+def read_log(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """Latest record per process from the JSONL log (newest seq/ts wins).
+    Malformed lines (e.g. a torn write from a crashed process) are
+    skipped."""
+    if path is None:
+        path = os.environ.get("REPRO_TELEMETRY_LOG") or DEFAULT_LOG_PATH
+    latest: Dict[str, Dict[str, Any]] = {}
+    if not os.path.exists(path):
+        return latest
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            proc = rec.get("proc")
+            if not isinstance(proc, str) or "snapshot" not in rec:
+                continue
+            prev = latest.get(proc)
+            if prev is None or (rec.get("ts", 0), rec.get("seq", 0)) >= (
+                    prev.get("ts", 0), prev.get("seq", 0)):
+                latest[proc] = rec
+    return latest

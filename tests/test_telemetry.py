@@ -1,0 +1,602 @@
+"""The telemetry spine: histogram quantile math (exact-rank edges,
+cross-process merge == single-process stream), the zero-allocation no-op
+path, env gating, span tracing, the JSONL exporter, worker snapshot
+propagation + per-worker utilization accounting, the server ``metrics``
+op, and the ``repro stats`` / ``profile-hotspots --json`` / ``cache
+stats`` CLI surfaces."""
+
+import json
+import math
+import os
+import threading
+import time
+
+import pytest
+
+from repro import telemetry as tm
+from repro.telemetry.core import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    quantile_from_snapshot,
+)
+from repro.telemetry.render import aggregate, hist_summary, render_cache_table
+from repro.toolchain import HLSToolchain
+
+
+@pytest.fixture
+def telemetry_mode():
+    """Sandbox the process-global telemetry state: tests flip modes
+    freely; teardown stops any exporter and restores 'off' (the suite's
+    ambient mode — REPRO_TELEMETRY is unset under pytest)."""
+    yield
+    tm.stop_exporter(flush=False)
+    tm.configure("off")
+
+
+def _exact_rank_reference(values, q):
+    """The definition the histogram approximates: value at rank
+    max(1, ceil(q*n)) of the sorted stream."""
+    ordered = sorted(values)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0 and snap["min"] is None
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert quantile_from_snapshot(snap, q) is None
+
+    def test_one_sample_is_exact_at_every_quantile(self):
+        h = Histogram()
+        h.observe(0.0371)
+        snap = h.snapshot()
+        for q in (0.0, 0.01, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_snapshot(snap, q) == 0.0371
+
+    def test_exact_rank_edges_two_samples(self):
+        # 1.0 and 2.0: rank(0.5) = 1 → first sample; 1.0 is an exact
+        # bucket bound so the answer is exact, not an upper bound.
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert quantile_from_snapshot(snap, 0.5) == 1.0
+        assert quantile_from_snapshot(snap, 0.9) == 2.0
+        assert quantile_from_snapshot(snap, 1.0) == 2.0  # true max, clamped
+
+    def test_bucket_bound_streams_match_exact_rank(self):
+        # Values drawn from the shared bucket-bound table sit exactly on
+        # bucket upper bounds, so the histogram answer must equal the
+        # sorted-stream exact-rank reference at every quantile.
+        values = [BUCKET_BOUNDS[i] for i in (10, 10, 25, 25, 25, 40, 57, 80)]
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert quantile_from_snapshot(snap, q) == \
+                _exact_rank_reference(values, q)
+
+    def test_quantiles_clamp_to_observed_range(self):
+        # Overflow bucket (beyond the last bound) and a tiny underflow
+        # value: quantiles never leave [min, max]. The underflow sample
+        # reports the table's resolution floor (first bound); the
+        # overflow sample clamps to the observed max instead of the
+        # unbounded last bucket.
+        h = Histogram()
+        h.observe(1e-9)
+        h.observe(5e4)
+        snap = h.snapshot()
+        assert quantile_from_snapshot(snap, 0.5) == BUCKET_BOUNDS[0]
+        assert quantile_from_snapshot(snap, 1.0) == pytest.approx(5e4)
+
+    def test_quantiles_are_monotone(self):
+        import random
+
+        rng = random.Random(7)
+        h = Histogram()
+        for _ in range(500):
+            h.observe(rng.random() * 10.0)
+        snap = h.snapshot()
+        qs = [quantile_from_snapshot(snap, q / 100.0) for q in range(1, 101)]
+        assert qs == sorted(qs)
+        assert qs[-1] == snap["max"]
+
+    def test_cross_process_merge_equals_single_stream(self):
+        """The acceptance property of the shared bucket table: splitting
+        a stream across registries and merging the snapshots yields the
+        same buckets/count/min/max — hence identical quantiles — as one
+        registry seeing the whole stream."""
+        import random
+
+        rng = random.Random(123)
+        values = [rng.expovariate(100.0) for _ in range(300)]
+        whole = Histogram()
+        parts = [Histogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            parts[i % 3].observe(v)
+        merged = merge_snapshots([p.snapshot() for p in parts])
+        single = whole.snapshot()
+        assert merged["buckets"] == single["buckets"]
+        assert merged["count"] == single["count"]
+        assert merged["min"] == single["min"]
+        assert merged["max"] == single["max"]
+        # float addition order may differ; everything else is integral
+        assert merged["sum"] == pytest.approx(single["sum"])
+        for q in (0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_snapshot(merged, q) == \
+                quantile_from_snapshot(single, q)
+
+    def test_merge_of_empties_is_empty(self):
+        merged = merge_snapshots([Histogram().snapshot()] * 2)
+        assert merged["count"] == 0
+        assert quantile_from_snapshot(merged, 0.5) is None
+
+
+class TestGatingAndNoop:
+    def test_disabled_span_is_shared_singleton(self, telemetry_mode):
+        tm.configure("off")
+        assert tm.get_registry() is None and not tm.enabled()
+        assert tm.mode() == "off"
+        # zero-allocation: every disabled span() is the same object
+        assert tm.span("engine.evaluate") is tm.span("kernel.compile", n=3)
+        with tm.span("anything") as s:
+            s.set_attr("k", 1)  # no-op, no error
+        tm.count("x")
+        tm.observe("y", 1.0)
+        tm.gauge_set("z", 2.0)
+        tm.gauge_add("z", 1.0)
+        assert tm.snapshot() is None
+        assert tm.trace_events() == []
+
+    def test_configure_rejects_unknown_mode(self, telemetry_mode):
+        with pytest.raises(ValueError, match="unknown telemetry mode"):
+            tm.configure("bogus")
+
+    def test_configure_from_env(self, telemetry_mode, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        tm.configure_from_env()
+        assert tm.enabled() and not tm.trace_enabled() and tm.mode() == "on"
+        monkeypatch.setenv("REPRO_TELEMETRY", "TRACE")  # case-insensitive
+        tm.configure_from_env()
+        assert tm.trace_enabled() and tm.mode() == "trace"
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        tm.configure_from_env()
+        assert not tm.enabled()
+
+    def test_span_records_histogram_and_errors(self, telemetry_mode):
+        tm.configure("on")
+        with tm.span("unit.work"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tm.span("unit.work"):
+                raise RuntimeError("boom")
+        snap = tm.snapshot()
+        assert snap["histograms"]["unit.work.seconds"]["count"] == 2
+        assert snap["counters"]["unit.work.errors"] == 1
+
+    def test_reset_for_child_drops_parent_metrics(self, telemetry_mode):
+        tm.configure("on", attrs={"role": "parent"})
+        tm.count("inherited")
+        reg = tm.reset_for_child({"role": "worker", "worker": 3})
+        assert reg is tm.get_registry()
+        snap = tm.snapshot()
+        assert "inherited" not in snap["counters"]
+        assert snap["attrs"] == {"role": "parent", "worker": 3} or \
+            snap["attrs"]["role"] == "worker"
+
+    def test_reset_for_child_noop_when_off(self, telemetry_mode):
+        tm.configure("off")
+        assert tm.reset_for_child({"role": "worker"}) is None
+
+
+class TestTracing:
+    def test_nested_spans_carry_parent_ids(self, telemetry_mode):
+        tm.configure("trace")
+        with tm.span("outer", depth=0):
+            with tm.span("inner"):
+                pass
+        events = tm.trace_events()
+        assert [e["event"] for e in events] == \
+            ["begin", "begin", "end", "end"]
+        outer_begin, inner_begin, inner_end, outer_end = events
+        assert outer_begin["parent"] is None
+        assert inner_begin["parent"] == outer_begin["span"]
+        assert inner_end["span"] == inner_begin["span"]
+        assert outer_end["seconds"] >= inner_end["seconds"] >= 0.0
+        assert outer_begin["attrs"] == {"depth": 0}
+        assert outer_end["error"] is None
+
+    def test_sibling_spans_share_parent(self, telemetry_mode):
+        tm.configure("trace")
+        with tm.span("parent"):
+            with tm.span("a"):
+                pass
+            with tm.span("b"):
+                pass
+        begins = {e["name"]: e for e in tm.trace_events()
+                  if e["event"] == "begin"}
+        assert begins["a"]["parent"] == begins["parent"]["span"]
+        assert begins["b"]["parent"] == begins["parent"]["span"]
+        assert begins["a"]["span"] != begins["b"]["span"]
+
+
+class TestRegistryMerge:
+    def test_merge_snapshot_semantics(self):
+        a = MetricsRegistry()
+        a.count("jobs", 2)
+        a.gauge_set("inflight", 5)
+        a.observe("latency", 0.5)
+        b = MetricsRegistry()
+        b.count("jobs", 3)
+        b.gauge_set("inflight", 1)
+        b.observe("latency", 0.25)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["jobs"] == 5           # counters add
+        assert snap["gauges"]["inflight"] == 1         # gauges overwrite
+        assert snap["histograms"]["latency"]["count"] == 2
+        a.merge_snapshot(b.snapshot(), prefix="worker.")
+        assert a.snapshot()["counters"]["worker.jobs"] == 3
+
+    def test_aggregate_sums_gauges_across_processes(self):
+        # Extensive-quantity convention: a gauge like server.inflight
+        # sums across processes in the merged dashboard view.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge_set("server.inflight", 2)
+        b.gauge_set("server.inflight", 3)
+        agg = aggregate([a.snapshot(), b.snapshot()])
+        assert agg["processes"] == 2
+        assert agg["gauges"]["server.inflight"] == 5
+
+
+class TestExporter:
+    def test_export_now_read_log_roundtrip(self, telemetry_mode, tmp_path):
+        tm.configure("on")
+        log = str(tmp_path / "metrics.jsonl")
+        tm.count("jobs", 4)
+        assert tm.export_now(log) == 1
+        tm.count("jobs", 1)
+        assert tm.export_now(log) == 1  # second line, same proc
+        records = tm.read_log(log)
+        assert list(records) == [f"pid:{os.getpid()}"]
+        rec = records[f"pid:{os.getpid()}"]
+        # latest-per-proc: the second export wins
+        assert rec["snapshot"]["counters"]["jobs"] == 5
+        assert rec["writer"] == os.getpid() and rec["seq"] >= 2
+
+    def test_snapshot_providers_ride_along(self, telemetry_mode, tmp_path):
+        tm.configure("on")
+        log = str(tmp_path / "metrics.jsonl")
+        foreign = MetricsRegistry(attrs={"role": "worker"})
+        foreign.count("worker.items", 7)
+
+        def provider():
+            return [{"proc": "pid:999:worker:0:g0",
+                     "snapshot": foreign.snapshot()}]
+
+        tm.add_snapshot_provider(provider)
+        try:
+            assert tm.export_now(log) == 2
+        finally:
+            tm.remove_snapshot_provider(provider)
+        records = tm.read_log(log)
+        assert records["pid:999:worker:0:g0"]["snapshot"]["counters"] == \
+            {"worker.items": 7}
+        # removed provider no longer contributes
+        assert tm.export_now(log) == 1
+
+    def test_read_log_skips_torn_lines(self, telemetry_mode, tmp_path):
+        log = tmp_path / "metrics.jsonl"
+        good = json.dumps({"proc": "pid:1", "seq": 1, "ts": 1.0,
+                           "snapshot": {"counters": {"x": 1}}})
+        log.write_text(good + "\n{\"proc\": \"pid:2\", \"snap\n\n")
+        records = tm.read_log(str(log))
+        assert list(records) == ["pid:1"]
+
+    def test_export_disabled_when_off(self, telemetry_mode, tmp_path):
+        tm.configure("off")
+        log = str(tmp_path / "metrics.jsonl")
+        assert tm.export_now(log) == 0
+        assert not os.path.exists(log)
+        assert tm.log_path() is None
+        assert tm.init_process() is False
+
+
+class TestInstrumentedStack:
+    """End-to-end: a warm toolchain session under REPRO_TELEMETRY=on
+    produces the stage timings the dashboard promises."""
+
+    def test_engine_and_kernel_metrics_nonzero(self, telemetry_mode,
+                                               benchmarks):
+        tm.configure("on")
+        tc = HLSToolchain()
+        tc.engine.evaluate_batch(benchmarks["gsm"], [[38], [38, 31]])
+        snap = tm.snapshot()
+        hists = snap["histograms"]
+        for name in ("engine.evaluate.seconds", "engine.pass_apply.seconds",
+                     "engine.profile.seconds", "engine.batch_size"):
+            assert hists[name]["count"] > 0, name
+            assert hists[name]["sum"] >= 0.0
+        assert snap["counters"]["engine.memo_misses"] > 0
+        # kernel compile/execute split (sim kernels default on)
+        assert any(n.startswith(("kernel.", "interp.")) for n in hists), hists
+
+    def test_worker_snapshots_and_per_worker_accounting(
+            self, telemetry_mode, benchmarks, tmp_path):
+        tm.configure("on")
+        tc = HLSToolchain(backend="service",
+                          service_config={"workers": 1,
+                                          "store_dir": str(tmp_path)})
+        try:
+            client = tc.engine
+            values = client.evaluate_batch(benchmarks["matmul"],
+                                           [[38], [38, 31], [31]])
+            assert all(v is not None for v in values)
+            info = client.worker_info()
+            assert len(info) == 1
+            slot = info[0]
+            assert slot["worker"] == 0 and slot["alive"]
+            assert slot["requests"] >= 1
+            assert slot["samples"] >= 3 and slot["respawns"] == 0
+            # the worker's registry snapshot rode back on the reply
+            records = tm.collect_snapshots()
+            procs = [rec["proc"] for rec in records]
+            assert f"pid:{os.getpid()}" in procs
+            worker_recs = [rec for rec in records if ":worker:0:" in rec["proc"]]
+            assert len(worker_recs) == 1
+            wsnap = worker_recs[0]["snapshot"]
+            assert wsnap["attrs"]["role"] == "worker"
+            assert wsnap["counters"]["worker.samples"] >= 3
+            assert wsnap["histograms"]["worker.queue_wait.seconds"]["count"] > 0
+            # client-side service metrics
+            snap = tm.snapshot()
+            assert snap["histograms"]["service.roundtrip.seconds"]["count"] > 0
+            assert snap["counters"]["service.dispatched"] > 0
+        finally:
+            tc.engine.close()
+        # provider deregistered on close: only this process remains
+        assert [rec["proc"] for rec in tm.collect_snapshots()] == \
+            [f"pid:{os.getpid()}"]
+
+    def test_respawned_worker_history_survives(self, telemetry_mode,
+                                               benchmarks, tmp_path):
+        """Satellite #3: killing a worker must not erase its request/
+        sample history — the slot reports cumulative counts plus a
+        respawn count, and the dead generation's final snapshot is
+        retired under a generation-tagged proc name."""
+        tm.configure("on")
+        tc = HLSToolchain(backend="service",
+                          service_config={"workers": 1,
+                                          "store_dir": str(tmp_path)})
+        try:
+            client = tc.engine
+            client.evaluate(benchmarks["matmul"], [38])
+            before = client.worker_info()[0]
+            assert before["samples"] > 0
+            client._handles[0].process.terminate()
+            client._handles[0].process.join(timeout=10)
+            future = client.submit(benchmarks["matmul"], [31, 7, 11])
+            with pytest.raises(RuntimeError, match="died"):
+                future.result(timeout=30)
+            assert client.evaluate(benchmarks["matmul"], [38, 31]) is not None
+            slot = client.worker_info()[0]
+            assert slot["respawns"] == 1
+            assert slot["samples"] > before["samples"]  # history kept
+            assert client.cache_info()["worker_respawns"] == 1
+            # retired generation exported under g0; live one under g1
+            procs = [rec["proc"] for rec in tm.collect_snapshots()]
+            assert any(p.endswith(":worker:0:g0") for p in procs), procs
+            assert any(p.endswith(":worker:0:g1") for p in procs), procs
+            assert tm.snapshot()["counters"]["service.worker_respawns"] == 1
+        finally:
+            tc.engine.close()
+
+    def test_metrics_identical_values_with_telemetry_on(self, telemetry_mode,
+                                                        benchmarks):
+        seqs = [[38, 31], [38], [31, 7]]
+        tm.configure("off")
+        baseline = HLSToolchain().engine.evaluate_batch(benchmarks["gsm"], seqs)
+        tm.configure("on")
+        instrumented = HLSToolchain().engine.evaluate_batch(
+            benchmarks["gsm"], seqs)
+        assert baseline == instrumented
+
+
+class TestServerOps:
+    def _serve(self, tmp_path):
+        from repro.service import EvaluationServer
+
+        socket_path = str(tmp_path / "sock")
+        server = EvaluationServer(socket_path, workers=1,
+                                  store_dir=str(tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not os.path.exists(socket_path) and time.time() < deadline:
+            time.sleep(0.05)
+        return server, thread, socket_path
+
+    def test_metrics_and_stats_ops(self, telemetry_mode, tmp_path):
+        from repro.service import request
+
+        tm.configure("on")
+        server, thread, socket_path = self._serve(tmp_path)
+        try:
+            assert request(socket_path, {"op": "ping"})["pong"]
+            reply = request(socket_path, {"op": "batch", "program": "matmul",
+                                          "sequences": [[38], [38, 31]]})
+            assert reply["ok"]
+            stats = request(socket_path, {"op": "stats"})
+            assert stats["ok"]
+            workers = stats["workers"]
+            assert len(workers) == 1 and workers[0]["samples"] >= 2
+            metrics = request(socket_path, {"op": "metrics"})
+            assert metrics["ok"] and metrics["telemetry"] == "on"
+            agg = aggregate(rec["snapshot"] for rec in metrics["snapshots"])
+            assert agg["processes"] >= 2  # server + its worker
+            hists = agg["histograms"]
+            assert hists["server.op.batch.seconds"]["count"] >= 1
+            assert hists["server.batch_size"]["count"] >= 1
+            assert hists["worker.queue_wait.seconds"]["count"] >= 1
+            assert hist_summary(hists["engine.evaluate.seconds"])["p50"] > 0
+        finally:
+            request(socket_path, {"op": "shutdown"})
+            thread.join(timeout=30)
+
+    def test_policy_server_metrics_op(self, telemetry_mode, tmp_path,
+                                      benchmarks):
+        from repro.deploy import InferenceClient, ModelRegistry, PolicyServer
+        from repro.rl.trainer import Trainer
+
+        tm.configure("on")
+        toolchain = HLSToolchain()
+        trainer = Trainer("RL-PPO2", [benchmarks["gsm"]], episodes=2,
+                          episode_length=3, lanes=1, seed=0,
+                          toolchain=toolchain)
+        trainer.train()
+        registry = ModelRegistry(str(tmp_path / "models"))
+        registry.register("tiny", trainer)
+        server = PolicyServer(str(tmp_path / "policy.sock"),
+                              registry=registry, policies=["tiny"],
+                              toolchain=toolchain)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with InferenceClient(server.socket_path) as client:
+                assert client.infer("gsm")
+                metrics = client._call({"op": "metrics"})
+                assert metrics["ok"] and metrics["telemetry"] == "on"
+                agg = aggregate(rec["snapshot"]
+                                for rec in metrics["snapshots"])
+                hists = agg["histograms"]
+                assert hists["policy.batch_size"]["count"] >= 1
+                assert hists["policy.queue_wait.seconds"]["count"] >= 1
+                assert hists["policy.infer.seconds"]["count"] >= 1
+                client.shutdown_server()
+        finally:
+            thread.join(timeout=30)
+
+
+class TestCLISurfaces:
+    def test_stats_json_from_log(self, telemetry_mode, tmp_path, capsys):
+        from repro.cli import main
+
+        tm.configure("on")
+        tm.count("engine.memo_hits", 3)
+        tm.observe("engine.evaluate.seconds", 0.02)
+        log = str(tmp_path / "metrics.jsonl")
+        tm.export_now(log)
+        tm.configure("off")  # reading the log needs no live registry
+        assert main(["stats", "--json", "--log", log]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["processes"] == 1
+        assert payload["counters"]["engine.memo_hits"] == 3
+        ev = payload["histograms"]["engine.evaluate.seconds"]
+        assert ev["count"] == 1 and ev["p50"] == pytest.approx(0.02)
+        assert ev["p99"] == ev["p50"]  # one sample: exact everywhere
+
+    def test_stats_dashboard_names_its_source(self, telemetry_mode, tmp_path,
+                                              capsys, monkeypatch):
+        from repro.cli import main
+
+        tm.configure("on")
+        with tm.span("engine.evaluate"):
+            pass
+        log = str(tmp_path / "metrics.jsonl")
+        tm.export_now(log)
+        monkeypatch.setenv("REPRO_TELEMETRY_LOG", log)
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert f"source: {log}" in out
+        assert "engine" in out and "p50" in out
+
+    def test_profile_hotspots_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = str(tmp_path / "hotspots.json")
+        assert main(["profile-hotspots", "gsm", "--top", "5",
+                     "--json", out_path]) == 0
+        with open(out_path) as fh:
+            payload = json.load(fh)
+        assert payload["benchmark"] == "gsm" and payload["cycles"] > 0
+        assert 0 < len(payload["hotspots"]) <= 5
+        rows = payload["hotspots"]
+        for row in rows:
+            assert {"file", "line", "function", "ncalls",
+                    "tottime", "cumtime"} <= set(row)
+        # sorted by the pstats field the --sort flag named (cumulative)
+        cums = [row["cumtime"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_cache_stats_renders_hierarchy_table(self, tmp_path, capsys,
+                                                 monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "in-process cache hierarchy" in out
+
+    def test_render_cache_table_rates(self):
+        table = render_cache_table({
+            "memo_hits": 3, "memo_misses": 1,
+            "kernel_hits": 8, "kernel_misses": 2, "kernel_entries": 2,
+            "kernel_fallbacks": 0,
+        })
+        assert "75.0%" in table and "80.0%" in table
+        empty = render_cache_table({"memo_hits": 0, "memo_misses": 0})
+        assert "no cache activity" in empty
+
+
+class TestTrainerEvents:
+    def test_events_jsonl_schema(self, telemetry_mode, benchmarks, tmp_path):
+        from repro.rl.trainer import Trainer
+
+        tm.configure("on")
+        events_path = str(tmp_path / "events.jsonl")
+        trainer = Trainer("RL-PPO2", [benchmarks["gsm"]], episodes=4,
+                          update_every=2, episode_length=3, lanes=2,
+                          seed=0, events_path=events_path)
+        result = trainer.train()
+        assert len(result.episode_rewards) == 4
+        with open(events_path) as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("wave") >= 2
+        assert kinds.count("update") >= 1
+        assert kinds[-1] == "train_end"
+        for e in events:
+            assert e["agent"] == "RL-PPO2" and e["lanes"] == 2
+            assert {"episodes_done", "evaluations", "samples",
+                    "cache_hit_rate", "ts"} <= set(e)
+        waves = [e for e in events if e["event"] == "wave"]
+        assert all(w["wave_seconds"] >= 0 and w["episodes"] >= 1
+                   for w in waves)
+        updates = [e for e in events if e["event"] == "update"]
+        assert all(u["transitions"] > 0 for u in updates)
+        end = events[-1]
+        assert end["episode_count"] == 4 and end["best_cycles"] > 0
+        # training metrics landed in the registry too
+        hists = tm.snapshot()["histograms"]
+        assert hists["train.rollout.seconds"]["count"] >= 2
+        assert hists["train.episode_reward"]["count"] == 4
+        assert hists["train.update.seconds"]["count"] >= 1
+
+    def test_es_generation_events(self, telemetry_mode, benchmarks, tmp_path):
+        from repro.rl.trainer import Trainer
+
+        tm.configure("off")  # events flow with telemetry off too
+        events_path = str(tmp_path / "events.jsonl")
+        Trainer("RL-ES", [benchmarks["gsm"]], episodes=4, episode_length=3,
+                lanes=1, seed=0, events_path=events_path).train()
+        with open(events_path) as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+        gens = [e for e in events if e["event"] == "generation_scored"]
+        assert gens and all(g["members"] >= 1 and g["rollout_seconds"] >= 0
+                            for g in gens)
+        assert events[-1]["event"] == "train_end"
