@@ -1,0 +1,171 @@
+"""Cold data-parallel batch throughput: one ``profile_batch`` wave
+through the batched executor (``REPRO_SIM_BATCH=on``) versus per-program
+compiled kernels (``off``, the PR 6 path) on a shared-structure
+population.
+
+The workload is what every GA/PSO generation and vec-env wave pays cold:
+a population of candidate modules derived from one base program by
+distinct pass sequences, most of which leave the program execution-
+equivalent (no-op passes — detected at setup by execution-signature
+equality, not hard-coded). The batched executor dedups those lanes to a
+handful of real executions and runs shared kernels lock-step; the
+per-program path executes every lane.
+
+Interleaved best-of-N, both modes cold each round (fresh profiler, the
+process-global kernel/plan caches cleared). The bench asserts per-lane
+:class:`CycleReport` s are bit-identical across modes, then gates the
+speedup at ``MIN_SPEEDUP``× and appends a trajectory record to
+``BENCH_simbatch.json`` (github-action-benchmark style).
+
+Run via pytest (``pytest benchmarks/bench_simbatch.py``) or standalone
+(``python benchmarks/bench_simbatch.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.hls.profiler import CycleProfiler
+from repro.interp import clear_kernel_cache, clear_plan_cache
+from repro.interp.batch_exec import (
+    batch_exec_info,
+    clear_batch_exec_stats,
+    exec_signature,
+)
+from repro.passes.registry import PASS_TABLE, TERMINATE_INDEX
+from repro.toolchain import HLSToolchain, clone_module
+
+MIN_SPEEDUP = 2.0
+MIN_BATCH = 8
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_simbatch.json")
+
+BENCHMARK = "qsort"
+POPULATION = 16  # batch width; the acceptance gate requires >= 8
+ITERATIONS = 5
+
+
+def build_population(base) -> List:
+    """The base program plus single-pass variants, no-op passes first so
+    the wave is dominated by execution-equivalent structure (exactly the
+    shape GA/PSO generations hand the engine)."""
+    base_sig = exec_signature(base, "main")
+    noops, mutating = [], []
+    for name in dict.fromkeys(PASS_TABLE):
+        if PASS_TABLE.index(name) == TERMINATE_INDEX:
+            continue
+        candidate = clone_module(base)
+        HLSToolchain.apply_passes(candidate, [name])
+        bucket = noops if exec_signature(candidate, "main") == base_sig \
+            else mutating
+        bucket.append(candidate)
+    population = [clone_module(base)] + noops + mutating
+    return population[:POPULATION]
+
+
+def _fingerprint(report) -> tuple:
+    return (report.cycles, sorted(report.states_by_block.items()),
+            sorted(report.visits_by_block.items()),
+            report.execution.observable(), report.execution.steps)
+
+
+def _time_wave(population, mode: str) -> tuple:
+    """One cold wave: fresh profiler, cold process-global caches."""
+    clear_kernel_cache()
+    clear_plan_cache()
+    clear_batch_exec_stats()
+    profiler = CycleProfiler(sim_batch=mode)
+    t0 = time.perf_counter()
+    if mode == "off":
+        reports = [profiler.profile(module) for module in population]
+    else:
+        reports = profiler.profile_batch(population)
+    elapsed = time.perf_counter() - t0
+    return elapsed, [_fingerprint(r) for r in reports]
+
+
+def run_bench(programs: Dict[str, object]) -> Dict:
+    """Interleaved best-of-N so CPU-frequency/contention regime shifts on
+    shared CI runners hit both modes alike; each mode keeps its minimum
+    (a slowdown in a minimum is real, never interference)."""
+    population = build_population(programs[BENCHMARK])
+    assert len(population) >= MIN_BATCH
+    ref_best = batch_best = float("inf")
+    ref_fp = batch_fp = None
+    for _ in range(ITERATIONS):
+        elapsed, ref_fp = _time_wave(population, "off")
+        ref_best = min(ref_best, elapsed)
+        elapsed, batch_fp = _time_wave(population, "on")
+        batch_best = min(batch_best, elapsed)
+    stats = batch_exec_info()
+    diverged = [i for i, (a, b) in enumerate(zip(ref_fp, batch_fp)) if a != b]
+    assert not diverged, f"batched executor diverged on lanes {diverged}"
+    n = len(population)
+    return {
+        "benchmark": BENCHMARK,
+        "batch": n,
+        "reference_profiles_per_sec": n / ref_best,
+        "batched_profiles_per_sec": n / batch_best,
+        "speedup": ref_best / batch_best,
+        "batch_exec": stats,
+    }
+
+
+def append_trajectory(result: Dict) -> None:
+    """BENCH_simbatch.json keeps one github-action-benchmark style entry
+    list per run, newest last, so regressions show up as a trajectory."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    history.append([
+        {"name": "batched_profiles_per_sec", "unit": "profiles/s",
+         "value": round(result["batched_profiles_per_sec"], 3)},
+        {"name": "reference_profiles_per_sec", "unit": "profiles/s",
+         "value": round(result["reference_profiles_per_sec"], 3)},
+        {"name": "simbatch_speedup", "unit": "x",
+         "value": round(result["speedup"], 3)},
+    ])
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    stats = result["batch_exec"]
+    lines = [
+        f"cold population: batch of {result['batch']} {result['benchmark']} "
+        f"candidates x {ITERATIONS} interleaved rounds x 2 modes, "
+        f"all caches cold",
+        f"per-program : {result['reference_profiles_per_sec']:.2f} profiles/s",
+        f"batched     : {result['batched_profiles_per_sec']:.2f} profiles/s",
+        f"speedup     : {result['speedup']:.2f}x (floor {MIN_SPEEDUP}x)",
+        f"last wave   : {stats['batch_executed']} executed / "
+        f"{stats['batch_lanes']} lanes "
+        f"({stats['batch_dedup_saved']} deduped, "
+        f"{stats['batch_fallbacks']} scalar fallbacks)",
+    ]
+    return "\n".join(lines)
+
+
+def test_simbatch_cold_population_throughput(benchmarks):
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    result = run_bench(benchmarks)
+    emit("BENCH simbatch — data-parallel batched execution on cold populations",
+         _render(result))
+    append_trajectory(result)
+    assert result["speedup"] >= MIN_SPEEDUP, _render(result)
+
+
+if __name__ == "__main__":
+    from repro.programs import chstone
+
+    result = run_bench(chstone.build_all())
+    print(_render(result))
+    append_trajectory(result)
+    if result["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(f"speedup {result['speedup']:.2f}x below {MIN_SPEEDUP}x floor")

@@ -17,7 +17,8 @@
     python -m repro generalize [--scale ...] [--policy NAME] [--refine K]
     python -m repro models list|show|rm [NAME] [--registry DIR]
     python -m repro profile-hotspots <benchmark> [--passes "..."]
-                          [--sim-kernels off|on|verify] [--top N] [--sort KEY]
+                          [--sim-kernels off|on|verify]
+                          [--sim-batch off|on|verify] [--top N] [--sort KEY]
                           [--json PATH]
     python -m repro cache stats|clear|export [--store DIR]
     python -m repro stats [--json] [--watch N] [--log PATH] [--socket PATH]
@@ -85,6 +86,7 @@ def _add_cache_stats(parser: argparse.ArgumentParser) -> None:
 
 
 def _print_cache_stats() -> None:
+    from .interp.batch_exec import batch_exec_info
     from .interp.interpreter import plan_cache_info
     from .interp.kernels import kernel_cache_info
     from .telemetry.render import render_cache_table
@@ -102,6 +104,7 @@ def _print_cache_stats() -> None:
     merged = dict(info)
     merged.update(kernel_cache_info())
     merged.update(plan_cache_info())
+    merged.update(batch_exec_info())
     print()
     print(render_cache_table(merged))
 
@@ -300,13 +303,27 @@ def _cmd_profile_hotspots(args) -> int:
     HLSToolchain.apply_passes(candidate, seq)
     # One *cold* evaluation: a fresh profiler (empty schedule cache), the
     # path a first-time sequence pays inside the engine.
-    profiler = CycleProfiler(sim_kernels=args.sim_kernels)
+    profiler = CycleProfiler(sim_kernels=args.sim_kernels,
+                             sim_batch=args.sim_batch)
     run = cProfile.Profile()
-    run.enable()
-    report = profiler.profile(candidate)
-    run.disable()
+    if profiler.sim_batch != "off":
+        # Profile the batched hot path the engine actually takes for
+        # populations: a wave of execution-equivalent lanes.
+        wave = [candidate] + [clone_module(candidate)
+                              for _ in range(max(1, args.batch_lanes) - 1)]
+        run.enable()
+        reports = profiler.profile_batch(wave)
+        run.disable()
+        report = reports[0]
+        if isinstance(report, BaseException):
+            raise report
+    else:
+        run.enable()
+        report = profiler.profile(candidate)
+        run.disable()
     print(f"{args.benchmark}: {report.cycles} cycles after {len(seq)} passes "
-          f"(sim_kernels={profiler.sim_kernels})")
+          f"(sim_kernels={profiler.sim_kernels}, "
+          f"sim_batch={profiler.sim_batch})")
     stats = pstats.Stats(run, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.json:
@@ -324,6 +341,7 @@ def _cmd_profile_hotspots(args) -> int:
         rows.sort(key=lambda r: r[sort_field], reverse=True)
         payload = {"benchmark": args.benchmark, "cycles": report.cycles,
                    "passes": len(seq), "sim_kernels": profiler.sim_kernels,
+                   "sim_batch": profiler.sim_batch,
                    "sort": args.sort, "hotspots": rows[:args.top]}
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -387,6 +405,7 @@ def _cmd_cache(args) -> int:
     if args.action == "stats":
         for key, value in store.stats().items():
             print(f"{key:<18} {value}")
+        from .interp.batch_exec import batch_exec_info
         from .interp.interpreter import plan_cache_info
         from .interp.kernels import kernel_cache_info
         from .telemetry.render import render_cache_table
@@ -394,6 +413,7 @@ def _cmd_cache(args) -> int:
         info = HLSToolchain.aggregate_cache_info()
         info.update(kernel_cache_info())
         info.update(plan_cache_info())
+        info.update(batch_exec_info())
         print("\nin-process cache hierarchy:")
         print(render_cache_table(info))
     elif args.action == "clear":
@@ -566,6 +586,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     default=None,
                     help="simulation backend under the profile "
                          "(default: $REPRO_SIM_KERNELS or 'on')")
+    ph.add_argument("--sim-batch", choices=["off", "on", "verify"],
+                    default=None,
+                    help="batched-execution mode under the profile; when not "
+                         "'off' the candidate is profiled as a batch-of-8 "
+                         "wave through the data-parallel executor "
+                         "(default: $REPRO_SIM_BATCH or 'on')")
+    ph.add_argument("--batch-lanes", type=int, default=8,
+                    help="wave width for --sim-batch profiling (default 8)")
     ph.add_argument("--top", type=int, default=25,
                     help="number of stat rows to print (default 25)")
     ph.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],

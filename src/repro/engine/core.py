@@ -392,7 +392,11 @@ class EvaluationEngine:
 
         pending = list(unique)
         with tm.span("engine.evaluate_batch", size=len(pending)):
-            if self.max_workers > 1 and len(pending) > 1:
+            if len(pending) > 1 and self._use_grouped(objective):
+                self._evaluate_batch_grouped(program, pending, unique,
+                                             objective, area_weight, entry,
+                                             want_features)
+            elif self.max_workers > 1 and len(pending) > 1:
                 with self._lock:
                     if self._pool is None:  # persistent: one pool per engine
                         self._pool = ThreadPoolExecutor(
@@ -408,6 +412,99 @@ class EvaluationEngine:
             if isinstance(value, BatchEvaluationError):
                 raise value from value.original
         return [unique[canonical] for canonical in keyed]
+
+    def _use_grouped(self, objective: str) -> bool:
+        """Whether cache misses of a batch should be profiled as one
+        data-parallel wave (``REPRO_SIM_BATCH`` on the toolchain's
+        profiler) instead of per-sequence on the thread pool."""
+        profiler = getattr(self.toolchain, "profiler", None)
+        return (objective in ("cycles", "cycles-area")
+                and getattr(profiler, "sim_batch", "off") != "off"
+                and hasattr(self.toolchain, "objective_values_batch"))
+
+    def _evaluate_batch_grouped(
+        self, program: Module, pending: List[Tuple[Element, ...]],
+        unique: Dict, objective: str, area_weight: float, entry: str,
+        want_features: bool,
+    ) -> None:
+        """The grouped miss path: memo/feature lookups and materialization
+        run per sequence with semantics identical to :meth:`_evaluate`
+        (same statistics, same failure memoization), then every module
+        that actually needs the simulator is profiled as ONE
+        ``objective_values_batch`` wave through the batch executor, which
+        dedups execution-equivalent candidates and runs shared kernels
+        lock-step."""
+        state = self._state_for(program)
+        to_profile: List[Tuple] = []  # (canonical, key, module, feats)
+        for canonical in pending:
+            key = self._key(program, canonical, objective, area_weight, entry)
+            feats: Optional[np.ndarray] = None
+            with tm.span("engine.memo_lookup"), self._lock:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.stats.memo_hits += 1
+                if want_features and canonical:
+                    feats = self._feature_memo.get((id(program), canonical))
+                    if feats is not None:
+                        self.stats.feature_hits += 1
+            tm.count("engine.memo_hits" if cached is not None
+                     else "engine.memo_misses")
+            if want_features and not canonical:
+                feats = features_for(program)
+            failure = _cached_failure(cached, canonical)
+            if failure is not None:
+                if not want_features:
+                    unique[canonical] = None
+                    continue
+                if feats is None:
+                    try:
+                        feats = self.features_after(program, canonical)
+                    except Exception as exc:
+                        unique[canonical] = BatchEvaluationError(canonical, exc)
+                        continue
+                unique[canonical] = (None, feats)
+                continue
+            if cached is not None and (not want_features or feats is not None):
+                unique[canonical] = (cached, feats) if want_features else cached
+                continue
+            try:
+                module = self._materialize(state, canonical)
+            except HLSCompilationError as exc:
+                self._memoize_failure(key, exc)
+                if want_features:
+                    unique[canonical] = BatchEvaluationError(canonical, exc)
+                else:
+                    unique[canonical] = None
+                continue
+            except Exception as exc:
+                unique[canonical] = BatchEvaluationError(canonical, exc)
+                continue
+            if want_features and feats is None:
+                feats = self._memoize_features(program, canonical, module)
+            if cached is not None:
+                unique[canonical] = (cached, feats) if want_features else cached
+                continue
+            with self._lock:
+                self.stats.memo_misses += 1
+            to_profile.append((canonical, key, module, feats))
+
+        if not to_profile:
+            return
+        modules = [item[2] for item in to_profile]
+        with tm.span("engine.profile_batch", objective=objective,
+                     size=len(modules)):
+            values = self.toolchain.objective_values_batch(
+                modules, objective, area_weight=area_weight, entry=entry)
+        for (canonical, key, module, feats), value in zip(to_profile, values):
+            if isinstance(value, HLSCompilationError):
+                self._memoize_failure(key, value)
+                unique[canonical] = (None, feats) if want_features else None
+            elif isinstance(value, BaseException):
+                unique[canonical] = BatchEvaluationError(canonical, value)
+            else:
+                with self._lock:
+                    self._memo.put(key, value)
+                unique[canonical] = (value, feats) if want_features else value
 
     def memoized_failure(self, program: Module, actions: Sequence[Action],
                          objective: str = "cycles", area_weight: float = 0.05,
@@ -475,6 +572,7 @@ class EvaluationEngine:
 
     # -- introspection ------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
+        from ..interp.batch_exec import batch_exec_info
         from ..interp.interpreter import plan_cache_info
         from ..interp.kernels import kernel_cache_info
 
@@ -489,12 +587,15 @@ class EvaluationEngine:
         # keyed by the same structural hash as the schedule cache)
         info.update(kernel_cache_info())
         info.update(plan_cache_info())
+        info.update(batch_exec_info())
         return info
 
     def clear(self) -> None:
         """Drop every cached result, snapshot and trie (keeps statistics).
         Also drops the process-wide compiled-kernel and block-plan caches
-        so a cleared engine re-measures a genuinely cold path."""
+        (and the batch-executor dedup counters) so a cleared engine
+        re-measures a genuinely cold path."""
+        from ..interp.batch_exec import clear_batch_exec_stats
         from ..interp.interpreter import clear_plan_cache
         from ..interp.kernels import clear_kernel_cache
 
@@ -506,3 +607,4 @@ class EvaluationEngine:
             self._node_budget = NodeBudget(self._node_budget.max_nodes)
         clear_kernel_cache()
         clear_plan_cache()
+        clear_batch_exec_stats()

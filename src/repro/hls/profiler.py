@@ -33,8 +33,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry as tm
+from ..interp.batch_exec import BatchedKernelExecutor, sim_batch_mode
 from ..interp.interpreter import ExecutionResult, Interpreter
-from ..interp.kernels import KernelInterpreter, VerificationError, run_verified
+from ..interp.kernels import (
+    KernelInterpreter,
+    VerificationError,
+    _error_category,
+    run_verified,
+)
 from ..interp.state import InterpreterLimitExceeded, StepBudgetExceeded, TrapError
 from ..ir.instructions import CallInst
 from ..ir.module import BasicBlock, Module
@@ -44,7 +50,7 @@ from .sched_vec import function_state_counts_flat
 from .scheduler import Scheduler
 
 __all__ = ["CycleReport", "HLSCompilationError", "StepBudgetError",
-           "CycleProfiler", "sim_kernels_mode"]
+           "CycleProfiler", "sim_kernels_mode", "sim_batch_mode"]
 
 # Burst engines move one slot per cycle after setup (see delays.py).
 _DYNAMIC_BURST = ("llvm.memset", "llvm.memcpy")
@@ -94,13 +100,17 @@ class CycleProfiler:
                  library: Optional[TimingLibrary] = None,
                  max_steps: int = 1_000_000,
                  schedule_cache_size: int = 512,
-                 sim_kernels: Optional[str] = None) -> None:
+                 sim_kernels: Optional[str] = None,
+                 sim_batch: Optional[str] = None) -> None:
         self.scheduler = Scheduler(constraints, library)
         self.constraints = self.scheduler.constraints
         self.max_steps = max_steps
         # off | on | verify; results are bit-identical by contract, so the
         # mode is NOT part of any cache key or toolchain fingerprint.
         self.sim_kernels = sim_kernels_mode(sim_kernels)
+        # Same contract for the data-parallel batch executor behind
+        # profile_batch (None -> REPRO_SIM_BATCH, default "on").
+        self.sim_batch = sim_batch_mode(sim_batch)
         # structural key -> per-block state counts (block order positional)
         self._schedule_cache: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         self._schedule_cache_size = schedule_cache_size
@@ -131,6 +141,138 @@ class CycleProfiler:
         except (TrapError, InterpreterLimitExceeded) as exc:
             raise HLSCompilationError(f"execution failed: {exc}") from exc
         return self._combine(module, block_states, execution)
+
+    def profile_batch(self, modules: List[Module],
+                      entry: str = "main") -> List[object]:
+        """Profile a wave of modules through the data-parallel batch
+        executor. Returns one entry per module: a :class:`CycleReport`,
+        or the exception that lane failed with (:class:`StepBudgetError`
+        / :class:`HLSCompilationError` for legitimate failures, the raw
+        exception for crashes) — a failing lane never poisons siblings.
+
+        ``sim_batch=off`` (or a single-module wave) degrades to serial
+        :meth:`profile` calls; ``verify`` runs the batch AND the
+        per-program path and raises :class:`VerificationError` on any
+        ``ExecutionResult.observable()``/:class:`CycleReport`
+        divergence, anchoring results to the per-program side."""
+        mode = self.sim_batch
+        if mode == "off" or len(modules) <= 1:
+            return [self._profile_lane(module, entry) for module in modules]
+        tm.count("profile.runs", len(modules))
+        keyed = [self._structural_keys(module) for module in modules]
+        self._schedule_prepass(keyed)
+        results: List[object] = [None] * len(modules)
+        block_states: List[Optional[Dict]] = [None] * len(modules)
+        exec_lanes: List[int] = []
+        for i, (module, keys) in enumerate(zip(modules, keyed)):
+            try:
+                with tm.span("profile.schedule"):
+                    block_states[i] = self._module_block_states(module, keys)
+                exec_lanes.append(i)
+            except VerificationError:
+                raise
+            except Exception as exc:
+                err = HLSCompilationError(f"scheduling failed: {exc}")
+                err.__cause__ = exc
+                results[i] = err
+        if exec_lanes:
+            executor = BatchedKernelExecutor(max_steps=self.max_steps)
+            with tm.span("profile.execute_batch", backend=mode,
+                         lanes=len(exec_lanes)):
+                outcomes = executor.run_batch(
+                    [(modules[i], keyed[i]) for i in exec_lanes], entry)
+            if mode == "verify":
+                outcomes = self._verify_batch(modules, keyed, exec_lanes,
+                                              outcomes, block_states, entry)
+            for i, outcome in zip(exec_lanes, outcomes):
+                if isinstance(outcome, ExecutionResult):
+                    results[i] = self._combine(modules[i], block_states[i],
+                                               outcome)
+                else:
+                    results[i] = self._map_exec_error(outcome)
+        return results
+
+    def _profile_lane(self, module: Module, entry: str) -> object:
+        """Serial fallback lane: same per-lane error envelope as the
+        batched path (verification bugs still propagate loudly)."""
+        try:
+            return self.profile(module, entry)
+        except VerificationError:
+            raise
+        except Exception as exc:
+            return exc
+
+    @staticmethod
+    def _map_exec_error(exc: BaseException) -> BaseException:
+        """The HLS-failure envelope :meth:`profile` would raise for this
+        execution error; crashes pass through for the caller to wrap."""
+        if isinstance(exc, StepBudgetExceeded):
+            err: HLSCompilationError = StepBudgetError(f"execution failed: {exc}")
+        elif isinstance(exc, (TrapError, InterpreterLimitExceeded)):
+            err = HLSCompilationError(f"execution failed: {exc}")
+        else:
+            return exc
+        err.__cause__ = exc
+        return err
+
+    def _verify_batch(self, modules: List[Module], keyed: List[Dict],
+                      exec_lanes: List[int], outcomes: List[object],
+                      block_states: List[Optional[Dict]],
+                      entry: str) -> List[object]:
+        """Run the per-program path beside every batched lane and
+        hard-fail on divergence; per-program results are the anchor."""
+        anchored: List[object] = []
+        for i, outcome in zip(exec_lanes, outcomes):
+            ref_exc: Optional[BaseException] = None
+            ref_result: Optional[ExecutionResult] = None
+            try:
+                ref_result = self._execute(modules[i], entry, keyed[i])
+            except VerificationError:
+                raise
+            except Exception as exc:
+                ref_exc = exc
+            batch_exc = outcome if isinstance(outcome, BaseException) else None
+            if (batch_exc is None) != (ref_exc is None):
+                raise VerificationError(
+                    f"sim-batch divergence on @{entry}: batched "
+                    f"{'raised ' + repr(batch_exc) if batch_exc else 'succeeded'}, "
+                    f"per-program "
+                    f"{'raised ' + repr(ref_exc) if ref_exc else 'succeeded'}")
+            if ref_exc is not None:
+                bcat, rcat = _error_category(batch_exc), _error_category(ref_exc)
+                if bcat != rcat:
+                    raise VerificationError(
+                        f"sim-batch divergence on @{entry}: batched error "
+                        f"category {bcat} ({batch_exc!r}) != per-program "
+                        f"{rcat} ({ref_exc!r})")
+                anchored.append(ref_exc)
+                continue
+            mismatches = []
+            if outcome.observable() != ref_result.observable():
+                mismatches.append("observable()")
+            if outcome.steps != ref_result.steps:
+                mismatches.append(
+                    f"steps {outcome.steps} != {ref_result.steps}")
+            if outcome.block_counts != ref_result.block_counts:
+                mismatches.append("block_counts")
+            if outcome.call_counts != ref_result.call_counts:
+                mismatches.append("call_counts")
+            if outcome.output != ref_result.output:
+                mismatches.append("output")
+            if not mismatches:
+                batch_report = self._combine(modules[i], block_states[i], outcome)
+                ref_report = self._combine(modules[i], block_states[i], ref_result)
+                if batch_report.cycles != ref_report.cycles:
+                    mismatches.append(f"cycles {batch_report.cycles} != "
+                                      f"{ref_report.cycles}")
+                elif batch_report.visits_by_block != ref_report.visits_by_block:
+                    mismatches.append("visits_by_block")
+            if mismatches:
+                raise VerificationError(
+                    f"sim-batch divergence on @{entry}: "
+                    f"{', '.join(mismatches)}")
+            anchored.append(ref_result)
+        return anchored
 
     def _execute(self, module: Module, entry: str, keys: Dict) -> ExecutionResult:
         mode = self.sim_kernels
@@ -165,6 +307,39 @@ class CycleProfiler:
                     f"batched-scheduler divergence on @{func.name}: "
                     f"{flat} != {counts}")
         return counts
+
+    def _schedule_prepass(self, keyed: List[Dict]) -> None:
+        """Schedule each structural hash appearing in a batch wave exactly
+        once (hls/sched_vec groups same-hash work): N lanes sharing a
+        function body cost one reschedule before the per-lane pass runs,
+        so the wave never reschedules a hash twice."""
+        if self._schedule_cache_size <= 0:
+            return
+        unique: "OrderedDict[Tuple, object]" = OrderedDict()
+        for keys in keyed:
+            for func, key in keys.items():
+                unique.setdefault(key, func)
+        with self._lock:
+            missing = [(key, func) for key, func in unique.items()
+                       if key not in self._schedule_cache]
+        if not missing:
+            return
+        with tm.span("profile.schedule_batch", functions=len(missing)):
+            for key, func in missing:
+                try:
+                    with tm.span("profile.reschedule"):
+                        counts = self._schedule_function(func)
+                except VerificationError:
+                    raise
+                except Exception:
+                    # Leave the hash uncached; the owning lane's serial
+                    # scheduling pass re-raises and fails only that lane.
+                    continue
+                with self._lock:
+                    self.schedule_cache_misses += 1
+                    self._schedule_cache[key] = counts
+                    while len(self._schedule_cache) > self._schedule_cache_size:
+                        self._schedule_cache.popitem(last=False)
 
     def _module_block_states(self, module: Module, keys: Dict) -> Dict[BasicBlock, int]:
         """FSM state count per block, rescheduling only functions whose

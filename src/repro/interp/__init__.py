@@ -27,6 +27,12 @@ from .kernels import (
     kernel_cache_info,
     run_verified,
 )
+from .batch_exec import (
+    BatchedKernelExecutor,
+    batch_exec_info,
+    clear_batch_exec_stats,
+    sim_batch_mode,
+)
 
 __all__ = [
     "InterpreterLimitExceeded", "Memory", "MemPointer", "StepBudgetExceeded",
@@ -36,4 +42,6 @@ __all__ = [
     "plan_cache_info", "clear_plan_cache",
     "KernelInterpreter", "VerificationError", "run_verified",
     "kernel_cache_info", "clear_kernel_cache",
+    "BatchedKernelExecutor", "sim_batch_mode",
+    "batch_exec_info", "clear_batch_exec_stats",
 ]

@@ -113,7 +113,11 @@ class CompiledFunction:
         self.nargs = nargs
         self.alloca_slot = alloca_slot  # -1 when the function has no allocas
         self.nblocks = len(blocks)
-        # per block: (phi_edges, segments, term, term_counts_step)
+        # per block: (phi_edges, segments, term, term_counts_step, term_desc)
+        # term_desc is a declarative form of simple terminators — see
+        # _FunctionCompiler._term_desc — consumed by the lock-step batch
+        # executor so one decode serves a whole wave; None falls back to
+        # calling the scalar ``term`` closure per lane.
         self.blocks = blocks
         self.gnames = gnames
         self.callee_specs = callee_specs
@@ -169,7 +173,7 @@ class _BoundFunction:
         try:
             while True:
                 counts[bidx] += 1
-                phi_edges, segments, term, term_counts = blocks[bidx]
+                phi_edges, segments, term, term_counts, _ = blocks[bidx]
                 if phi_edges is not None:
                     moves = phi_edges[prev]
                     if type(moves) is str:
@@ -393,10 +397,12 @@ class _FunctionCompiler:
             term = self._trap_step(
                 f"block {bb.name} fell through without terminator")
             term_counts = False
+            term_desc = None
         else:
             straight = body[:term_at]
             term = self._compile_inst(body[term_at])
             term_counts = True
+            term_desc = self._term_desc(body[term_at])
 
         # Segment the straight-line trace at call boundaries so the step
         # counter is exact whenever control enters a callee.
@@ -409,7 +415,42 @@ class _FunctionCompiler:
                 run = []
         if run:
             segments.append((len(run), tuple(run)))
-        return (phi_edges, tuple(segments), term, term_counts)
+        return (phi_edges, tuple(segments), term, term_counts, term_desc)
+
+    def _term_desc(self, inst) -> Optional[Tuple]:
+        """Declarative terminator form for wave-wide dispatch, or None
+        when only the scalar closure can evaluate it (invoke, trapping
+        operands, generic getters)."""
+        if isinstance(inst, BranchInst):
+            if not inst.is_conditional:
+                return ("br", self.block_index[inst.true_target])
+            t = self.block_index[inst.true_target]
+            f = self.block_index[inst.false_target]
+            kind, val = self._operand(inst.condition)
+            if kind == _K_REG:
+                return ("cbr", val, t, f)
+            if kind == _K_CONST:
+                return ("br", t if val else f)
+            return None
+        if isinstance(inst, SwitchInst):
+            kind, val = self._operand(inst.condition)
+            if kind != _K_REG:
+                return None
+            table: Dict[int, int] = {}
+            for const, target in inst.cases:
+                table.setdefault(const.value, self.block_index[target])
+            return ("switch", val, table, self.block_index[inst.default])
+        if isinstance(inst, ReturnInst):
+            rv = inst.return_value
+            if rv is None:
+                return ("ret_const", None)
+            kind, val = self._operand(rv)
+            if kind == _K_REG:
+                return ("ret_reg", val)
+            if kind == _K_CONST:
+                return ("ret_const", val)
+            return None
+        return None
 
     def _compile_phis(self, phis: List[PhiNode]) -> Dict[int, object]:
         edges: Dict[int, object] = {}

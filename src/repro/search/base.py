@@ -88,9 +88,19 @@ class SequenceEvaluator:
             # aggregate evaluator) must keep their semantics: batch by
             # calling them, not by bypassing them through the engine.
             return [self(seq) for seq in seqs]
-        values = engine.evaluate_batch(self.program, seqs, objective="cycles")
+        # One deduplicated submission per generation: repeated candidates
+        # (GA elitism, PSO convergence) dispatch once, so the batched
+        # executor sees maximal group sizes; results fan back out here.
+        positions: dict = {}
+        uniq: List[List[int]] = []
+        for seq in seqs:
+            if tuple(seq) not in positions:
+                positions[tuple(seq)] = len(uniq)
+                uniq.append(seq)
+        values = engine.evaluate_batch(self.program, uniq, objective="cycles")
         out: List[int] = []
-        for seq, value in zip(seqs, values):
+        for seq in seqs:
+            value = values[positions[tuple(seq)]]
             if value is None:  # HLS failure: same penalty as the serial path
                 cycles = int(self.baseline_cycles * self.penalty_factor)
             else:

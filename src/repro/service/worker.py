@@ -165,6 +165,80 @@ class _WorkerState:
                           key, value, feat)
         return ("ok", value, feat)
 
+    def _safe_one(self, program_id: int, item: Tuple) -> Tuple:
+        try:
+            return self.evaluate_one(program_id, item)
+        except Exception as exc:  # engine/toolchain crash, not HLS
+            return ("error", repr(exc), traceback.format_exc())
+
+    def evaluate_many(self, program_id: int, items) -> list:
+        """Evaluate a whole per-shard submission, batching engine-bound
+        items of a shared evaluation context through one
+        ``engine.evaluate_batch`` call so the data-parallel batch
+        executor sees the worker's full wave. Persistent-store hits stay
+        per-item (no simulator cost to batch); a crashing candidate
+        falls the whole group back to per-item evaluation, which reports
+        ``("error", ...)`` only for the offender."""
+        results: list = [None] * len(items)
+        groups: Dict[Tuple, list] = {}
+        for idx, item in enumerate(items):
+            sequence, objective, area_weight, entry, want_features = item
+            key = make_key(objective, area_weight, entry, tuple(sequence))
+            if (program_id, key) in self.persisted:
+                results[idx] = self._safe_one(program_id, item)
+                continue
+            groups.setdefault((objective, area_weight, entry, want_features),
+                              []).append(idx)
+        program = self.programs[program_id]
+        engine = self.toolchain.engine
+        for (objective, area_weight, entry, want_features), idxs in groups.items():
+            if len(idxs) < 2:
+                for idx in idxs:
+                    results[idx] = self._safe_one(program_id, items[idx])
+                continue
+            seqs = [tuple(items[idx][0]) for idx in idxs]
+            try:
+                rows = engine.evaluate_batch(
+                    program, seqs, objective=objective,
+                    area_weight=area_weight, entry=entry,
+                    want_features=want_features)
+            except Exception:
+                for idx in idxs:
+                    results[idx] = self._safe_one(program_id, items[idx])
+                continue
+            for idx, row in zip(idxs, rows):
+                results[idx] = self._finish_batched(program_id, items[idx], row)
+        return results
+
+    def _finish_batched(self, program_id: int, item: Tuple, row) -> Tuple:
+        """Record one ``evaluate_batch`` row exactly as
+        :meth:`evaluate_one` would have: persist the value (or failure
+        sentinel) once, keep the feature map warm, ship the same
+        response tuple."""
+        sequence, objective, area_weight, entry, want_features = item
+        canonical = tuple(sequence)
+        key = make_key(objective, area_weight, entry, canonical)
+        value, feat = (row if want_features else (row, None))
+        if feat is not None:
+            feat = [int(x) for x in feat]
+            self.features[(program_id, canonical)] = feat
+        if value is None:
+            failure = self.toolchain.engine.memoized_failure(
+                self.programs[program_id], canonical, objective=objective,
+                area_weight=area_weight, entry=entry)
+            budget = isinstance(failure, StepBudgetError)
+            sentinel = FAILED_BUDGET if budget else FAILED
+            if (program_id, key) not in self.persisted:  # dedup duplicates
+                self.persisted[(program_id, key)] = sentinel
+                self.store.append(self.fingerprints[program_id],
+                                  self.toolchain_fp, key, sentinel, feat)
+            return ("failed", feat, budget)
+        if (program_id, key) not in self.persisted:
+            self.persisted[(program_id, key)] = value
+            self.store.append(self.fingerprints[program_id],
+                              self.toolchain_fp, key, value, feat)
+        return ("ok", value, feat)
+
     def cache_info(self) -> Dict[str, int]:
         info = self.toolchain.engine.cache_info()
         info["persistent_hits"] = self.persistent_hits
@@ -209,22 +283,16 @@ def worker_main(worker_id: int, request_queue, response_queue,
                            max(0.0, time.monotonic() - enqueue_ts))
             tm.count("worker.items", len(items))
             before = state.toolchain.samples_taken
-            results = []
             with tm.span("worker.evaluate", items=len(items)):
-                for item in items:
-                    if program_id not in state.programs:
-                        detail = state.register_errors.get(program_id, "")
-                        why = ("registration failed" if detail
-                               else "never registered")
-                        results.append(("error",
-                                        f"program {program_id} {why} "
-                                        f"with worker {worker_id}", detail))
-                        continue
-                    try:
-                        results.append(state.evaluate_one(program_id, item))
-                    except Exception as exc:  # engine/toolchain crash, not HLS
-                        results.append(("error", repr(exc),
-                                        traceback.format_exc()))
+                if program_id not in state.programs:
+                    detail = state.register_errors.get(program_id, "")
+                    why = ("registration failed" if detail
+                           else "never registered")
+                    results = [("error", f"program {program_id} {why} "
+                                f"with worker {worker_id}", detail)
+                               for _ in items]
+                else:
+                    results = state.evaluate_many(program_id, items)
             samples = state.toolchain.samples_taken - before
             tm.count("worker.samples", samples)
             # Cumulative telemetry snapshot rides every reply so the

@@ -91,7 +91,8 @@ def _fmt_value(value: Optional[float], is_seconds: bool) -> str:
 
 _SECTION_PREFIXES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("engine", ("engine.",)),
-    ("kernels & interpreter", ("kernel.", "interp.", "profile.")),
+    ("kernels & interpreter", ("kernel.", "interp.", "profile.",
+                               "batch_exec.")),
     ("service", ("service.", "store.", "worker.")),
     ("training", ("train.",)),
     ("serving", ("policy.", "server.")),
@@ -157,16 +158,16 @@ def render_cache_table(info: Dict[str, Any]) -> str:
     ``HLSToolchain.aggregate_cache_info()`` output merged with the
     process-wide ``kernel_cache_info()``/``plan_cache_info()`` counters
     (the aggregate deliberately excludes those as non-additive)."""
-    rows: List[Tuple[str, int, int, str]] = []
+    rows: List[Tuple[str, int, int, str, bool]] = []
 
-    def add(label: str, hits: Any, misses: Any) -> None:
+    def add(label: str, hits: Any, misses: Any, always: bool = False) -> None:
         if hits is None and misses is None:
             return
         hits = int(hits or 0)
         misses = int(misses or 0)
         total = hits + misses
         rate = f"{hits / total:.1%}" if total else "-"
-        rows.append((label, hits, misses, rate))
+        rows.append((label, hits, misses, rate, always))
 
     add("engine result memo", info.get("memo_hits"), info.get("memo_misses"))
     add("engine feature memo", info.get("feature_hits"),
@@ -176,13 +177,21 @@ def render_cache_table(info: Dict[str, Any]) -> str:
         info.get("passes_applied"))
     add("persistent store", info.get("persistent_hits"),
         info.get("dispatched_requests"))
-    add("kernel cache", info.get("kernel_hits"), info.get("kernel_misses"))
-    add("block-plan cache", info.get("plan_hits"), info.get("plan_misses"))
-    rows = [r for r in rows if r[1] or r[2]]
+    # process-global caches render whenever their counters were sampled,
+    # even at zero — a standalone `repro cache stats` (no toolchain live
+    # in-process) must still show the rows instead of an empty table
+    add("kernel cache", info.get("kernel_hits"), info.get("kernel_misses"),
+        always=True)
+    add("block-plan cache", info.get("plan_hits"), info.get("plan_misses"),
+        always=True)
+    # "rate" = deduped lanes / lanes submitted to the batch executor
+    add("batch executor (lanes deduped)", info.get("batch_dedup_saved"),
+        info.get("batch_executed"), always=True)
+    rows = [r for r in rows if r[1] or r[2] or r[4]]
     if not rows:
         return "(no cache activity recorded in this process)"
-    label_w = max(len(r[0]) for r in rows + [("cache", 0, 0, "")])
+    label_w = max(max(len(r[0]) for r in rows), len("cache"))
     lines = [f"{'cache':<{label_w}}  {'hits':>10}  {'misses':>10}  {'rate':>7}"]
-    for label, hits, misses, rate in rows:
+    for label, hits, misses, rate, _ in rows:
         lines.append(f"{label:<{label_w}}  {hits:>10}  {misses:>10}  {rate:>7}")
     return "\n".join(lines)

@@ -72,6 +72,8 @@ class HLSToolchain:
         "workers",
         "kernel_entries", "kernel_hits", "kernel_misses", "kernel_fallbacks",
         "plan_entries", "plan_hits", "plan_misses",
+        "batch_runs", "batch_lanes", "batch_executed",
+        "batch_dedup_saved", "batch_fallbacks",
     })
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
@@ -79,7 +81,8 @@ class HLSToolchain:
                  engine_config: Optional[dict] = None,
                  backend: Optional[str] = None,
                  service_config: Optional[dict] = None,
-                 sim_kernels: Optional[str] = None) -> None:
+                 sim_kernels: Optional[str] = None,
+                 sim_batch: Optional[str] = None) -> None:
         if backend is None:
             backend = os.environ.get("REPRO_EVAL_BACKEND") or "engine"
         if not use_engine:
@@ -91,10 +94,12 @@ class HLSToolchain:
         # sim_kernels: off | on | verify (None -> REPRO_SIM_KERNELS, default
         # "on"). Deliberately NOT part of the toolchain fingerprint or any
         # cache key — backends are bit-identical by contract.
+        # sim_batch mirrors the same contract for the data-parallel batch
+        # executor behind profile_batch (None -> REPRO_SIM_BATCH).
         self.profiler = CycleProfiler(
             constraints, max_steps=max_steps,
             schedule_cache_size=0 if backend == "none" else 512,
-            sim_kernels=sim_kernels)
+            sim_kernels=sim_kernels, sim_batch=sim_batch)
         self.samples_taken = 0
         # The engine's batch API profiles from worker threads; a bare
         # ``+= 1`` would drop increments under that interleaving.
@@ -149,6 +154,38 @@ class HLSToolchain:
 
     def cycle_count(self, module: Module, entry: str = "main") -> int:
         return self.profile(module, entry).cycles
+
+    def profile_batch(self, modules: Sequence[Module],
+                      entry: str = "main") -> List[object]:
+        """Profile a wave of modules through the data-parallel batch
+        executor. Each entry is a :class:`CycleReport` or the exception
+        that lane failed with; every lane costs exactly one simulator
+        sample, same as a serial :meth:`profile` loop."""
+        self._count_samples(len(modules))
+        return self.profiler.profile_batch(list(modules), entry)
+
+    def objective_values_batch(self, modules: Sequence[Module],
+                               objective: str = "cycles",
+                               area_weight: float = 0.05,
+                               entry: str = "main") -> List[object]:
+        """Batched :meth:`objective_value` for the cycle-based objectives:
+        one float (or per-lane exception) per module, with sample
+        accounting identical to the serial path ('cycles-area' adds the
+        area term without an extra sample)."""
+        if objective not in ("cycles", "cycles-area"):
+            raise ValueError(
+                f"objective {objective!r} has no batched evaluation path")
+        reports = self.profile_batch(modules, entry)
+        values: List[object] = []
+        for module, report in zip(modules, reports):
+            if isinstance(report, BaseException):
+                values.append(report)
+            elif objective == "cycles":
+                values.append(float(report.cycles))
+            else:
+                values.append(float(report.cycles)
+                              + area_weight * self.area_score(module))
+        return values
 
     def cycle_count_with_passes(self, module: Module,
                                 actions: Sequence[Union[int, str]],

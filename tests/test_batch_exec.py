@@ -1,0 +1,334 @@
+"""Data-parallel batched execution: bit-identity against the reference
+per-program kernels, lane isolation, and the verify-mode contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.core import EvaluationEngine
+from repro.hls.profiler import CycleProfiler, CycleReport
+from repro.interp.batch_exec import (
+    BatchedKernelExecutor,
+    batch_exec_info,
+    clear_batch_exec_stats,
+    exec_signature,
+    sim_batch_mode,
+)
+from repro.interp.kernels import KernelInterpreter, VerificationError
+from repro.interp.state import StepBudgetExceeded, TrapError
+from repro.ir import Function, GlobalVariable, IRBuilder, Module
+from repro.ir import types as ty
+from repro.passes.registry import PASS_TABLE, TERMINATE_INDEX
+from repro.service.fingerprint import toolchain_fingerprint
+from repro.toolchain import HLSToolchain, clone_module
+
+
+def build_global_loop_module(trip: int, name: str = "gloop",
+                             oob_index: int = 0) -> Module:
+    """A counted loop whose trip count (and an array index) load from
+    globals — so modules with different behaviour keep ONE structural
+    key and land in the same lock-step cohort.
+
+    ``s = 0; for (i = 0; i < @trip; i++) s += buf[@idx + i % 4]; return s``
+    With ``oob_index`` pushed past the buffer, the lane traps mid-loop.
+    """
+    m = Module(name)
+    trip_gv = GlobalVariable("trip", ty.i32, trip)
+    idx_gv = GlobalVariable("idx", ty.i32, oob_index)
+    buf_gv = GlobalVariable("buf", ty.array_type(ty.i32, 8),
+                            [5, 7, 11, 13, 17, 19, 23, 29])
+    for gv in (trip_gv, idx_gv, buf_gv):
+        m.add_global(gv)
+    f = m.add_function(Function("main", ty.function_type(ty.i32, []),
+                                linkage="external"))
+    entry, header, body, exit_ = (f.add_block(n)
+                                  for n in ("entry", "header", "body", "exit"))
+    b = IRBuilder(entry)
+    b.br(header)
+    bh = IRBuilder(header)
+    iv = bh.phi(ty.i32, "i")
+    acc = bh.phi(ty.i32, "acc")
+    iv.add_incoming(b.const(0), entry)
+    acc.add_incoming(b.const(0), entry)
+    limit = bh.load(trip_gv, "limit")
+    bh.cbr(bh.icmp("slt", iv, limit, "cmp"), body, exit_)
+    bb = IRBuilder(body)
+    base = bb.load(idx_gv, "base")
+    wrapped = bb.srem(iv, bb.const(4), "wrap")
+    slot = bb.add(base, wrapped, "slot")
+    v = bb.load(bb.gep(buf_gv, [0, slot], "p"), "v")
+    acc2 = bb.add(acc, v, "acc2")
+    iv2 = bb.add(iv, bb.const(1), "iv2")
+    iv.add_incoming(iv2, body)
+    acc.add_incoming(acc2, body)
+    bb.br(header)
+    IRBuilder(exit_).ret(acc)
+    return m
+
+
+def report_fingerprint(report: CycleReport) -> tuple:
+    return (report.cycles, sorted(report.states_by_block.items()),
+            sorted(report.visits_by_block.items()),
+            report.execution.observable(), report.execution.steps,
+            sorted(report.execution.call_counts.items()),
+            tuple(report.execution.output))
+
+
+def solo_outcome(module: Module, max_steps: int = 1_000_000):
+    """What a per-program KernelInterpreter run produces for a module:
+    (True, ExecutionResult) or (False, (type, str(exc)))."""
+    try:
+        result = KernelInterpreter(clone_module(module),
+                                   max_steps=max_steps).run("main")
+        return (True, result)
+    except Exception as exc:
+        return (False, (type(exc), str(exc)))
+
+
+class TestLockstepParity:
+    @pytest.mark.parametrize("bench", ["qsort", "gsm"])
+    def test_every_registry_pass_parity(self, benchmarks, bench):
+        """One profile_batch over the base program plus each single-pass
+        variant is bit-identical to per-program (sim_batch=off)
+        profiling — across every pass in the Table-1 registry."""
+        base = benchmarks[bench]
+        passes = [p for i, p in enumerate(dict.fromkeys(PASS_TABLE))
+                  if PASS_TABLE.index(p) != TERMINATE_INDEX]
+        variants = [clone_module(base)]
+        for name in passes:
+            candidate = clone_module(base)
+            HLSToolchain.apply_passes(candidate, [name])
+            variants.append(candidate)
+
+        batched = CycleProfiler(sim_batch="on")
+        reports = batched.profile_batch(variants)
+        serial = CycleProfiler(sim_batch="off")
+        for name, module, report in zip(["<base>"] + passes, variants, reports):
+            assert isinstance(report, CycleReport), (name, report)
+            expected = serial.profile(clone_module(module))
+            assert report_fingerprint(report) == report_fingerprint(expected), name
+
+    def test_divergent_lanes_share_one_cohort(self):
+        """Same structural key, different global-driven behaviour: the
+        lanes run lock-step (no scalar fallback) and each matches its
+        solo run exactly."""
+        trips = [3, 17, 0, 255, 17]
+        modules = [build_global_loop_module(t) for t in trips]
+        sigs = {exec_signature(m, "main") for m in modules}
+        assert len(sigs) == len(set(trips))  # dedup by content, not key
+
+        clear_batch_exec_stats()
+        outcomes = BatchedKernelExecutor().run_batch(
+            [(m, None) for m in modules])
+        info = batch_exec_info()
+        assert info["batch_lanes"] == 5
+        assert info["batch_executed"] == 4  # the duplicate trip=17 deduped
+        assert info["batch_dedup_saved"] == 1
+        assert info["batch_fallbacks"] == 0  # one lock-step cohort, no scalar
+        for module, outcome in zip(modules, outcomes):
+            ok, ref = solo_outcome(module)
+            assert ok, ref
+            assert outcome.observable() == ref.observable()
+            assert outcome.steps == ref.steps
+            assert dict(outcome.call_counts) == dict(ref.call_counts)
+
+
+class TestLaneIsolation:
+    def test_trapping_lane_detaches_without_poisoning_siblings(self):
+        """One lane indexes out of bounds mid-loop; siblings stay
+        bit-identical to their solo runs and the trap message matches."""
+        healthy = [build_global_loop_module(t) for t in (6, 11)]
+        trapping = build_global_loop_module(9, oob_index=7)  # 7+wrap > 7
+        modules = [healthy[0], trapping, healthy[1]]
+        outcomes = BatchedKernelExecutor().run_batch(
+            [(m, None) for m in modules])
+
+        ok, ref_trap = solo_outcome(trapping)
+        assert not ok
+        assert isinstance(outcomes[1], ref_trap[0])
+        assert str(outcomes[1]) == ref_trap[1]
+        for module, outcome in ((healthy[0], outcomes[0]),
+                                (healthy[1], outcomes[2])):
+            ok, ref = solo_outcome(module)
+            assert ok
+            assert outcome.observable() == ref.observable()
+            assert outcome.steps == ref.steps
+
+    def test_step_budget_raises_at_identical_step(self):
+        """Exhaustive max_steps sweep over a short lane beside a wide
+        sibling: StepBudgetExceeded raises at the exact step (identical
+        message) a solo run raises at, for every boundary."""
+        short = build_global_loop_module(4)
+        wide = build_global_loop_module(200)
+        ok, ref_full = solo_outcome(short)
+        assert ok
+        for max_steps in range(1, ref_full.steps + 2):
+            executor = BatchedKernelExecutor(max_steps=max_steps)
+            outcomes = executor.run_batch([(clone_module(short), None),
+                                           (clone_module(wide), None)])
+            ok, ref = solo_outcome(short, max_steps=max_steps)
+            if ok:
+                assert isinstance(outcomes[0], type(ref)) or \
+                    outcomes[0].observable() == ref.observable()
+                assert outcomes[0].steps == ref.steps
+            else:
+                assert type(outcomes[0]) is ref[0] is StepBudgetExceeded
+                assert str(outcomes[0]) == ref[1]
+
+
+class TestVerifyMode:
+    def test_verify_raises_on_batched_divergence(self, benchmarks, monkeypatch):
+        modules = [clone_module(benchmarks["qsort"]) for _ in range(3)]
+        real = BatchedKernelExecutor.run_batch
+
+        def corrupting(self, items, entry="main"):
+            outcomes = real(self, items, entry)
+            outcomes[1].call_counts["main"] += 1  # silent corruption
+            return outcomes
+
+        monkeypatch.setattr(BatchedKernelExecutor, "run_batch", corrupting)
+        profiler = CycleProfiler(sim_batch="verify")
+        with pytest.raises(VerificationError, match="sim-batch divergence"):
+            profiler.profile_batch(modules)
+
+    def test_verify_matches_clean_run(self, benchmarks):
+        modules = [clone_module(benchmarks["gsm"]) for _ in range(3)]
+        verified = CycleProfiler(sim_batch="verify").profile_batch(modules)
+        plain = CycleProfiler(sim_batch="off").profile(
+            clone_module(benchmarks["gsm"]))
+        for report in verified:
+            assert report_fingerprint(report) == report_fingerprint(plain)
+
+    def test_mode_resolution_and_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BATCH", raising=False)
+        assert sim_batch_mode() == "on"
+        monkeypatch.setenv("REPRO_SIM_BATCH", "verify")
+        assert sim_batch_mode() == "verify"
+        assert sim_batch_mode("off") == "off"  # override beats env
+        with pytest.raises(ValueError):
+            sim_batch_mode("sometimes")
+
+
+class TestEngineSeam:
+    SEQS = [["-adce"], ["-simplifycfg"], ["-adce"], [], ["-gvn"],
+            ["-instcombine"], ["-licm"], ["-mem2reg"]]
+
+    def _run(self, program, mode, want_features=False):
+        toolchain = HLSToolchain(sim_batch=mode)
+        toolchain.engine.clear()
+        rows = toolchain.engine.evaluate_batch(program, self.SEQS,
+                                               want_features=want_features)
+        return rows, toolchain.samples_taken
+
+    def test_grouped_batch_matches_serial_values_and_samples(self, benchmarks):
+        rows_off, samples_off = self._run(benchmarks["qsort"], "off")
+        rows_on, samples_on = self._run(benchmarks["qsort"], "on")
+        assert rows_off == rows_on
+        assert samples_off == samples_on
+
+    def test_grouped_batch_with_features(self, benchmarks):
+        rows_off, samples_off = self._run(benchmarks["qsort"], "off",
+                                          want_features=True)
+        rows_on, samples_on = self._run(benchmarks["qsort"], "on",
+                                        want_features=True)
+        assert samples_off == samples_on
+        for (v_off, f_off), (v_on, f_on) in zip(rows_off, rows_on):
+            assert v_off == v_on
+            assert np.array_equal(f_off, f_on)
+
+    def test_memo_hits_skip_the_batch_executor(self, benchmarks):
+        toolchain = HLSToolchain(sim_batch="on")
+        toolchain.engine.clear()
+        toolchain.engine.evaluate_batch(benchmarks["gsm"], self.SEQS)
+        warm_samples = toolchain.samples_taken
+        clear_batch_exec_stats()
+        again = toolchain.engine.evaluate_batch(benchmarks["gsm"], self.SEQS)
+        assert toolchain.samples_taken == warm_samples  # all memo hits
+        assert batch_exec_info()["batch_lanes"] == 0
+        assert again == toolchain.engine.evaluate_batch(benchmarks["gsm"],
+                                                        self.SEQS)
+
+    def test_cache_info_exposes_batch_counters(self, benchmarks):
+        toolchain = HLSToolchain(sim_batch="on")
+        toolchain.engine.clear()
+        toolchain.engine.evaluate_batch(benchmarks["qsort"], self.SEQS)
+        info = toolchain.engine.cache_info()
+        assert info["batch_lanes"] > 0
+        assert info["batch_executed"] > 0
+
+
+class TestSatellites:
+    def test_sequence_evaluator_dedupes_population(self, benchmarks):
+        """score_population submits ONE deduplicated evaluate_batch per
+        generation; results fan back out per candidate, accounting
+        unchanged."""
+        from repro.search.base import SequenceEvaluator, score_population
+
+        calls = []
+
+        class SpyEngine:
+            def evaluate_batch(self, program, seqs, objective="cycles",
+                               area_weight=0.05, entry="main",
+                               want_features=False):
+                calls.append([list(s) for s in seqs])
+                return [1000.0 + sum(s) for s in seqs]
+
+        evaluator = SequenceEvaluator(benchmarks["qsort"])
+        evaluator.toolchain.engine = SpyEngine()
+        population = [[28], [31], [28], [7], [31], [28]]
+        scores = score_population(evaluator, population)
+        assert len(calls) == 1
+        assert calls[0] == [[28], [31], [7]]  # deduped, order-preserving
+        assert scores == [1028, 1031, 1028, 1007, 1031, 1028]
+        assert evaluator.samples == 6  # accounting stays per candidate
+
+    def test_cache_stats_standalone_shows_global_cache_rows(self, tmp_path,
+                                                            capsys):
+        """`repro cache stats` against a bare store must render the
+        process-global kernel/plan/batch rows, not an empty table."""
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel cache" in out
+        assert "block-plan cache" in out
+        assert "batch executor" in out
+        assert "(no cache activity" not in out
+
+    def test_sim_batch_stays_out_of_fingerprints(self):
+        fps = {toolchain_fingerprint(HLSToolchain(sim_batch=mode))
+               for mode in ("off", "on", "verify")}
+        assert len(fps) == 1
+
+    def test_worker_batches_shard_submissions(self, benchmarks, tmp_path):
+        """evaluate_many (the per-shard batched path) returns exactly what
+        per-item evaluate_one returns, and persists results for the next
+        worker generation."""
+        from repro.service.fingerprint import program_fingerprint
+        from repro.service.worker import _WorkerState, dumps_module
+
+        program = benchmarks["qsort"]
+        fp = program_fingerprint(program)
+        items = [((28,), "cycles", 0.05, "main", False),
+                 ((31,), "cycles", 0.05, "main", False),
+                 ((28,), "cycles", 0.05, "main", False),
+                 ((7,), "cycles", 0.05, "main", True),
+                 ((), "cycles", 0.05, "main", False)]
+
+        batched_state = _WorkerState(0, str(tmp_path / "a"), {})
+        batched_state.register(1, fp, dumps_module(program))
+        batched = batched_state.evaluate_many(1, items)
+
+        serial_state = _WorkerState(1, str(tmp_path / "b"),
+                                    {"sim_batch": "off"})
+        serial_state.register(1, fp, dumps_module(program))
+        serial = [serial_state.evaluate_one(1, item) for item in items]
+        assert batched == serial
+
+        # a fresh worker over the same store warm-starts from the batch's
+        # persisted rows: zero simulator samples
+        warm = _WorkerState(2, str(tmp_path / "a"), {})
+        warm.register(1, fp, dumps_module(program))
+        assert warm.evaluate_many(1, items) == batched
+        assert warm.toolchain.samples_taken == 0

@@ -318,10 +318,13 @@ class TestInstrumentedStack:
         tc.engine.evaluate_batch(benchmarks["gsm"], [[38], [38, 31]])
         snap = tm.snapshot()
         hists = snap["histograms"]
-        for name in ("engine.evaluate.seconds", "engine.pass_apply.seconds",
-                     "engine.profile.seconds", "engine.batch_size"):
+        for name in ("engine.pass_apply.seconds", "engine.batch_size"):
             assert hists[name]["count"] > 0, name
             assert hists[name]["sum"] >= 0.0
+        # cache misses profile per sequence (sim_batch=off) or as one
+        # data-parallel wave (default) — either stage must show up
+        assert (hists.get("engine.profile.seconds", {}).get("count", 0) > 0
+                or hists.get("engine.profile_batch.seconds", {}).get("count", 0) > 0), hists
         assert snap["counters"]["engine.memo_misses"] > 0
         # kernel compile/execute split (sim kernels default on)
         assert any(n.startswith(("kernel.", "interp.")) for n in hists), hists
@@ -443,7 +446,11 @@ class TestServerOps:
             assert hists["server.op.batch.seconds"]["count"] >= 1
             assert hists["server.batch_size"]["count"] >= 1
             assert hists["worker.queue_wait.seconds"]["count"] >= 1
-            assert hist_summary(hists["engine.evaluate.seconds"])["p50"] > 0
+            # worker misses evaluate per sequence (sim_batch=off) or as
+            # one batched wave (default)
+            evaluated = hists.get("engine.evaluate.seconds",
+                                  hists.get("engine.profile_batch.seconds"))
+            assert evaluated is not None and hist_summary(evaluated)["p50"] > 0
         finally:
             request(socket_path, {"op": "shutdown"})
             thread.join(timeout=30)
