@@ -1,0 +1,191 @@
+"""Cold typed-SIMD throughput: one ``profile_batch`` wave through the
+lock-step executor with the int64 column tier (``REPRO_SIM_SIMD=on``)
+versus the PR 8 scalar batched path (``off``) on an int-heavy population.
+
+The workload is the regime the typed tier exists for: a 16-lane
+population of candidates that share one compiled kernel (one structural
+key) but diverge in data (distinct global seeds, so execution-signature
+dedup cannot collapse them), whose hot loop is one straight integer
+ALU segment — mul/add/xor/ashr/trunc/sext/icmp/select/urem chains the
+column planner vectorizes end to end. The scalar batched path pays one
+Python closure call per lane per instruction; the typed tier pays one
+numpy column op per instruction for the whole wave.
+
+Interleaved best-of-N, both modes cold each round (fresh profiler, the
+process-global kernel/plan caches and batch stats cleared). The bench
+asserts per-lane :class:`CycleReport` s are bit-identical across modes,
+then gates the speedup at ``MIN_SPEEDUP``× and appends a trajectory
+record to ``BENCH_simd.json`` (github-action-benchmark style).
+
+Run via pytest (``pytest benchmarks/bench_simd.py``) or standalone
+(``python benchmarks/bench_simd.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.hls.profiler import CycleProfiler
+from repro.interp import clear_kernel_cache, clear_plan_cache
+from repro.interp.batch_exec import batch_exec_info, clear_batch_exec_stats
+from repro.ir import Function, GlobalVariable, IRBuilder, Module
+from repro.ir import types as ty
+
+MIN_SPEEDUP = 1.5
+MIN_BATCH = 16
+BENCH_FILE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_simd.json")
+
+POPULATION = 16  # the acceptance gate requires batch >= 16
+TRIP = 700       # loop iterations per lane
+ROUNDS = 10      # ALU rounds per loop iteration (11 column ops each)
+ITERATIONS = 3
+
+
+def build_int_kernel(seed: int) -> Module:
+    """Loads confined to the entry block, loop body one pure-integer
+    segment: the shape GA/PSO candidate kernels take after mem2reg-style
+    cleanups, and the best case for the column planner."""
+    m = Module("intk")
+    seed_gv = GlobalVariable("seed", ty.i64, seed)
+    trip_gv = GlobalVariable("trip", ty.i64, TRIP)
+    for gv in (seed_gv, trip_gv):
+        m.add_global(gv)
+    f = m.add_function(Function("main", ty.function_type(ty.i64, []),
+                                linkage="external"))
+    entry, header, body, exit_ = (f.add_block(n)
+                                  for n in ("entry", "header", "body", "exit"))
+    b = IRBuilder(entry)
+    s0 = b.load(seed_gv, "s0")
+    limit = b.load(trip_gv, "limit")
+    b.br(header)
+    bh = IRBuilder(header)
+    iv = bh.phi(ty.i64, "i")
+    acc = bh.phi(ty.i64, "acc")
+    iv.add_incoming(b.const(0, ty.i64), entry)
+    acc.add_incoming(s0, entry)
+    bh.cbr(bh.icmp("slt", iv, limit, "cmp"), body, exit_)
+    bb = IRBuilder(body)
+    x = acc
+    for k in range(ROUNDS):
+        x = bb.mul(x, bb.const(6364136223846793005, ty.i64), f"m{k}")
+        x = bb.add(x, bb.const(1442695040888963407, ty.i64), f"a{k}")
+        x = bb.xor(x, bb.ashr(x, bb.const(17, ty.i64), f"sh{k}"), f"x{k}")
+        w = bb.sext(bb.trunc(x, ty.i32, f"t{k}"), ty.i64, f"w{k}")
+        neg = bb.icmp("slt", w, bb.const(0, ty.i64), f"n{k}")
+        x = bb.select(neg, bb.sub(x, w, f"s{k}"),
+                      bb.add(x, bb.const(k + 1, ty.i64), f"p{k}"), f"sel{k}")
+        x = bb.urem(x, bb.const((1 << 61) - 1, ty.i64), f"r{k}")
+    iv2 = bb.add(iv, bb.const(1, ty.i64), "iv2")
+    iv.add_incoming(iv2, body)
+    acc.add_incoming(x, body)
+    bb.br(header)
+    IRBuilder(exit_).ret(acc)
+    return m
+
+
+def build_population() -> List[Module]:
+    return [build_int_kernel(s * 7919 + 11) for s in range(POPULATION)]
+
+
+def _fingerprint(report) -> tuple:
+    return (report.cycles, sorted(report.states_by_block.items()),
+            sorted(report.visits_by_block.items()),
+            report.execution.observable(), report.execution.steps)
+
+
+def _time_wave(population: List[Module], mode: str) -> tuple:
+    """One cold wave: fresh profiler, cold process-global caches."""
+    clear_kernel_cache()
+    clear_plan_cache()
+    clear_batch_exec_stats()
+    profiler = CycleProfiler(sim_batch="on", sim_simd=mode)
+    t0 = time.perf_counter()
+    reports = profiler.profile_batch(population)
+    elapsed = time.perf_counter() - t0
+    return elapsed, [_fingerprint(r) for r in reports]
+
+
+def run_bench() -> Dict:
+    """Interleaved best-of-N so CPU-frequency/contention regime shifts on
+    shared CI runners hit both modes alike; each mode keeps its minimum
+    (a slowdown in a minimum is real, never interference)."""
+    population = build_population()
+    assert len(population) >= MIN_BATCH
+    ref_best = simd_best = float("inf")
+    ref_fp = simd_fp = None
+    stats = None
+    for _ in range(ITERATIONS):
+        elapsed, ref_fp = _time_wave(population, "off")
+        ref_best = min(ref_best, elapsed)
+        elapsed, simd_fp = _time_wave(population, "on")
+        stats = batch_exec_info()
+        simd_best = min(simd_best, elapsed)
+    diverged = [i for i, (a, b) in enumerate(zip(ref_fp, simd_fp)) if a != b]
+    assert not diverged, f"typed SIMD tier diverged on lanes {diverged}"
+    n = len(population)
+    return {
+        "batch": n,
+        "scalar_profiles_per_sec": n / ref_best,
+        "simd_profiles_per_sec": n / simd_best,
+        "speedup": ref_best / simd_best,
+        "batch_exec": stats,
+    }
+
+
+def append_trajectory(result: Dict) -> None:
+    """BENCH_simd.json keeps one github-action-benchmark style entry
+    list per run, newest last, so regressions show up as a trajectory."""
+    history = []
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as fh:
+            history = json.load(fh)
+    history.append([
+        {"name": "simd_profiles_per_sec", "unit": "profiles/s",
+         "value": round(result["simd_profiles_per_sec"], 3)},
+        {"name": "scalar_batched_profiles_per_sec", "unit": "profiles/s",
+         "value": round(result["scalar_profiles_per_sec"], 3)},
+        {"name": "simd_speedup", "unit": "x",
+         "value": round(result["speedup"], 3)},
+    ])
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def _render(result: Dict) -> str:
+    stats = result["batch_exec"]
+    return "\n".join([
+        f"cold population: batch of {result['batch']} int-heavy kernels "
+        f"({TRIP} trips x {ROUNDS} ALU rounds) x {ITERATIONS} interleaved "
+        f"rounds x 2 modes, all caches cold",
+        f"scalar batched : {result['scalar_profiles_per_sec']:.2f} profiles/s",
+        f"typed SIMD     : {result['simd_profiles_per_sec']:.2f} profiles/s",
+        f"speedup        : {result['speedup']:.2f}x (floor {MIN_SPEEDUP}x)",
+        f"last wave      : {stats['simd_segments_vectorized']} segments "
+        f"vectorized / {stats['simd_segments_scalar']} scalar "
+        f"({stats['simd_vectorized_ratio']:.1%} coverage, "
+        f"{stats['simd_column_ops']} column ops, "
+        f"{stats['simd_guard_fallbacks']} guard fallbacks)",
+    ])
+
+
+def test_simd_cold_population_throughput():
+    from conftest import emit  # benchmarks/ is sys.path-prepended by pytest
+
+    result = run_bench()
+    emit("BENCH simd — typed int64 columns vs scalar batched execution",
+         _render(result))
+    append_trajectory(result)
+    assert result["speedup"] >= MIN_SPEEDUP, _render(result)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(_render(result))
+    append_trajectory(result)
+    if result["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(f"speedup {result['speedup']:.2f}x below {MIN_SPEEDUP}x floor")

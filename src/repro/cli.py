@@ -18,8 +18,9 @@
     python -m repro models list|show|rm [NAME] [--registry DIR]
     python -m repro profile-hotspots <benchmark> [--passes "..."]
                           [--sim-kernels off|on|verify]
-                          [--sim-batch off|on|verify] [--top N] [--sort KEY]
-                          [--json PATH]
+                          [--sim-batch off|on|verify]
+                          [--sim-simd off|on|verify] [--batch-lanes N]
+                          [--top N] [--sort KEY] [--json PATH]
     python -m repro cache stats|clear|export [--store DIR]
     python -m repro stats [--json] [--watch N] [--log PATH] [--socket PATH]
 
@@ -304,13 +305,19 @@ def _cmd_profile_hotspots(args) -> int:
     # One *cold* evaluation: a fresh profiler (empty schedule cache), the
     # path a first-time sequence pays inside the engine.
     profiler = CycleProfiler(sim_kernels=args.sim_kernels,
-                             sim_batch=args.sim_batch)
+                             sim_batch=args.sim_batch,
+                             sim_simd=args.sim_simd)
+    if args.batch_lanes is not None and profiler.sim_batch == "off":
+        print("--batch-lanes requires batched execution; it has no effect "
+              "with --sim-batch off (serial profiling)", file=sys.stderr)
+        return 2
+    lanes = args.batch_lanes if args.batch_lanes is not None else 8
     run = cProfile.Profile()
     if profiler.sim_batch != "off":
         # Profile the batched hot path the engine actually takes for
         # populations: a wave of execution-equivalent lanes.
         wave = [candidate] + [clone_module(candidate)
-                              for _ in range(max(1, args.batch_lanes) - 1)]
+                              for _ in range(max(1, lanes) - 1)]
         run.enable()
         reports = profiler.profile_batch(wave)
         run.disable()
@@ -323,7 +330,7 @@ def _cmd_profile_hotspots(args) -> int:
         run.disable()
     print(f"{args.benchmark}: {report.cycles} cycles after {len(seq)} passes "
           f"(sim_kernels={profiler.sim_kernels}, "
-          f"sim_batch={profiler.sim_batch})")
+          f"sim_batch={profiler.sim_batch}, sim_simd={profiler.sim_simd})")
     stats = pstats.Stats(run, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.json:
@@ -342,6 +349,7 @@ def _cmd_profile_hotspots(args) -> int:
         payload = {"benchmark": args.benchmark, "cycles": report.cycles,
                    "passes": len(seq), "sim_kernels": profiler.sim_kernels,
                    "sim_batch": profiler.sim_batch,
+                   "sim_simd": profiler.sim_simd,
                    "sort": args.sort, "hotspots": rows[:args.top]}
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -592,8 +600,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "'off' the candidate is profiled as a batch-of-8 "
                          "wave through the data-parallel executor "
                          "(default: $REPRO_SIM_BATCH or 'on')")
-    ph.add_argument("--batch-lanes", type=int, default=8,
-                    help="wave width for --sim-batch profiling (default 8)")
+    ph.add_argument("--sim-simd", choices=["off", "on", "verify"],
+                    default=None,
+                    help="typed-SIMD column tier under batched execution "
+                         "(default: $REPRO_SIM_SIMD or 'on')")
+    ph.add_argument("--batch-lanes", type=int, default=None,
+                    help="wave width for --sim-batch profiling (default 8; "
+                         "rejected when --sim-batch is 'off')")
     ph.add_argument("--top", type=int, default=25,
                     help="number of stat rows to print (default 25)")
     ph.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],

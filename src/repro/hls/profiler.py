@@ -33,7 +33,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry as tm
-from ..interp.batch_exec import BatchedKernelExecutor, sim_batch_mode
+from ..interp.batch_exec import BatchedKernelExecutor, sim_batch_mode, \
+    sim_simd_mode
 from ..interp.interpreter import ExecutionResult, Interpreter
 from ..interp.kernels import (
     KernelInterpreter,
@@ -50,7 +51,8 @@ from .sched_vec import function_state_counts_flat
 from .scheduler import Scheduler
 
 __all__ = ["CycleReport", "HLSCompilationError", "StepBudgetError",
-           "CycleProfiler", "sim_kernels_mode", "sim_batch_mode"]
+           "CycleProfiler", "sim_kernels_mode", "sim_batch_mode",
+           "sim_simd_mode"]
 
 # Burst engines move one slot per cycle after setup (see delays.py).
 _DYNAMIC_BURST = ("llvm.memset", "llvm.memcpy")
@@ -101,7 +103,8 @@ class CycleProfiler:
                  max_steps: int = 1_000_000,
                  schedule_cache_size: int = 512,
                  sim_kernels: Optional[str] = None,
-                 sim_batch: Optional[str] = None) -> None:
+                 sim_batch: Optional[str] = None,
+                 sim_simd: Optional[str] = None) -> None:
         self.scheduler = Scheduler(constraints, library)
         self.constraints = self.scheduler.constraints
         self.max_steps = max_steps
@@ -111,6 +114,8 @@ class CycleProfiler:
         # Same contract for the data-parallel batch executor behind
         # profile_batch (None -> REPRO_SIM_BATCH, default "on").
         self.sim_batch = sim_batch_mode(sim_batch)
+        # ...and for its typed-SIMD column tier (None -> REPRO_SIM_SIMD).
+        self.sim_simd = sim_simd_mode(sim_simd)
         # structural key -> per-block state counts (block order positional)
         self._schedule_cache: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         self._schedule_cache_size = schedule_cache_size
@@ -176,7 +181,8 @@ class CycleProfiler:
                 err.__cause__ = exc
                 results[i] = err
         if exec_lanes:
-            executor = BatchedKernelExecutor(max_steps=self.max_steps)
+            executor = BatchedKernelExecutor(max_steps=self.max_steps,
+                                             sim_simd=self.sim_simd)
             with tm.span("profile.execute_batch", backend=mode,
                          lanes=len(exec_lanes)):
                 outcomes = executor.run_batch(

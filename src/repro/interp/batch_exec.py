@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,7 +47,9 @@ import numpy as np
 from .. import telemetry as tm
 from ..ir.module import Module
 from .interpreter import ExecutionResult
-from .kernels import KernelInterpreter, compiled_for
+from .kernels import KernelInterpreter, VerificationError, _error_category, \
+    compiled_for
+from .simd import sim_simd_mode
 from .state import (
     InterpreterLimitExceeded,
     MemPointer,
@@ -54,8 +57,8 @@ from .state import (
     TrapError,
 )
 
-__all__ = ["BatchedKernelExecutor", "sim_batch_mode", "batch_exec_info",
-           "clear_batch_exec_stats"]
+__all__ = ["BatchedKernelExecutor", "sim_batch_mode", "sim_simd_mode",
+           "batch_exec_info", "clear_batch_exec_stats"]
 
 LaneOutcome = Union[ExecutionResult, BaseException]
 
@@ -83,26 +86,58 @@ _batch_lanes = 0         # lanes submitted
 _batch_executed = 0      # lanes actually executed (group representatives)
 _batch_dedup_saved = 0   # lanes answered by a sibling's execution
 _batch_fallbacks = 0     # singleton cohorts sent through the scalar kernel
+# typed-SIMD tier coverage (counted per wave-segment execution, simd on)
+_simd_segments_vectorized = 0  # planned segments executed as column ops
+_simd_segments_scalar = 0      # segments executed through scalar closures
+_simd_guard_fallbacks = 0      # planned segments bailed by a gather guard
+_simd_column_ops = 0           # column ufunc dispatches issued
 
 
-def batch_exec_info() -> Dict[str, int]:
+def batch_exec_info() -> Dict[str, object]:
     with _stats_lock:
+        vec, scal = _simd_segments_vectorized, _simd_segments_scalar
         return {"batch_runs": _batch_runs,
                 "batch_lanes": _batch_lanes,
                 "batch_executed": _batch_executed,
                 "batch_dedup_saved": _batch_dedup_saved,
-                "batch_fallbacks": _batch_fallbacks}
+                "batch_fallbacks": _batch_fallbacks,
+                "simd_segments_vectorized": vec,
+                "simd_segments_scalar": scal,
+                "simd_guard_fallbacks": _simd_guard_fallbacks,
+                "simd_column_ops": _simd_column_ops,
+                "simd_vectorized_ratio":
+                    round(vec / (vec + scal), 4) if vec + scal else 0.0,
+                "batch_sig_memo_hits": _sig_memo_hits,
+                "batch_sig_memo_misses": _sig_memo_misses}
 
 
 def clear_batch_exec_stats() -> None:
     global _batch_runs, _batch_lanes, _batch_executed
     global _batch_dedup_saved, _batch_fallbacks
+    global _simd_segments_vectorized, _simd_segments_scalar
+    global _simd_guard_fallbacks, _simd_column_ops
+    global _sig_memo_hits, _sig_memo_misses
     with _stats_lock:
         _batch_runs = _batch_lanes = _batch_executed = 0
         _batch_dedup_saved = _batch_fallbacks = 0
+        _simd_segments_vectorized = _simd_segments_scalar = 0
+        _simd_guard_fallbacks = _simd_column_ops = 0
+    with _sig_lock:
+        _sig_memo_hits = _sig_memo_misses = 0
+        _sig_memo.clear()
 
 
 # -- execution signatures ------------------------------------------------------
+
+# exec_signature memo, keyed per (module, Module.version): repeated waves
+# over unchanged candidates (vec-env steps re-submitting survivors, GA
+# elites) skip re-flattening every global initializer. PassManager bumps
+# ``Module.version`` on mutation, which is the invalidation contract.
+_sig_lock = threading.Lock()
+_sig_memo: "weakref.WeakKeyDictionary[Module, Tuple]" = weakref.WeakKeyDictionary()
+_sig_memo_hits = 0
+_sig_memo_misses = 0
+
 
 def exec_signature(module: Module, entry: str,
                    keys: Optional[Dict] = None) -> Tuple:
@@ -110,7 +145,29 @@ def exec_signature(module: Module, entry: str,
     in *allocation order* (segment ids are observable through pointer
     values), declarations by name, defined functions by (name,
     structural body hash), and the entry point. Equal signatures imply
-    bit-identical executions."""
+    bit-identical executions. Memoized per ``(module, Module.version)``."""
+    global _sig_memo_hits, _sig_memo_misses
+    version = module.version
+    with _sig_lock:
+        memo = _sig_memo.get(module)
+        if memo is not None and memo[0] == version:
+            sig = memo[1].get(entry)
+            if sig is not None:
+                _sig_memo_hits += 1
+                return sig
+    sig = _compute_signature(module, entry, keys)
+    with _sig_lock:
+        _sig_memo_misses += 1
+        memo = _sig_memo.get(module)
+        if memo is not None and memo[0] == version:
+            memo[1][entry] = sig
+        else:
+            _sig_memo[module] = (version, {entry: sig})
+    return sig
+
+
+def _compute_signature(module: Module, entry: str,
+                       keys: Optional[Dict]) -> Tuple:
     from ..hls.hashing import structural_key
 
     keys = keys or {}
@@ -183,9 +240,11 @@ class BatchedKernelExecutor:
     """
 
     def __init__(self, max_steps: int = 1_000_000,
-                 max_call_depth: int = 64) -> None:
+                 max_call_depth: int = 64,
+                 sim_simd: Optional[str] = None) -> None:
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
+        self.sim_simd = sim_simd_mode(sim_simd)
 
     def run_batch(self, items: Sequence[Tuple[Module, Optional[Dict]]],
                   entry: str = "main") -> List[LaneOutcome]:
@@ -282,6 +341,25 @@ class BatchedKernelExecutor:
     # -- the lock-step core --------------------------------------------------
     def _run_lockstep(self, reps: List[int], items, entry: str,
                       outcomes: List[Optional[LaneOutcome]]) -> None:
+        if self.sim_simd == "verify":
+            # run the cohort through both tiers (independent interpreter
+            # state each pass), cross-check every lane, anchor outcomes
+            # to the scalar batched pass — the reference semantics
+            typed: Dict[int, LaneOutcome] = {}
+            scalar: Dict[int, LaneOutcome] = {}
+            self._lockstep_pass(reps, items, entry, typed, True)
+            self._lockstep_pass(reps, items, entry, scalar, False)
+            self._verify_simd(reps, typed, scalar)
+            for rep in reps:
+                outcomes[rep] = scalar[rep]
+            return
+        sink: Dict[int, LaneOutcome] = {}
+        self._lockstep_pass(reps, items, entry, sink, self.sim_simd == "on")
+        for rep in reps:
+            outcomes[rep] = sink[rep]
+
+    def _lockstep_pass(self, reps: List[int], items, entry: str,
+                       sink: Dict[int, LaneOutcome], use_simd: bool) -> None:
         # Per-lane setup mirrors KernelInterpreter.__init__/run exactly:
         # globals allocate in module order, every defined function binds.
         lanes: List[_Lane] = []
@@ -295,7 +373,7 @@ class BatchedKernelExecutor:
                 if func is None or func.is_declaration:
                     raise TrapError(f"no defined entry function @{entry}")
             except Exception as exc:
-                outcomes[rep] = exc
+                sink[rep] = exc
                 continue
             lanes.append(_Lane(rep, ki, entry))
         if not lanes:
@@ -304,7 +382,7 @@ class BatchedKernelExecutor:
             # cohort collapsed to one live lane: the scalar kernel run it
             # would have taken anyway is the cheapest correct path
             lane = lanes[0]
-            outcomes[lane.index] = self._run_scalar(items[lane.index], entry)
+            sink[lane.index] = self._run_scalar(items[lane.index], entry)
             return
 
         cf = lanes[0].bf.cf
@@ -314,12 +392,70 @@ class BatchedKernelExecutor:
         # array the batched phi moves gather from.
         R = np.empty((nl, max(1, cf.nregs)), dtype=object)
         rows = [R[i] for i in range(nl)]
+        # Typed tier: a dense int64 column file beside the object file.
+        # Column plans gather from C unguarded for plan-defined slots, so
+        # C rows parallel R rows one-to-one.
+        use_cols = use_simd and cf.has_col_plans
+        C = np.zeros((nl, max(1, cf.nregs)), dtype=np.int64) if use_cols \
+            else None
+        seg_stats = [0, 0, 0, 0] if use_simd else None
 
         with tm.span("batch_exec.execute", entry=entry, lanes=nl):
-            self._drive(cf, lanes, R, rows, entry)
+            self._drive(cf, lanes, R, rows, entry,
+                        cf.col_plans if use_cols else None, C, seg_stats)
 
+        if seg_stats is not None:
+            self._flush_simd_stats(seg_stats)
         for lane in lanes:
-            self._finish_one(lane, outcomes)
+            self._finish_one(lane, sink)
+
+    @staticmethod
+    def _flush_simd_stats(seg_stats: List[int]) -> None:
+        global _simd_segments_vectorized, _simd_segments_scalar
+        global _simd_guard_fallbacks, _simd_column_ops
+        vec, scal, guards, ops = seg_stats
+        with _stats_lock:
+            _simd_segments_vectorized += vec
+            _simd_segments_scalar += scal
+            _simd_guard_fallbacks += guards
+            _simd_column_ops += ops
+        if vec:
+            tm.count("batch_exec.simd_segments_vectorized", vec)
+            tm.observe("batch_exec.simd_column_ops", ops)
+        if scal:
+            tm.count("batch_exec.simd_segments_scalar", scal)
+        if guards:
+            tm.count("batch_exec.simd_guard_fallbacks", guards)
+
+    @staticmethod
+    def _verify_simd(reps: List[int], typed: Dict[int, LaneOutcome],
+                     scalar: Dict[int, LaneOutcome]) -> None:
+        def fail(rep: int, what: str, a, b) -> None:
+            raise VerificationError(
+                f"REPRO_SIM_SIMD=verify: lane {rep} {what} diverged between "
+                f"the typed tier and the scalar batched path: {a!r} != {b!r}")
+
+        for rep in reps:
+            t, s = typed[rep], scalar[rep]
+            t_exc = isinstance(t, BaseException)
+            s_exc = isinstance(s, BaseException)
+            if t_exc != s_exc:
+                fail(rep, "outcome kind", t, s)
+            if t_exc:
+                if _error_category(t) != _error_category(s):
+                    fail(rep, "error category",
+                         _error_category(t), _error_category(s))
+                continue
+            if t.observable() != s.observable():
+                fail(rep, "observable state", t.observable(), s.observable())
+            if t.steps != s.steps:
+                fail(rep, "step count", t.steps, s.steps)
+            if t.block_counts != s.block_counts:
+                fail(rep, "block counts", t.block_counts, s.block_counts)
+            if t.call_counts != s.call_counts:
+                fail(rep, "call counts", t.call_counts, s.call_counts)
+            if t.output != s.output:
+                fail(rep, "output", t.output, s.output)
 
     def _finish_one(self, lane: _Lane, outcomes) -> None:
         if lane.error is not None:
@@ -341,7 +477,9 @@ class BatchedKernelExecutor:
             memory_digest=ki._digest_globals(),
         )
 
-    def _drive(self, cf, lanes: List[_Lane], R, rows, entry: str) -> None:
+    def _drive(self, cf, lanes: List[_Lane], R, rows, entry: str,
+               col_plans: Optional[Tuple] = None, C=None,
+               seg_stats: Optional[List[int]] = None) -> None:
         """The wave scheduler: one (block × batch) dispatch per wave."""
         # entry-frame prologue, identical to _BoundFunction.call
         active: List[int] = []
@@ -422,8 +560,11 @@ class BatchedKernelExecutor:
                         R[ids, d] = vals
                 wave = [i for i in wave if not lanes[i].done]
 
-            # -- straight-line segments: op-major over the active lanes
-            for nsteps, seg in segments:
+            # -- straight-line segments: column plans over the active
+            # lanes where the typed tier compiled one, op-major scalar
+            # closures everywhere else
+            block_plans = col_plans[bidx] if col_plans is not None else None
+            for si, (nsteps, seg) in enumerate(segments):
                 if not wave:
                     break
                 # budget partition: lanes far from the budget pre-add the
@@ -439,18 +580,41 @@ class BatchedKernelExecutor:
                     else:
                         self._near_budget(lanes[i], rows[i], seg, detach, i)
                 if ctx:
-                    for f in seg:
-                        died = False
-                        for t in ctx:
-                            try:
-                                f(t[0], t[1])
-                            except Exception as exc:
-                                detach(t[2], exc)
-                                died = True
-                        if died:
-                            ctx = [t for t in ctx if not lanes[t[2]].done]
-                            if not ctx:
-                                break
+                    vectorized = False
+                    plan = block_plans[si] if block_plans is not None else None
+                    if plan is not None:
+                        ids = np.fromiter((t[2] for t in ctx), dtype=np.intp,
+                                          count=len(ctx))
+                        if plan.execute(C, R, ids):
+                            vectorized = True
+                            seg_stats[0] += 1
+                            seg_stats[3] += plan.nops
+                        else:
+                            # a gather guard saw a non-int value: run the
+                            # segment through the scalar closures (exact
+                            # reference semantics) and retire the plans
+                            # for the rest of this drive — C would go
+                            # stale, while R stays authoritative for
+                            # every cross-segment operand
+                            seg_stats[1] += 1
+                            seg_stats[2] += 1
+                            col_plans = None
+                            block_plans = None
+                    elif seg_stats is not None:
+                        seg_stats[1] += 1
+                    if not vectorized:
+                        for f in seg:
+                            died = False
+                            for t in ctx:
+                                try:
+                                    f(t[0], t[1])
+                                except Exception as exc:
+                                    detach(t[2], exc)
+                                    died = True
+                            if died:
+                                ctx = [t for t in ctx if not lanes[t[2]].done]
+                                if not ctx:
+                                    break
                 wave = [i for i in wave if not lanes[i].done]
 
             if not wave:

@@ -72,6 +72,7 @@ from ..ir.module import BasicBlock, Function, Module
 from ..ir.values import ConstantFloat, ConstantInt, GlobalVariable, UndefValue
 from .externals import call_external
 from .interpreter import ExecutionResult, Interpreter
+from .simd import _K_CONST, _K_GLOBAL, _K_REG, _K_TRAP, compile_plans
 from .state import (
     InterpreterLimitExceeded,
     Memory,
@@ -85,11 +86,8 @@ __all__ = ["KernelInterpreter", "VerificationError", "run_verified",
 
 _pointer_compare = Interpreter._pointer_compare
 
-# Operand descriptor kinds (compile-time classification of a Value).
-_K_REG = 0     # val = register slot index
-_K_CONST = 1   # val = folded Python constant
-_K_GLOBAL = 2  # val = index into the per-execution global-pointer table
-_K_TRAP = 3    # val = TrapError message (use of the value traps)
+# Operand descriptor kinds (compile-time classification of a Value) are
+# shared with the typed-SIMD plan compiler — interp.simd owns them.
 
 _RET_NONE = ("ret", None)
 
@@ -104,11 +102,13 @@ class CompiledFunction:
     """The module-independent compiled form of one function body."""
 
     __slots__ = ("nregs", "nargs", "alloca_slot", "nblocks",
-                 "blocks", "gnames", "callee_specs")
+                 "blocks", "gnames", "callee_specs",
+                 "col_plans", "has_col_plans")
 
     def __init__(self, nregs: int, nargs: int, alloca_slot: int,
                  blocks: List[Tuple], gnames: List[str],
-                 callee_specs: List[Tuple[str, str]]) -> None:
+                 callee_specs: List[Tuple[str, str]],
+                 col_plans: Optional[Tuple] = None) -> None:
         self.nregs = nregs
         self.nargs = nargs
         self.alloca_slot = alloca_slot  # -1 when the function has no allocas
@@ -121,6 +121,10 @@ class CompiledFunction:
         self.blocks = blocks
         self.gnames = gnames
         self.callee_specs = callee_specs
+        # typed-SIMD column plans, indexed like ``blocks``: per block None
+        # or a per-segment tuple of None | ColumnPlan (see interp.simd).
+        self.col_plans = col_plans
+        self.has_col_plans = col_plans is not None
 
 
 class _ExecState:
@@ -311,6 +315,10 @@ class _FunctionCompiler:
         self.block_index: Dict[BasicBlock, int] = {
             bb: i for i, bb in enumerate(func.blocks)}
         self.alloca_slot = -1
+        # per block: (phis, segment instruction lists, terminator | None),
+        # mirroring the compiled ``blocks`` segmentation — the typed-SIMD
+        # plan compiler classifies segments from this layout.
+        self.block_layouts: List[Tuple] = []
 
     # -- slot / table allocation -------------------------------------------
     def _allocate_slots(self) -> int:
@@ -378,7 +386,8 @@ class _FunctionCompiler:
         nregs = self._allocate_slots()
         blocks = [self._compile_block(bb) for bb in self.func.blocks]
         return CompiledFunction(nregs, len(self.func.args), self.alloca_slot,
-                                blocks, self.gnames, self.callee_specs)
+                                blocks, self.gnames, self.callee_specs,
+                                compile_plans(self))
 
     def _compile_block(self, bb: BasicBlock) -> Tuple:
         phis = bb.phis()
@@ -407,14 +416,22 @@ class _FunctionCompiler:
         # Segment the straight-line trace at call boundaries so the step
         # counter is exact whenever control enters a callee.
         segments: List[Tuple[int, Tuple]] = []
+        seg_insts: List[List] = []
         run: List = []
+        run_insts: List = []
         for inst in straight:
             run.append(self._compile_inst(inst))
+            run_insts.append(inst)
             if isinstance(inst, (CallInst, InvokeInst)):
                 segments.append((len(run), tuple(run)))
+                seg_insts.append(run_insts)
                 run = []
+                run_insts = []
         if run:
             segments.append((len(run), tuple(run)))
+            seg_insts.append(run_insts)
+        self.block_layouts.append(
+            (phis, seg_insts, body[term_at] if term_at is not None else None))
         return (phi_edges, tuple(segments), term, term_counts, term_desc)
 
     def _term_desc(self, inst) -> Optional[Tuple]:

@@ -1,0 +1,660 @@
+"""Typed SIMD tier for lock-step batched simulation.
+
+PR 8's lock-step executor runs same-kernel lanes over a ``dtype=object``
+register file, so every integer add/icmp in a wave still costs one
+Python closure call per lane. This module adds a *typed column* tier
+underneath it:
+
+* **Slot classing** — at kernel-compile time each register slot is
+  classified *int-expected* (its static type pins it to ``iN``, N <= 64:
+  integer ALU/compare results unconditionally; phi/select/bitcast by a
+  pessimistic fixpoint; int-typed loads and calls with a runtime guard)
+  or *object* (pointers, floats, allocas, everything else).
+* **Column plans** — a block segment whose every instruction is an
+  integer binop / icmp / select / int-to-int cast over int-expected
+  operands is *vectorizable*: it compiles to a :class:`ColumnPlan` that
+  gathers operand columns once, runs one numpy ``int64`` column op per
+  instruction across all active lanes, and scatters results back.
+* **Scalar-exact semantics** — the IR's C wrap semantics
+  (:mod:`repro.ir.folding`: mask to width + sign adjust, signed division
+  truncating toward zero, division by zero yielding 0, shift amounts mod
+  width) are closed under ``int64`` arithmetic mod 2^64, so the column
+  emitters below are bit-identical to the scalar closures; the parity is
+  pinned per opcode x width x boundary value by ``tests/test_simd.py``.
+
+Invariants the emitters rely on (and preserve): every value in a column
+is the *canonical* signed representative of its width (what
+``IntType.wrap`` produces), and every gather from the object register
+file is guarded — any non-``int`` runtime value (pointer, float, None
+from an undefined path) falls the whole wave-segment back to the scalar
+closures, which implement the full semantics.
+
+``REPRO_SIM_SIMD=off|on|verify`` gates the tier (see
+:func:`sim_simd_mode`); like ``REPRO_SIM_KERNELS``/``REPRO_SIM_BATCH``
+the mode is bit-identity-neutral and stays out of every cache key and
+toolchain fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..ir import types as ty
+from ..ir.folding import eval_cast, eval_icmp, eval_int_binop
+from ..ir.instructions import (
+    FLOAT_BINOPS,
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    ICmpInst,
+    InvokeInst,
+    LoadInst,
+    PhiNode,
+    SelectInst,
+)
+
+__all__ = ["sim_simd_mode", "ColumnPlan", "compile_plans",
+           "column_binop_fn", "column_icmp_fn", "column_cast_fn"]
+
+# Operand descriptor kinds produced by _FunctionCompiler._operand.
+# Defined here (the leaf module) and imported by interp.kernels so the
+# two stay a single definition.
+_K_REG = 0     # val = register slot index
+_K_CONST = 1   # val = folded Python constant
+_K_GLOBAL = 2  # val = index into the per-execution global-pointer table
+_K_TRAP = 3    # val = TrapError message (use of the value traps)
+
+_I64 = np.int64
+_U64 = np.uint64
+_U64_MASK = (1 << 64) - 1
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_CAST_OPS = ("trunc", "sext", "zext")
+
+
+def sim_simd_mode(override: Optional[str] = None) -> str:
+    """Resolve the typed-SIMD toggle: ``off`` (scalar batched closures),
+    ``on`` (column plans over vectorizable segments, the default), or
+    ``verify`` (run every lock-step cohort both ways, hard-fail on any
+    divergence). Mirrors the ``REPRO_SIM_KERNELS``/``REPRO_SIM_BATCH``
+    contract: backends are bit-identical, so the mode stays out of every
+    cache key and toolchain fingerprint."""
+    mode = override if override is not None else os.environ.get("REPRO_SIM_SIMD", "on")
+    mode = mode.strip().lower()
+    if mode not in ("off", "on", "verify"):
+        raise ValueError(f"REPRO_SIM_SIMD must be off|on|verify, got {mode!r}")
+    return mode
+
+
+# -- column emitters ----------------------------------------------------------
+# Each factory returns ``f(a, b)`` / ``f(v)`` over int64 columns. Operands
+# are int64 arrays or canonical Python-int constants (never both constant
+# — those fold at plan-compile time), results are int64 arrays of
+# canonical width-N values. numpy int64 arithmetic wraps mod 2^64
+# silently, and 2^N divides 2^64 for N <= 64, so masking the wrapped
+# result to N bits is exact.
+
+def _u64(v):
+    """Reinterpret a canonical int64 column (or Python int) as uint64."""
+    if type(v) is int:
+        return _U64(v & _U64_MASK)
+    return v.view(_U64)
+
+
+def _mag64(v):
+    """|v| as a uint64 column; exact for INT64_MIN where np.abs wraps."""
+    if type(v) is int:
+        return _U64(abs(v) & _U64_MASK)
+    return np.where(v >= 0, v, -v).view(_U64)
+
+
+def _neg(v):
+    return v < 0
+
+
+def _wrap_fn(bits: int):
+    """The column form of ``IntType.wrap``: mask to width, then flip the
+    sign bit down (``((v & mask) ^ half) - half``). i1 keeps 0/1."""
+    if bits >= 64:
+        return lambda v: v
+    if bits == 1:
+        return lambda v: v & 1
+    mask = (1 << bits) - 1
+    half = 1 << (bits - 1)
+    return lambda v: ((v & mask) ^ half) - half
+
+
+def column_binop_fn(opcode: str, bits: int):
+    """Column twin of :func:`repro.ir.folding.int_binop_fn` for ``iN``."""
+    wrap = _wrap_fn(bits)
+    if opcode == "add":
+        return lambda a, b: wrap(a + b)
+    if opcode == "sub":
+        return lambda a, b: wrap(a - b)
+    if opcode == "mul":
+        return lambda a, b: wrap(a * b)
+    if opcode == "and":
+        return lambda a, b: wrap(a & b)
+    if opcode == "or":
+        return lambda a, b: wrap(a | b)
+    if opcode == "xor":
+        return lambda a, b: wrap(a ^ b)
+    if bits == 64:
+        if opcode == "shl":
+            def shl64(a, b):
+                amt = _u64(b) % _U64(64)
+                return (_u64(a) << amt).view(_I64)
+            return shl64
+        if opcode == "lshr":
+            def lshr64(a, b):
+                amt = _u64(b) % _U64(64)
+                return (_u64(a) >> amt).view(_I64)
+            return lshr64
+        if opcode == "ashr":
+            def ashr64(a, b):
+                amt = (_u64(b) % _U64(64)).view(_I64)
+                return a >> amt
+            return ashr64
+        if opcode == "udiv":
+            def udiv64(a, b):
+                ua, ub = _u64(a), _u64(b)
+                zero = ub == 0
+                q = (ua // np.where(zero, _U64(1), ub)).view(_I64)
+                return np.where(zero, 0, q)
+            return udiv64
+        if opcode == "urem":
+            def urem64(a, b):
+                ua, ub = _u64(a), _u64(b)
+                zero = ub == 0
+                r = (ua % np.where(zero, _U64(1), ub)).view(_I64)
+                return np.where(zero, 0, r)
+            return urem64
+        if opcode == "sdiv":
+            def sdiv64(a, b):
+                ua, ub = _mag64(a), _mag64(b)
+                zero = ub == 0
+                q = (ua // np.where(zero, _U64(1), ub)).view(_I64)
+                q = np.where(_neg(a) != _neg(b), -q, q)
+                return np.where(zero, 0, q)
+            return sdiv64
+        if opcode == "srem":
+            def srem64(a, b):
+                ua, ub = _mag64(a), _mag64(b)
+                zero = ub == 0
+                q = (ua // np.where(zero, _U64(1), ub)).view(_I64)
+                q = np.where(_neg(a) != _neg(b), -q, q)
+                # a - b*q wraps mod 2^64, which IS the 64-bit semantics
+                return np.where(zero, 0, a - b * q)
+            return srem64
+    else:
+        mask = (1 << bits) - 1
+        if opcode == "shl":
+            return lambda a, b: wrap((a & mask) << ((b & mask) % bits))
+        if opcode == "lshr":
+            return lambda a, b: wrap((a & mask) >> ((b & mask) % bits))
+        if opcode == "ashr":
+            # canonical in, canonical out: arithmetic shift needs no wrap
+            return lambda a, b: a >> ((b & mask) % bits)
+        if opcode == "udiv":
+            def udiv(a, b):
+                ua, ub = a & mask, b & mask
+                zero = ub == 0
+                q = ua // np.where(zero, 1, ub)
+                return wrap(np.where(zero, 0, q))
+            return udiv
+        if opcode == "urem":
+            def urem(a, b):
+                ua, ub = a & mask, b & mask
+                zero = ub == 0
+                r = ua % np.where(zero, 1, ub)
+                return wrap(np.where(zero, 0, r))
+            return urem
+        if opcode == "sdiv":
+            def sdiv(a, b):
+                ua, ub = np.abs(a), np.abs(b)  # canonical iN, N<64: no overflow
+                zero = ub == 0
+                q = ua // np.where(zero, 1, ub)
+                q = np.where(_neg(a) != _neg(b), -q, q)
+                return wrap(np.where(zero, 0, q))
+            return sdiv
+        if opcode == "srem":
+            def srem(a, b):
+                ua, ub = np.abs(a), np.abs(b)
+                zero = ub == 0
+                q = ua // np.where(zero, 1, ub)
+                q = np.where(_neg(a) != _neg(b), -q, q)
+                return wrap(np.where(zero, 0, a - b * q))
+            return srem
+    raise ValueError(f"unknown integer binop: {opcode}")
+
+
+def column_icmp_fn(pred: str, bits: int):
+    """Column twin of :func:`repro.ir.folding.icmp_fn` (int operands
+    only — pointer compares never reach a column plan), yielding 0/1."""
+    if pred == "eq":
+        return lambda a, b: (a == b).astype(_I64)
+    if pred == "ne":
+        return lambda a, b: (a != b).astype(_I64)
+    if pred == "slt":
+        return lambda a, b: (a < b).astype(_I64)
+    if pred == "sle":
+        return lambda a, b: (a <= b).astype(_I64)
+    if pred == "sgt":
+        return lambda a, b: (a > b).astype(_I64)
+    if pred == "sge":
+        return lambda a, b: (a >= b).astype(_I64)
+    if bits == 64:
+        if pred == "ult":
+            return lambda a, b: (_u64(a) < _u64(b)).astype(_I64)
+        if pred == "ule":
+            return lambda a, b: (_u64(a) <= _u64(b)).astype(_I64)
+        if pred == "ugt":
+            return lambda a, b: (_u64(a) > _u64(b)).astype(_I64)
+        if pred == "uge":
+            return lambda a, b: (_u64(a) >= _u64(b)).astype(_I64)
+    else:
+        mask = (1 << bits) - 1
+        if pred == "ult":
+            return lambda a, b: ((a & mask) < (b & mask)).astype(_I64)
+        if pred == "ule":
+            return lambda a, b: ((a & mask) <= (b & mask)).astype(_I64)
+        if pred == "ugt":
+            return lambda a, b: ((a & mask) > (b & mask)).astype(_I64)
+        if pred == "uge":
+            return lambda a, b: ((a & mask) >= (b & mask)).astype(_I64)
+    raise ValueError(f"unknown icmp predicate: {pred}")
+
+
+def column_cast_fn(opcode: str, src_bits: int, dest_bits: int):
+    """Column twin of :func:`repro.ir.folding.cast_fn` for the int-to-int
+    casts (``trunc``/``sext``/``zext``/``bitcast``)."""
+    wrap = _wrap_fn(dest_bits)
+    if opcode in ("trunc", "sext", "bitcast"):
+        # canonical source values fit int64; dest wrap is the whole op
+        # (identity at dest width 64, where |v| < 2^63 already holds)
+        return wrap
+    if opcode == "zext":
+        if src_bits == 64:
+            if dest_bits == 64:
+                return lambda v: v
+            # degenerate narrowing zext: v mod 2^64 mod 2^dest == v mod 2^dest
+            return wrap
+        smask = (1 << src_bits) - 1
+        return lambda v: wrap(v & smask)
+    raise ValueError(f"unsupported column cast: {opcode}")
+
+
+# -- slot classing ------------------------------------------------------------
+
+def _int_type(t) -> bool:
+    return isinstance(t, ty.IntType) and t.bits <= 64
+
+
+def _const_i64(val) -> bool:
+    return type(val) is int and _I64_MIN <= val <= _I64_MAX
+
+
+def _operand_int(fc, v, expected: Set[int]) -> bool:
+    kind, val = fc._operand(v)
+    if kind == _K_REG:
+        return val in expected
+    if kind == _K_CONST:
+        return _const_i64(val)
+    return False
+
+
+def _int_expected_slots(fc) -> Set[int]:
+    """Slots whose runtime value is an ``iN`` (N <= 64) Python int —
+    guaranteed for ALU/compare/cast results (their closures coerce), and
+    *expected* for int-typed loads/calls, where the per-gather type guard
+    covers the residual uncertainty (untyped memory, externals)."""
+    slots = fc.slots
+    expected: Set[int] = set()
+    passthrough = []  # select/phi/bitcast: int iff every source is
+    for bb in fc.func.blocks:
+        for inst in bb.instructions:
+            s = slots.get(inst)
+            if s is None:
+                continue
+            if isinstance(inst, BinaryOperator):
+                if inst.opcode not in FLOAT_BINOPS and _int_type(inst.type):
+                    expected.add(s)
+            elif isinstance(inst, (ICmpInst, FCmpInst)):
+                expected.add(s)  # compare closures always produce 0/1
+            elif isinstance(inst, CastInst):
+                if inst.opcode in ("trunc", "sext", "zext", "fptosi") \
+                        and _int_type(inst.type):
+                    expected.add(s)
+                elif inst.opcode == "bitcast" and _int_type(inst.type):
+                    passthrough.append((s, (inst.operand,)))
+            elif isinstance(inst, (LoadInst, CallInst, InvokeInst)):
+                if _int_type(inst.type):
+                    expected.add(s)  # guarded at gather time
+            elif isinstance(inst, SelectInst):
+                if _int_type(inst.type):
+                    passthrough.append(
+                        (s, (inst.true_value, inst.false_value)))
+            elif isinstance(inst, PhiNode):
+                if _int_type(inst.type) and inst.operands:
+                    passthrough.append((s, inst.operands))
+    # pessimistic fixpoint over the pass-through instructions
+    changed = True
+    while changed:
+        changed = False
+        for s, sources in passthrough:
+            if s in expected:
+                continue
+            if all(_operand_int(fc, v, expected) for v in sources):
+                expected.add(s)
+                changed = True
+    return expected
+
+
+def _vectorizable(fc, inst, expected: Set[int]) -> bool:
+    """True when the instruction is a total integer op whose column form
+    is bit-exact: int binop / icmp over ints / select / int-int cast,
+    every operand a canonical-int constant or an int-expected slot."""
+    op = _operand_int
+    if isinstance(inst, BinaryOperator):
+        return (inst.opcode not in FLOAT_BINOPS and _int_type(inst.type)
+                and op(fc, inst.lhs, expected) and op(fc, inst.rhs, expected))
+    if isinstance(inst, ICmpInst):
+        return (_int_type(inst.lhs.type)
+                and op(fc, inst.lhs, expected) and op(fc, inst.rhs, expected))
+    if isinstance(inst, SelectInst):
+        return (_int_type(inst.type)
+                and op(fc, inst.condition, expected)
+                and op(fc, inst.true_value, expected)
+                and op(fc, inst.false_value, expected))
+    if isinstance(inst, CastInst):
+        return (inst.opcode in _CAST_OPS + ("bitcast",)
+                and _int_type(inst.type) and _int_type(inst.operand.type)
+                and op(fc, inst.operand, expected))
+    return False
+
+
+# -- plan representation and execution ----------------------------------------
+
+# Gather kinds for ColumnPlan.loads
+_FROM_COL = 0   # unguarded: the column file is authoritative for the slot
+_FROM_ROW = 1   # guarded gather from the object register file
+
+
+class ColumnPlan:
+    """One vectorizable segment lowered to columns: gather external
+    operands (guarded when coming from object rows), run one column op
+    per instruction over plan-local temporaries, scatter results to the
+    column file (for later plans) and the object rows (for scalar
+    consumers, terminators, phis, and near-budget replays).
+
+    ``execute`` is all-or-nothing: every guard runs before any state is
+    written, so a ``False`` return (a non-int runtime value in a gather)
+    leaves both register files untouched and the caller re-runs the
+    segment through the scalar closures."""
+
+    __slots__ = ("loads", "steps", "stores", "nlocals", "nops")
+
+    def __init__(self, loads: Tuple, steps: Tuple, stores: Tuple,
+                 nlocals: int, nops: int) -> None:
+        self.loads = loads
+        self.steps = steps
+        self.stores = stores
+        self.nlocals = nlocals
+        self.nops = nops
+
+    def execute(self, C, R, ids) -> bool:
+        vals: List = [None] * self.nlocals
+        for kind, s, li in self.loads:
+            if kind == _FROM_COL:
+                vals[li] = C[ids, s]
+            else:
+                col = R[ids, s]
+                for x in col:
+                    if type(x) is not int or x > _I64_MAX or x < _I64_MIN:
+                        return False
+                vals[li] = col.astype(_I64)
+        for step in self.steps:
+            step(vals)
+        for is_const, src, s, to_col, to_row in self.stores:
+            v = src if is_const else vals[src]
+            if to_col:
+                C[ids, s] = v
+            if to_row:
+                R[ids, s] = v  # numpy converts int64 cells to Python ints
+        return True
+
+
+def _binary_col_step(fn, a, b, d):
+    ak, av = a
+    bk, bv = b
+    if ak == "l" and bk == "l":
+        def step(vals, _f=fn, _a=av, _b=bv, _d=d):
+            vals[_d] = _f(vals[_a], vals[_b])
+    elif ak == "l":
+        def step(vals, _f=fn, _a=av, _b=bv, _d=d):
+            vals[_d] = _f(vals[_a], _b)
+    else:
+        def step(vals, _f=fn, _a=av, _b=bv, _d=d):
+            vals[_d] = _f(_a, vals[_b])
+    return step
+
+
+def _unary_col_step(fn, a, d):
+    def step(vals, _f=fn, _a=a[1], _d=d):
+        vals[_d] = _f(vals[_a])
+    return step
+
+
+def _select_col_step(c, t, f, d):
+    # the scalar path evaluates only the taken arm, but column arms are
+    # consts/registers — total, effect-free — so evaluating both is exact
+    def step(vals, _c=c, _t=t, _f=f, _d=d):
+        cond = vals[_c[1]] if _c[0] == "l" else _c[1]
+        tv = vals[_t[1]] if _t[0] == "l" else _t[1]
+        fv = vals[_f[1]] if _f[0] == "l" else _f[1]
+        vals[_d] = np.where(cond != 0, tv, fv)
+    return step
+
+
+# -- whole-function plan compilation ------------------------------------------
+
+def compile_plans(fc):
+    """Column plans for every vectorizable segment of ``fc`` (a
+    ``_FunctionCompiler`` that has recorded ``block_layouts``), shaped
+    ``tuple[block] -> None | tuple[segment] -> None | ColumnPlan`` so the
+    batch executor indexes them exactly like ``CompiledFunction.blocks``.
+    Returns None when no segment vectorizes."""
+    layouts = fc.block_layouts
+    slots = fc.slots
+    expected = _int_expected_slots(fc)
+
+    vec: List[Tuple[int, int, List]] = []
+    for bi, (_phis, seg_insts, _term) in enumerate(layouts):
+        for si, insts in enumerate(seg_insts):
+            if insts and all(_vectorizable(fc, inst, expected)
+                             for inst in insts):
+                vec.append((bi, si, insts))
+    if not vec:
+        return None
+    vec_ids = {(bi, si) for bi, si, _ in vec}
+
+    # column residency: slots defined by a vectorized segment are always
+    # written to the column file when another plan reads them
+    col_resident: Set[int] = set()
+    for _bi, _si, insts in vec:
+        for inst in insts:
+            col_resident.add(slots[inst])
+
+    row_visible = _row_visible(fc, layouts, vec_ids)
+
+    # which column-resident slots some plan reads from outside its own
+    # segment — only those need a column store at their definition
+    col_read: Set[int] = set()
+    for _bi, _si, insts in vec:
+        defined: Set[int] = set()
+        for inst in insts:
+            for v in inst.operands:
+                s = slots.get(v)
+                if s is not None and s not in defined and s in col_resident:
+                    col_read.add(s)
+            defined.add(slots[inst])
+
+    plans: Dict[Tuple[int, int], ColumnPlan] = {}
+    for bi, si, insts in vec:
+        plans[(bi, si)] = _build_plan(fc, insts, col_resident, col_read,
+                                      row_visible)
+
+    out: List[Optional[Tuple]] = []
+    for bi, (_phis, seg_insts, _term) in enumerate(layouts):
+        if any((bi, si) in plans for si in range(len(seg_insts))):
+            out.append(tuple(plans.get((bi, si))
+                             for si in range(len(seg_insts))))
+        else:
+            out.append(None)
+    return tuple(out)
+
+
+def _row_visible(fc, layouts, vec_ids) -> Set[int]:
+    """Slots whose value must live in the object register file: read by
+    phis, terminators, or any scalar-executed instruction — including
+    every out-of-segment operand of vectorized instructions, because a
+    near-budget lane replays its segment through the scalar closures."""
+    slots = fc.slots
+    visible: Set[int] = set()
+
+    def note(v) -> None:
+        s = slots.get(v)
+        if s is not None:
+            visible.add(s)
+
+    for bi, (phis, seg_insts, term) in enumerate(layouts):
+        for phi in phis:
+            for v in phi.operands:
+                note(v)
+        if term is not None:
+            for v in term.operands:
+                note(v)
+        for si, insts in enumerate(seg_insts):
+            if (bi, si) in vec_ids:
+                defined: Set[int] = set()
+                for inst in insts:
+                    for v in inst.operands:
+                        s = slots.get(v)
+                        if s is not None and s not in defined:
+                            visible.add(s)
+                    defined.add(slots[inst])
+            else:
+                for inst in insts:
+                    for v in inst.operands:
+                        note(v)
+    return visible
+
+
+def _build_plan(fc, insts, col_resident, col_read, row_visible) -> ColumnPlan:
+    slots = fc.slots
+    loads: List[Tuple[int, int, int]] = []
+    steps: List = []
+    local_of: Dict[int, int] = {}
+    consts: Dict[int, int] = {}  # segment-defined slots folded to constants
+    defs: List[Tuple[int, Tuple]] = []  # (slot, ('c', const) | ('l', local))
+    nlocals = 0
+
+    def operand(v) -> Tuple[str, object]:
+        nonlocal nlocals
+        kind, val = fc._operand(v)
+        if kind == _K_CONST:
+            return ("c", val)
+        s = val
+        if s in consts:
+            return ("c", consts[s])
+        li = local_of.get(s)
+        if li is None:
+            li = local_of[s] = nlocals
+            nlocals += 1
+            loads.append((_FROM_COL if s in col_resident else _FROM_ROW,
+                          s, li))
+        return ("l", li)
+
+    def define(s: int, desc: Tuple) -> None:
+        if desc[0] == "c":
+            consts[s] = desc[1]
+        else:
+            local_of[s] = desc[1]
+        defs.append((s, desc))
+
+    def fresh(s: int) -> int:
+        nonlocal nlocals
+        li = nlocals
+        nlocals += 1
+        local_of[s] = li
+        consts.pop(s, None)
+        return li
+
+    for inst in insts:
+        s = slots[inst]
+        if isinstance(inst, BinaryOperator):
+            a, b = operand(inst.lhs), operand(inst.rhs)
+            if a[0] == "c" and b[0] == "c":
+                define(s, ("c", eval_int_binop(inst.opcode, inst.type,
+                                               a[1], b[1])))
+                continue
+            d = fresh(s)
+            steps.append(_binary_col_step(
+                column_binop_fn(inst.opcode, inst.type.bits), a, b, d))
+            defs.append((s, ("l", d)))
+        elif isinstance(inst, ICmpInst):
+            a, b = operand(inst.lhs), operand(inst.rhs)
+            if a[0] == "c" and b[0] == "c":
+                define(s, ("c", int(eval_icmp(inst.predicate, inst.lhs.type,
+                                              a[1], b[1]))))
+                continue
+            d = fresh(s)
+            steps.append(_binary_col_step(
+                column_icmp_fn(inst.predicate, inst.lhs.type.bits), a, b, d))
+            defs.append((s, ("l", d)))
+        elif isinstance(inst, SelectInst):
+            c = operand(inst.condition)
+            t = operand(inst.true_value)
+            f = operand(inst.false_value)
+            if c[0] == "c":
+                define(s, t if c[1] else f)
+                continue
+            if t[0] == "c" and f[0] == "c" and t[1] == f[1]:
+                define(s, t)
+                continue
+            d = fresh(s)
+            steps.append(_select_col_step(c, t, f, d))
+            defs.append((s, ("l", d)))
+        else:  # CastInst (trunc/sext/zext/bitcast)
+            v = operand(inst.operand)
+            if v[0] == "c":
+                define(s, ("c", eval_cast(inst.opcode, inst.operand.type,
+                                          inst.type, v[1])))
+                continue
+            if inst.opcode == "bitcast":
+                define(s, v)  # int-to-int bitcast is the identity
+                continue
+            d = fresh(s)
+            steps.append(_unary_col_step(
+                column_cast_fn(inst.opcode, inst.operand.type.bits,
+                               inst.type.bits), v, d))
+            defs.append((s, ("l", d)))
+
+    stores: List[Tuple[bool, object, int, bool, bool]] = []
+    seen: Set[int] = set()
+    for s, desc in defs:
+        if s in seen:  # SSA: single def per slot, but stay defensive
+            continue
+        seen.add(s)
+        to_col = s in col_read
+        to_row = s in row_visible
+        if to_col or to_row:
+            stores.append((desc[0] == "c", desc[1], s, to_col, to_row))
+
+    return ColumnPlan(tuple(loads), tuple(steps), tuple(stores),
+                      nlocals, len(steps))

@@ -74,6 +74,9 @@ class HLSToolchain:
         "plan_entries", "plan_hits", "plan_misses",
         "batch_runs", "batch_lanes", "batch_executed",
         "batch_dedup_saved", "batch_fallbacks",
+        "simd_segments_vectorized", "simd_segments_scalar",
+        "simd_guard_fallbacks", "simd_column_ops", "simd_vectorized_ratio",
+        "batch_sig_memo_hits", "batch_sig_memo_misses",
     })
 
     def __init__(self, constraints: Optional[HLSConstraints] = None,
@@ -82,7 +85,8 @@ class HLSToolchain:
                  backend: Optional[str] = None,
                  service_config: Optional[dict] = None,
                  sim_kernels: Optional[str] = None,
-                 sim_batch: Optional[str] = None) -> None:
+                 sim_batch: Optional[str] = None,
+                 sim_simd: Optional[str] = None) -> None:
         if backend is None:
             backend = os.environ.get("REPRO_EVAL_BACKEND") or "engine"
         if not use_engine:
@@ -99,7 +103,7 @@ class HLSToolchain:
         self.profiler = CycleProfiler(
             constraints, max_steps=max_steps,
             schedule_cache_size=0 if backend == "none" else 512,
-            sim_kernels=sim_kernels, sim_batch=sim_batch)
+            sim_kernels=sim_kernels, sim_batch=sim_batch, sim_simd=sim_simd)
         self.samples_taken = 0
         # The engine's batch API profiles from worker threads; a bare
         # ``+= 1`` would drop increments under that interleaving.
