@@ -23,6 +23,10 @@
                           [--top N] [--sort KEY] [--json PATH]
     python -m repro cache stats|clear|export [--store DIR]
     python -m repro stats [--json] [--watch N] [--log PATH] [--socket PATH]
+    python -m repro trace [list|show|export] [--trace ID] [--chrome]
+                          [--out PATH] [--log PATH]
+    python -m repro slo check --config PATH [--log PATH | --socket PATH]
+    python -m repro bench-trend [--root DIR] [--window N] [--tolerance F]
 
 All figure commands print the rendered artifact and write CSVs under
 ``results/`` (override with ``REPRO_RESULTS``). ``--cache-stats`` prints
@@ -41,7 +45,13 @@ pruned observation/action spaces.
 ``stats`` renders the telemetry spine's cross-process dashboard (set
 ``REPRO_TELEMETRY=on`` on the instrumented runs; they leave JSONL
 snapshots under ``.repro-telemetry/``, or answer the ``metrics`` op
-live over ``--socket``).
+live over ``--socket``). ``trace`` reads the span log written under
+``REPRO_TELEMETRY=trace`` — per-trace waterfalls across client, server
+and worker processes, plus Chrome trace-event export for Perfetto.
+``slo check`` evaluates a declarative target config (p99 span latency,
+error rate, cache hit-rate) against the same telemetry and exits
+non-zero on violation; ``bench-trend`` gates the committed
+``BENCH_*.json`` trajectories against their trailing window.
 
 The deployment commands close the train → serve loop: ``train
 --register NAME`` stores the trained policy in the content-addressed
@@ -390,6 +400,10 @@ def _cmd_stats(args) -> int:
             source = (f"socket {args.socket}" if args.socket
                       else args.log or os.environ.get("REPRO_TELEMETRY_LOG")
                       or telemetry.DEFAULT_LOG_PATH)
+            if not aggregated.get("processes"):
+                print(f"(no snapshots yet — source: {source}; run an "
+                      f"instrumented command with REPRO_TELEMETRY=on)")
+                return
             print(render_dashboard(aggregated))
             print(f"\nsource: {source}")
 
@@ -397,13 +411,114 @@ def _cmd_stats(args) -> int:
         try:
             while True:
                 print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
-                show()
+                try:
+                    show()
+                except (OSError, RuntimeError) as exc:
+                    # Watching a server that has not started (or a log
+                    # that does not exist yet) should keep polling, not
+                    # die on the first refresh.
+                    print(f"(no snapshots yet: {exc})")
                 time.sleep(args.watch)
         except KeyboardInterrupt:
             pass
         return 0
     show()
     return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from .telemetry import read_trace_log, trace
+    from .telemetry.export import DEFAULT_TRACE_LOG_PATH
+
+    log = args.log or os.environ.get("REPRO_TELEMETRY_TRACE_LOG") \
+        or DEFAULT_TRACE_LOG_PATH
+    if args.action == "export":
+        out = args.out or "repro-trace.json"
+        count = trace.write_chrome_trace(out, log_path=log,
+                                         trace_id=args.trace)
+        print(f"wrote {count} span event(s) to {out} "
+              f"(chrome://tracing / Perfetto format)")
+        return 0
+    events = read_trace_log(log)
+    traces = trace.assemble_traces(events)
+    if args.action == "show":
+        trace_id = args.trace
+        if trace_id is None:
+            # Default to the newest trace — the one just produced.
+            real = {k: v for k, v in traces.items() if k != "-"}
+            if not real:
+                print(f"(no traces recorded yet — source: {log}; run with "
+                      f"REPRO_TELEMETRY=trace)")
+                return 0
+            trace_id = max(real, key=lambda k: max(
+                s.get("start") or 0.0 for s in real[k]))
+        spans = traces.get(trace_id)
+        if not spans:
+            print(f"unknown trace id {trace_id!r} in {log}")
+            return 1
+        if args.json:
+            print(json.dumps(spans, indent=2, sort_keys=True))
+        else:
+            print(trace.render_waterfall(trace_id, spans))
+        return 0
+    # list (default)
+    if not traces:
+        print(f"(no traces recorded yet — source: {log}; run with "
+              f"REPRO_TELEMETRY=trace)")
+        return 0
+    print(trace.render_trace_list(traces))
+    print(f"\nsource: {log}")
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json
+
+    from . import telemetry
+    from .telemetry import slo
+    from .telemetry.render import aggregate
+
+    targets = slo.load_config(args.config)
+    if args.socket:
+        from .service.server import request
+
+        reply = request(args.socket, {"op": "metrics"})
+        if not reply.get("ok"):
+            print(f"metrics op failed: {reply.get('error', reply)}",
+                  file=sys.stderr)
+            return 2
+        records = reply.get("snapshots") or []
+    else:
+        records = list(telemetry.read_log(args.log).values())
+    aggregated = aggregate(rec["snapshot"] for rec in records
+                           if rec.get("snapshot"))
+    results = slo.evaluate_slos(aggregated, targets)
+    if args.json:
+        print(json.dumps([r.to_json() for r in results],
+                         indent=2, sort_keys=True))
+    else:
+        print(slo.render_slo_report(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_bench_trend(args) -> int:
+    import json
+
+    from .telemetry import trend
+
+    window = trend.DEFAULT_WINDOW if args.window is None else args.window
+    tolerance = (trend.DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    entries = trend.check_trends(args.root, window=window,
+                                 tolerance=tolerance)
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+    else:
+        print(trend.render_trend_report(entries, verbose=args.verbose))
+    return 1 if any(e["status"] == "regressed" for e in entries) else 0
 
 
 def _cmd_cache(args) -> int:
@@ -634,6 +749,61 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="query a running repro server's `metrics` op "
                           "instead of reading the log")
 
+    ptr = sub.add_parser("trace",
+                         help="inspect distributed request traces recorded "
+                              "under REPRO_TELEMETRY=trace")
+    ptr.add_argument("action", nargs="?", default="list",
+                     choices=["list", "show", "export"],
+                     help="list traces, show one waterfall, or export "
+                          "Chrome trace-event JSON (default: list)")
+    ptr.add_argument("--trace", default=None, metavar="ID",
+                     help="trace id to show/export (show defaults to the "
+                          "newest trace; export defaults to all)")
+    ptr.add_argument("--log", default=None,
+                     help="trace JSONL log to read (default: "
+                          "$REPRO_TELEMETRY_TRACE_LOG or .repro-telemetry/"
+                          "trace.jsonl)")
+    ptr.add_argument("--chrome", action="store_true",
+                     help="alias for the 'export' action")
+    ptr.add_argument("--out", default=None,
+                     help="chrome trace output path (default "
+                          "repro-trace.json)")
+    ptr.add_argument("--json", action="store_true",
+                     help="print span records as JSON instead of the "
+                          "waterfall (show)")
+
+    psl = sub.add_parser("slo",
+                         help="evaluate declarative latency/error/hit-rate "
+                              "targets against recorded telemetry")
+    psl.add_argument("action", choices=["check"])
+    psl.add_argument("--config", required=True,
+                     help="JSON SLO config ({\"slos\": [...]})")
+    psl.add_argument("--log", default=None,
+                     help="telemetry JSONL log to read (default: "
+                          "$REPRO_TELEMETRY_LOG or .repro-telemetry/"
+                          "metrics.jsonl)")
+    psl.add_argument("--socket", default=None,
+                     help="query a running server's `metrics` op instead "
+                          "of reading the log")
+    psl.add_argument("--json", action="store_true",
+                     help="print per-target results as JSON")
+
+    pbt = sub.add_parser("bench-trend",
+                         help="gate benchmark trajectories: flag metrics "
+                              "whose newest point regressed beyond tolerance "
+                              "vs the trailing window")
+    pbt.add_argument("--root", default=".",
+                     help="directory holding BENCH_*.json (default: .)")
+    pbt.add_argument("--window", type=int, default=None,
+                     help="trailing points to compare against (default 5)")
+    pbt.add_argument("--tolerance", type=float, default=None,
+                     help="allowed fractional slack beyond the window's "
+                          "worst point (default 0.25)")
+    pbt.add_argument("--json", action="store_true",
+                     help="print per-metric entries as JSON")
+    pbt.add_argument("--verbose", action="store_true",
+                     help="show every metric, not just regressions")
+
     pk = sub.add_parser("cache", help="manage the persistent result store")
     pk.add_argument("action", choices=["stats", "clear", "export"])
     pk.add_argument("--store", default=None,
@@ -650,6 +820,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "stats":
         return _cmd_stats(args)
+
+    if args.command == "trace":
+        if args.chrome:
+            args.action = "export"
+        return _cmd_trace(args)
+
+    if args.command == "slo":
+        return _cmd_slo(args)
+
+    if args.command == "bench-trend":
+        return _cmd_bench_trend(args)
 
     if args.command == "tables":
         print(render_table1())

@@ -23,6 +23,8 @@ import threading
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry as tm
+
 __all__ = ["InferenceClient", "InferenceError"]
 
 
@@ -87,15 +89,24 @@ class InferenceClient:
         inner: Future = Future()
         with self._pending_lock:
             self._pending[request_id] = inner
-        data = (json.dumps({**payload, "id": request_id}) + "\n").encode()
-        try:
-            with self._write_lock:
-                self._sock.sendall(data)
-        except OSError as exc:
-            with self._pending_lock:
-                self._pending.pop(request_id, None)
-            raise ConnectionError(
-                f"could not reach inference server: {exc}") from exc
+        # Client-side trace entry point: the dispatch span mints (or
+        # joins) a trace id and ships its context in the request, so the
+        # server's op span — and everything below it, down to evaluation
+        # workers — lands in the same distributed trace. The field is
+        # absent outside trace mode; old servers ignore it.
+        with tm.span(f"client.{payload.get('op', 'request')}"):
+            ctx = tm.current_trace()
+            if ctx is not None:
+                payload = {**payload, "trace": list(ctx)}
+            data = (json.dumps({**payload, "id": request_id}) + "\n").encode()
+            try:
+                with self._write_lock:
+                    self._sock.sendall(data)
+            except OSError as exc:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                raise ConnectionError(
+                    f"could not reach inference server: {exc}") from exc
         if transform is None:
             return inner
         outer: Future = Future()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..hls.profiler import HLSCompilationError
 from ..ir.module import Module
 from ..passes.registry import NUM_ACTIONS, NUM_TRANSFORMS, TERMINATE_INDEX
@@ -353,6 +354,15 @@ class PolicyRunner:
         worse than the best candidate it evaluated."""
         from ..engine.core import canonicalize_sequence
 
+        # Entry point for direct API users (`repro optimize` without a
+        # socket): mints a trace id when none is open, nests under the
+        # policy server's wave span when there is one.
+        with tm.span("policy.decide", batch=len(modules), refine=refine):
+            return self._optimize_batch(modules, refine, seed,
+                                        canonicalize_sequence)
+
+    def _optimize_batch(self, modules: Sequence[Module], refine: int,
+                        seed: int, canonicalize_sequence) -> List[PolicyDecision]:
         spec = self.spec
         sequences = self.infer_batch(modules)
         # Canonical elements are table indices (or verbatim names for

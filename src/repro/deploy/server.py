@@ -53,16 +53,21 @@ class ServerClosing(RuntimeError):
 
 
 class _Pending:
-    __slots__ = ("op", "policy", "program", "opts", "future", "enqueued")
+    __slots__ = ("op", "policy", "program", "opts", "future", "enqueued",
+                 "trace")
 
     def __init__(self, op: str, policy: str, program: str,
-                 opts: Tuple, future: Future) -> None:
+                 opts: Tuple, future: Future, trace=None) -> None:
         self.op = op
         self.policy = policy
         self.program = program
         self.opts = opts
         self.future = future
         self.enqueued = time.monotonic()
+        # Trace context captured on the handler thread (request-borne
+        # ``"trace"`` pair, or the thread's own open span); the batcher
+        # thread re-attaches it — thread-locals don't cross the queue.
+        self.trace = trace
 
 
 _STOP = object()   # batcher sentinel: fail everything still queued, exit
@@ -212,13 +217,25 @@ class PolicyServer:
                     "processed"))
                 return future
             self.stats["requests"] += 1
+            trace = req.get("trace") if tm.trace_enabled() else None
+            if trace is None:
+                trace = tm.current_trace()
             self._queue.put(_Pending(req["op"],
                                      req.get("policy") or self.default_policy,
-                                     str(req["program"]), opts, future))
+                                     str(req["program"]), opts, future,
+                                     trace=trace))
         return future
 
     def handle_control(self, req: Dict) -> Dict:
         op = req.get("op")
+        # Control ops are a small fixed set, so per-op latency metric
+        # names stay bounded; under trace mode the span joins a
+        # request-borne trace context exactly like the eval server's.
+        with tm.attach_trace(req.get("trace")), \
+                tm.span(f"policy.op.{op if isinstance(op, str) else 'unknown'}"):
+            return self._control(op, req)
+
+    def _control(self, op, req: Dict) -> Dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "shutdown":
@@ -296,15 +313,26 @@ class PolicyServer:
                 continue
             modules = [module for _, module in resolved]
             before = runner.forwards
+            # One wave can coalesce requests from several traces; the
+            # wave span joins the first traced request (the others are
+            # recorded as an attribute so their waterfalls still find
+            # the wave).
+            ctx = next((item.trace for item, _ in resolved if item.trace),
+                       None)
+            traces = [item.trace[0] for item, _ in resolved if item.trace]
             try:
                 if op == "infer":
-                    with tm.span("policy.infer", batch=len(modules)):
+                    with tm.attach_trace(ctx), \
+                            tm.span("policy.infer", batch=len(modules),
+                                    traces=len(traces)):
                         sequences = runner.infer_batch(modules)
                     results = [{"sequence": [int(a) for a in seq]}
                                for seq in sequences]
                 else:
                     refine, seed = opts
-                    with tm.span("policy.optimize", batch=len(modules)):
+                    with tm.attach_trace(ctx), \
+                            tm.span("policy.optimize", batch=len(modules),
+                                    traces=len(traces)):
                         decisions = runner.optimize_batch(
                             modules, refine=refine, seed=seed)
                     results = [d.to_json() for d in decisions]

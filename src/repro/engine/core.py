@@ -403,7 +403,19 @@ class EvaluationEngine:
                             max_workers=self.max_workers,
                             thread_name_prefix="repro-engine")
                     pool = self._pool
-                for canonical, value in zip(pending, pool.map(run_one, pending)):
+                # Trace context is thread-local; hand the batch span's
+                # trace id to the pool threads so per-candidate spans
+                # stay inside the caller's trace instead of minting one
+                # trace per pool thread. ``ctx`` is None outside trace
+                # mode, and attach is then a no-op.
+                ctx = tm.current_trace()
+
+                def run_traced(canonical):
+                    with tm.attach_trace(ctx):
+                        return run_one(canonical)
+
+                for canonical, value in zip(pending,
+                                            pool.map(run_traced, pending)):
                     unique[canonical] = value
             else:
                 for canonical in pending:

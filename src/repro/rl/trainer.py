@@ -317,80 +317,92 @@ class Trainer:
     def _train_policy_gradient(self) -> None:
         completed = self.episodes_done
         while completed < self.episodes:
-            wave_start = time.perf_counter()
             width = min(self.lanes, self.episodes - completed)
-            obs: Dict[int, np.ndarray] = {}
-            transitions: Dict[int, list] = {i: [] for i in range(width)}
-            totals: Dict[int, float] = {i: 0.0 for i in range(width)}
-            final_info: Dict[int, Dict] = {}
-            episode_rngs: Dict[int, np.random.Generator] = {}
-            assignments: Dict[int, Optional[int]] = {}
-            for lane_id in range(width):
-                program_index = None
-                if self.episode_seeding:
-                    rng = np.random.default_rng([self.seed, completed + lane_id])
-                    episode_rngs[lane_id] = rng
-                    program_index = int(rng.integers(len(self.vec.programs)))
-                assignments[lane_id] = program_index
-            # Batched wave reset; lanes whose base program fails HLS
-            # compilation come back omitted — dead episodes, nothing to
-            # learn from and no best-candidate update.
-            obs.update(self.vec.reset_wave(assignments))
-            active = [i for i in range(width) if i in obs]
-            self._observe_batch(obs, active)
-            while active:
-                matrix = np.stack([obs[i] for i in active])
-                rngs = ([episode_rngs[i] for i in active]
-                        if self.episode_seeding else None)
-                actions, log_probs, values = self.agent.act_batch(matrix, rngs=rngs)
-                results = self.vec.step_lanes(active, actions)
-                fresh: List[int] = []
-                for lane_id, action, log_prob, value, step in zip(
-                        active, actions, log_probs, values, results):
-                    next_obs, reward, done, info = step
-                    transitions[lane_id].append(
-                        (obs[lane_id], action, float(log_prob), reward,
-                         float(value), done))
-                    totals[lane_id] += reward
-                    if done:
-                        final_info[lane_id] = info
-                    else:
-                        obs[lane_id] = next_obs
-                        fresh.append(lane_id)
-                self._observe_batch(obs, fresh)
-                active = fresh
-            wave_seconds = time.perf_counter() - wave_start
-            self.seconds["rollout"] += wave_seconds
-            tm.observe("train.rollout.seconds", wave_seconds)
-            # Flush in episode order: lane i of this wave is episode
-            # ``completed + i``, updates fire at the same episode
-            # boundaries the sequential loop used. Dead lanes (base
-            # program failed at reset) consume budget but contribute no
-            # fabricated reward point.
-            for lane_id in range(width):
-                for transition in transitions[lane_id]:
-                    self._rollout.add(*transition)
-                if lane_id in final_info:
-                    self._note_best(final_info[lane_id])
-                    self.episode_rewards.append(totals[lane_id])
-                    tm.observe("train.episode_reward", totals[lane_id])
-                completed += 1
-                self.episodes_done = completed
-                if completed % self.update_every == 0 and len(self._rollout):
-                    transitions_pending = len(self._rollout)
-                    update_start = time.perf_counter()
-                    self.agent.update(self._rollout)
-                    update_seconds = time.perf_counter() - update_start
-                    tm.observe("train.update.seconds", update_seconds)
-                    self._emit_event("update",
-                                     update_seconds=round(update_seconds, 6),
-                                     transitions=transitions_pending)
-                    self._rollout = Rollout()
-            finished = [totals[i] for i in range(width) if i in final_info]
-            self._emit_event(
-                "wave", wave_seconds=round(wave_seconds, 6), episodes=width,
-                reward_mean=(round(sum(finished) / len(finished), 6)
-                             if finished else None))
+            # Each wave is a trace entry point: under REPRO_TELEMETRY=
+            # trace the span mints a trace id, and every engine/service
+            # span the rollout touches nests under it — one wave, one
+            # causal timeline.
+            with tm.span("train.wave", episodes=width,
+                         completed=completed):
+                completed = self._run_wave(completed, width)
+
+    def _run_wave(self, completed: int, width: int) -> int:
+        """One batched rollout wave + its episode-boundary updates;
+        returns the new completed-episode count."""
+        wave_start = time.perf_counter()
+        obs: Dict[int, np.ndarray] = {}
+        transitions: Dict[int, list] = {i: [] for i in range(width)}
+        totals: Dict[int, float] = {i: 0.0 for i in range(width)}
+        final_info: Dict[int, Dict] = {}
+        episode_rngs: Dict[int, np.random.Generator] = {}
+        assignments: Dict[int, Optional[int]] = {}
+        for lane_id in range(width):
+            program_index = None
+            if self.episode_seeding:
+                rng = np.random.default_rng([self.seed, completed + lane_id])
+                episode_rngs[lane_id] = rng
+                program_index = int(rng.integers(len(self.vec.programs)))
+            assignments[lane_id] = program_index
+        # Batched wave reset; lanes whose base program fails HLS
+        # compilation come back omitted — dead episodes, nothing to
+        # learn from and no best-candidate update.
+        obs.update(self.vec.reset_wave(assignments))
+        active = [i for i in range(width) if i in obs]
+        self._observe_batch(obs, active)
+        while active:
+            matrix = np.stack([obs[i] for i in active])
+            rngs = ([episode_rngs[i] for i in active]
+                    if self.episode_seeding else None)
+            actions, log_probs, values = self.agent.act_batch(matrix, rngs=rngs)
+            results = self.vec.step_lanes(active, actions)
+            fresh: List[int] = []
+            for lane_id, action, log_prob, value, step in zip(
+                    active, actions, log_probs, values, results):
+                next_obs, reward, done, info = step
+                transitions[lane_id].append(
+                    (obs[lane_id], action, float(log_prob), reward,
+                     float(value), done))
+                totals[lane_id] += reward
+                if done:
+                    final_info[lane_id] = info
+                else:
+                    obs[lane_id] = next_obs
+                    fresh.append(lane_id)
+            self._observe_batch(obs, fresh)
+            active = fresh
+        wave_seconds = time.perf_counter() - wave_start
+        self.seconds["rollout"] += wave_seconds
+        tm.observe("train.rollout.seconds", wave_seconds)
+        # Flush in episode order: lane i of this wave is episode
+        # ``completed + i``, updates fire at the same episode
+        # boundaries the sequential loop used. Dead lanes (base
+        # program failed at reset) consume budget but contribute no
+        # fabricated reward point.
+        for lane_id in range(width):
+            for transition in transitions[lane_id]:
+                self._rollout.add(*transition)
+            if lane_id in final_info:
+                self._note_best(final_info[lane_id])
+                self.episode_rewards.append(totals[lane_id])
+                tm.observe("train.episode_reward", totals[lane_id])
+            completed += 1
+            self.episodes_done = completed
+            if completed % self.update_every == 0 and len(self._rollout):
+                transitions_pending = len(self._rollout)
+                update_start = time.perf_counter()
+                self.agent.update(self._rollout)
+                update_seconds = time.perf_counter() - update_start
+                tm.observe("train.update.seconds", update_seconds)
+                self._emit_event("update",
+                                 update_seconds=round(update_seconds, 6),
+                                 transitions=transitions_pending)
+                self._rollout = Rollout()
+        finished = [totals[i] for i in range(width) if i in final_info]
+        self._emit_event(
+            "wave", wave_seconds=round(wave_seconds, 6), episodes=width,
+            reward_mean=(round(sum(finished) / len(finished), 6)
+                         if finished else None))
+        return completed
 
     # -- ES generation loop ---------------------------------------------------
     def _train_es(self) -> None:
@@ -418,6 +430,13 @@ class Trainer:
         its program from a stream keyed by its episode index (not by
         which lane runs it), so the whole generation is lane-count
         invariant on any corpus."""
+        # ES trace entry point, the generation-scoring analogue of
+        # ``train.wave``: one span (and under trace mode, one trace id)
+        # per generation, covering every lane-wave it schedules.
+        with tm.span("train.generation", members=len(thetas)):
+            return self._score_members(thetas)
+
+    def _score_members(self, thetas) -> List[float]:
         agent = self.agent
         fitness = [0.0] * len(thetas)
         dead: List[int] = []

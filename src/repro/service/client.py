@@ -290,6 +290,7 @@ class EvaluationClient:
         The dead worker's queues and reader thread are abandoned — they
         may hold torn messages or an orphaned write-lock."""
         doomed: List[Tuple[Tuple[str, StoreKey], Future, str]] = []
+        deaths: List[str] = []
         with self._lock:
             if self._closed:
                 return
@@ -299,6 +300,7 @@ class EvaluationClient:
                 reason = (f"evaluation worker {worker_id} died "
                           f"(exitcode {handle.process.exitcode}) "
                           f"with requests in flight")
+                deaths.append(reason)
                 for request_id in [rid for rid, (wid, _, _) in self._pending.items()
                                    if wid == worker_id]:
                     _, waiters, _ = self._pending.pop(request_id)
@@ -320,6 +322,12 @@ class EvaluationClient:
                     prog.registered_workers.discard(worker_id)
             for fullkey, _, _ in doomed:
                 self._inflight.pop(fullkey, None)
+        if deaths and tm.trace_enabled():
+            # Flight-recorder dump (trace mode only): the dead worker's
+            # own ring buffer died with it, so record the client-side
+            # last-N spans with the death reason — enough to place the
+            # failing wave in the trace timeline post-mortem.
+            tm.flight_record("; ".join(deaths))
         for fullkey, future, reason in doomed:
             if not future.done():
                 future.set_exception(RuntimeError(reason))
@@ -346,8 +354,10 @@ class EvaluationClient:
             return
         request_id, results, samples = message[1], message[2], message[3]
         worker_snapshot = message[4] if len(message) > 4 else None
+        worker_events = message[5] if len(message) > 5 else None
         if samples:
             self.toolchain._count_samples(samples)
+        worker_proc = None
         with self._lock:
             worker_id, waiters, send_ts = self._pending.pop(
                 request_id, (None, (), None))
@@ -360,6 +370,15 @@ class EvaluationClient:
                     # latest-wins: snapshots are cumulative per worker
                     # process, so only the newest one may be exported
                     self._worker_snapshots[worker_id] = worker_snapshot
+                if worker_events:
+                    worker_proc = self._worker_proc(worker_id)
+        if worker_events and worker_proc is not None:
+            # Worker span events reach the trace log under the worker's
+            # generation-tagged identity; workers never open files.
+            try:
+                tm.export_trace_events(worker_proc, worker_events)
+            except Exception:
+                pass  # tracing must never fail a result delivery
         if send_ts is not None:
             tm.observe("service.roundtrip.seconds",
                        max(0.0, time.monotonic() - send_ts))
@@ -513,16 +532,20 @@ class EvaluationClient:
                 self._inflight[fullkey] = future
                 self._start_pool()
                 self._register_with_worker(prog)
-                request_id = next(self._request_ids)
-                send_ts = time.monotonic()
-                self._pending[request_id] = (prog.worker_id,
-                                             [(fullkey, future)], send_ts)
-                self.dispatched += 1
-                tm.count("service.dispatched")
-                self._handles[prog.worker_id].queue.put(
-                    (MSG_EVALUATE, request_id, id(prog.program),
-                     [(list(canonical), objective, area_weight, entry,
-                       want_features)], send_ts))
+                # Entry-point span: under trace mode this mints (or
+                # joins) the request's trace, and its context rides the
+                # message so the worker's spans parent into it.
+                with tm.span("service.submit", worker=prog.worker_id):
+                    request_id = next(self._request_ids)
+                    send_ts = time.monotonic()
+                    self._pending[request_id] = (prog.worker_id,
+                                                 [(fullkey, future)], send_ts)
+                    self.dispatched += 1
+                    tm.count("service.dispatched")
+                    self._handles[prog.worker_id].queue.put(
+                        (MSG_EVALUATE, request_id, id(prog.program),
+                         [(list(canonical), objective, area_weight, entry,
+                           want_features)], send_ts, tm.current_trace()))
                 return future
         if cached is not None:
             # workers=0 + persisted value from a cycle-only (v1) record,
@@ -603,15 +626,20 @@ class EvaluationClient:
             if to_send:
                 self._start_pool()
                 self._register_with_worker(prog)
-                request_id = next(self._request_ids)
-                send_ts = time.monotonic()
-                self._pending[request_id] = (prog.worker_id, to_send, send_ts)
-                self.dispatched += len(to_send)
-                tm.count("service.dispatched", len(to_send))
-                tm.observe("service.batch_size", len(items))
-                self._handles[prog.worker_id].queue.put(
-                    (MSG_EVALUATE, request_id, id(prog.program), items,
-                     send_ts))
+                # Entry-point span; see submit() — same trace-context
+                # propagation for the batched message.
+                with tm.span("service.evaluate_batch", worker=prog.worker_id,
+                             size=len(items)):
+                    request_id = next(self._request_ids)
+                    send_ts = time.monotonic()
+                    self._pending[request_id] = (prog.worker_id, to_send,
+                                                 send_ts)
+                    self.dispatched += len(to_send)
+                    tm.count("service.dispatched", len(to_send))
+                    tm.observe("service.batch_size", len(items))
+                    self._handles[prog.worker_id].queue.put(
+                        (MSG_EVALUATE, request_id, id(prog.program), items,
+                         send_ts, tm.current_trace()))
         if not self.workers:
             for canonical, (key, cached) in upgrades.items():
                 self.persistent_hits += 1

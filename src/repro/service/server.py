@@ -155,8 +155,14 @@ class EvaluationServer:
     def handle_request(self, req: Dict) -> Dict:
         op = req.get("op")
         # Per-op latency histograms: op names are a small fixed set, so
-        # the metric-name cardinality stays bounded.
-        with tm.span(f"server.op.{op if isinstance(op, str) else 'unknown'}"):
+        # the metric-name cardinality stays bounded. Under trace mode
+        # the op span is a trace entry point: it joins the caller's
+        # trace when the request carries a ``"trace": [trace_id,
+        # span_id]`` pair (ignored tolerantly otherwise) and mints a
+        # fresh trace id when not, so every downstream span — service
+        # client dispatch, worker evaluation — shares one trace.
+        with tm.attach_trace(req.get("trace")), \
+                tm.span(f"server.op.{op if isinstance(op, str) else 'unknown'}"):
             return self._dispatch(op, req)
 
     def _dispatch(self, op, req: Dict) -> Dict:

@@ -42,11 +42,15 @@ __all__ = ["worker_main", "dumps_module", "loads_module",
 MSG_REGISTER = "register"    # (tag, program_id, program_fp, module_bytes)
 MSG_EVALUATE = "evaluate"    # (tag, request_id, program_id,
 #                               [(seq, obj, aw, entry, want_features), ...]
-#                               [, client_monotonic_enqueue_ts])
-# The optional trailing element is the client's ``time.monotonic()`` at
-# enqueue time; CLOCK_MONOTONIC is machine-wide on Linux, so the worker
-# subtracts it from its own clock to measure queue wait. Old clients
-# that omit it still work (read tolerantly).
+#                               [, client_monotonic_enqueue_ts
+#                                [, (trace_id, parent_span_id)]])
+# The optional trailing elements are the client's ``time.monotonic()``
+# at enqueue time (CLOCK_MONOTONIC is machine-wide on Linux, so the
+# worker subtracts it from its own clock to measure queue wait) and,
+# under REPRO_TELEMETRY=trace, the dispatching span's trace context so
+# worker spans join the request's distributed trace. Old clients that
+# omit either still work (read tolerantly), and old workers ignore
+# unknown trailing elements.
 MSG_STATS = "stats"          # (tag, request_id)
 MSG_SHUTDOWN = "shutdown"    # (tag,)
 
@@ -278,12 +282,18 @@ def worker_main(worker_id: int, request_queue, response_queue,
         if tag == MSG_EVALUATE:
             request_id, program_id, items = message[1], message[2], message[3]
             enqueue_ts = message[4] if len(message) > 4 else None
+            trace_ctx = message[5] if len(message) > 5 else None
             if enqueue_ts is not None:
                 tm.observe("worker.queue_wait.seconds",
                            max(0.0, time.monotonic() - enqueue_ts))
             tm.count("worker.items", len(items))
             before = state.toolchain.samples_taken
-            with tm.span("worker.evaluate", items=len(items)):
+            # Under trace mode the dispatching client ships its span's
+            # (trace_id, span_id); attaching it parents this worker's
+            # spans into the request's distributed trace. No-op
+            # otherwise.
+            with tm.attach_trace(trace_ctx), \
+                    tm.span("worker.evaluate", items=len(items)):
                 if program_id not in state.programs:
                     detail = state.register_errors.get(program_id, "")
                     why = ("registration failed" if detail
@@ -298,5 +308,10 @@ def worker_main(worker_id: int, request_queue, response_queue,
             # Cumulative telemetry snapshot rides every reply so the
             # client always has the latest per-worker view (merged at
             # read time, never accumulated — see client._worker_snapshots).
+            # Trace events ride the same way (drained, so never
+            # re-shipped): the client writes them to the trace log under
+            # this worker's generation-tagged proc name, keeping file
+            # access out of worker processes.
             response_queue.put(("result", request_id, results, samples,
-                                tm.snapshot()))
+                                tm.snapshot(),
+                                tm.drain_trace_events() or None))

@@ -11,20 +11,33 @@ Usage from instrumented code (all hooks are near-zero-cost no-ops when
     tm.observe("service.batch_size", len(batch))
 
 ``REPRO_TELEMETRY=on`` records metrics; ``trace`` additionally records
-per-span begin/end events with parent/child nesting.
+per-span begin/end events with parent/child nesting under
+process-unique trace ids that propagate across thread, fork and socket
+boundaries (``attach_trace`` / ``current_trace``), plus a bounded
+flight-recorder ring of recently completed spans dumped on
+``VerificationError`` or worker death.
 ``REPRO_TELEMETRY_LOG`` points the JSONL snapshot exporter somewhere
-other than ``.repro-telemetry/metrics.jsonl`` (empty value disables it).
-``repro stats`` renders the merged cross-process view.
+other than ``.repro-telemetry/metrics.jsonl`` (empty value disables it);
+``REPRO_TELEMETRY_TRACE_LOG`` does the same for the span-event log under
+trace mode. ``repro stats`` renders the merged cross-process view;
+``repro trace`` renders per-trace waterfalls and Chrome trace export.
 """
 
 from .core import (
     BUCKET_BOUNDS,
+    FLIGHT_SPANS,
+    READABLE_SCHEMAS,
+    SCHEMA_VERSION,
     Histogram,
     MetricsRegistry,
+    attach_trace,
     configure,
     configure_from_env,
     count,
+    current_trace,
+    drain_trace_events,
     enabled,
+    flight_spans,
     gauge_add,
     gauge_set,
     get_registry,
@@ -40,28 +53,45 @@ from .core import (
 )
 from .export import (
     DEFAULT_LOG_PATH,
+    DEFAULT_TRACE_LOG_PATH,
     add_snapshot_provider,
     collect_snapshots,
     export_now,
+    export_trace_events,
+    export_trace_now,
+    flight_record,
     log_path,
     read_log,
+    read_trace_log,
     remove_snapshot_provider,
     start_exporter,
     stop_exporter,
+    trace_log_path,
 )
 
 __all__ = [
     "BUCKET_BOUNDS",
     "DEFAULT_LOG_PATH",
+    "DEFAULT_TRACE_LOG_PATH",
+    "FLIGHT_SPANS",
     "Histogram",
     "MetricsRegistry",
+    "READABLE_SCHEMAS",
+    "SCHEMA_VERSION",
     "add_snapshot_provider",
+    "attach_trace",
     "collect_snapshots",
     "configure",
     "configure_from_env",
     "count",
+    "current_trace",
+    "drain_trace_events",
     "enabled",
     "export_now",
+    "export_trace_events",
+    "export_trace_now",
+    "flight_record",
+    "flight_spans",
     "gauge_add",
     "gauge_set",
     "get_registry",
@@ -72,6 +102,7 @@ __all__ = [
     "observe",
     "quantile_from_snapshot",
     "read_log",
+    "read_trace_log",
     "remove_snapshot_provider",
     "reset_for_child",
     "snapshot",
@@ -80,6 +111,7 @@ __all__ = [
     "stop_exporter",
     "trace_enabled",
     "trace_events",
+    "trace_log_path",
 ]
 
 

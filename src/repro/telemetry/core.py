@@ -32,16 +32,24 @@ import math
 import os
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from collections import deque as _deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "FLIGHT_SPANS",
     "Histogram",
     "MetricsRegistry",
+    "READABLE_SCHEMAS",
+    "SCHEMA_VERSION",
+    "attach_trace",
     "configure",
     "configure_from_env",
     "count",
+    "current_trace",
+    "drain_trace_events",
     "enabled",
+    "flight_spans",
     "gauge_set",
     "get_registry",
     "merge_snapshots",
@@ -49,10 +57,24 @@ __all__ = [
     "observe",
     "quantile_from_snapshot",
     "reset_for_child",
+    "set_flight_sink",
     "span",
     "trace_enabled",
     "trace_events",
 ]
+
+# Version stamped onto every exported JSONL line (metrics snapshots and
+# trace batches alike); readers skip lines whose schema they cannot
+# parse, mirroring the persistent store's READABLE_VERSIONS gate, so the
+# log format can evolve without breaking older `repro stats`/`repro
+# trace` binaries reading a shared log.
+SCHEMA_VERSION = 1
+READABLE_SCHEMAS = frozenset({1})
+
+# Completed spans kept in the per-process flight-recorder ring buffer
+# (trace mode only); dumped into the trace log on VerificationError or
+# worker death so the failing wave is reconstructable post-mortem.
+FLIGHT_SPANS = 64
 
 # --------------------------------------------------------------------------
 # Shared histogram bucket geometry
@@ -214,6 +236,16 @@ class MetricsRegistry:
         self._events: List[Dict[str, Any]] = []
         self._span_ids = itertools.count(1)
         self._span_stack = threading.local()
+        # Span/trace ids carry a per-registry random seed so they stay
+        # globally unique across processes (and across reset_for_child
+        # within one process) — a worker's span can cite a client span
+        # as parent without coordination. Allocated only under trace
+        # mode; the metrics-only path never touches any of this.
+        if trace:
+            self._id_seed = os.urandom(4).hex()
+            self._trace_ids = itertools.count(1)
+            self._flight = _deque(maxlen=FLIGHT_SPANS)
+            self._flight_last_exc: Optional[int] = None
         self.attrs = dict(attrs or {})
         self.created = time.time()
 
@@ -243,20 +275,57 @@ class MetricsRegistry:
     def span(self, name: str, **attrs: Any) -> "_Span":
         return _Span(self, name, attrs)
 
-    def _span_parent(self) -> Optional[int]:
-        stack = getattr(self._span_stack, "stack", None)
-        return stack[-1] if stack else None
+    def _new_span_id(self) -> str:
+        return f"{self._id_seed}.{next(self._span_ids)}"
 
-    def _span_push(self, span_id: int) -> None:
-        stack = getattr(self._span_stack, "stack", None)
+    def _new_trace_id(self) -> str:
+        return f"T{self._id_seed}.{next(self._trace_ids)}"
+
+    def _span_begin(self) -> Tuple[str, str, Optional[str]]:
+        """Allocate a span id and resolve (span, trace, parent) for a
+        span opening on the calling thread: nested spans inherit the
+        thread's open trace, root spans inherit an attached remote
+        context when one is set, and otherwise mint a fresh trace id.
+        Trace mode only."""
+        tl = self._span_stack
+        stack = getattr(tl, "stack", None)
         if stack is None:
-            stack = self._span_stack.stack = []
+            stack = tl.stack = []
+        if stack:
+            parent: Optional[str] = stack[-1]
+            trace_id = tl.trace
+        else:
+            remote = getattr(tl, "remote", None)
+            if remote is not None:
+                trace_id, parent = remote
+            else:
+                trace_id, parent = self._new_trace_id(), None
+            tl.trace = trace_id
+        span_id = self._new_span_id()
         stack.append(span_id)
+        return span_id, trace_id, parent
 
-    def _span_pop(self) -> None:
-        stack = getattr(self._span_stack, "stack", None)
+    def _span_end(self) -> None:
+        tl = self._span_stack
+        stack = getattr(tl, "stack", None)
         if stack:
             stack.pop()
+            if not stack:
+                tl.trace = None
+
+    def current_trace(self) -> Optional[Tuple[str, Optional[str]]]:
+        """(trace id, innermost open span id) on the calling thread, the
+        attached remote context when no span is open, else None."""
+        tl = self._span_stack
+        stack = getattr(tl, "stack", None)
+        if stack:
+            return (tl.trace, stack[-1])
+        remote = getattr(tl, "remote", None)
+        return (remote[0], remote[1]) if remote is not None else None
+
+    def attach(self, ctx) -> "_TraceAttach":
+        return _TraceAttach(self, (str(ctx[0]),
+                                   None if ctx[1] is None else str(ctx[1])))
 
     def _trace_event(self, event: Dict[str, Any]) -> None:
         with self._lock:
@@ -269,6 +338,20 @@ class MetricsRegistry:
     def trace_events(self) -> List[Dict[str, Any]]:
         with self._lock:
             return list(self._events)
+
+    def drain_trace_events(self) -> List[Dict[str, Any]]:
+        """Return accumulated trace events and clear the buffer — the
+        exporter's read side, so periodic flushes never duplicate."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def flight_spans(self) -> List[Dict[str, Any]]:
+        """The last-N completed spans (trace mode only; [] otherwise)."""
+        if not self._trace:
+            return []
+        with self._lock:
+            return list(self._flight)
 
     # -- snapshot ------------------------------------------------------------
 
@@ -317,9 +400,10 @@ class MetricsRegistry:
 class _Span:
     """Timing context manager; records a ``<name>.seconds`` histogram
     sample on exit and, under ``trace`` mode, begin/end events carrying
-    span/parent ids and attributes."""
+    trace/span/parent ids and attributes."""
 
-    __slots__ = ("_registry", "name", "attrs", "_start", "span_id", "parent_id")
+    __slots__ = ("_registry", "name", "attrs", "_start", "span_id",
+                 "parent_id", "trace_id")
 
     def __init__(self, registry: MetricsRegistry, name: str,
                  attrs: Dict[str, Any]) -> None:
@@ -327,8 +411,9 @@ class _Span:
         self.name = name
         self.attrs = attrs
         self._start = 0.0
-        self.span_id = 0
-        self.parent_id: Optional[int] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
 
     def set_attr(self, key: str, value: Any) -> None:
         self.attrs[key] = value
@@ -336,13 +421,12 @@ class _Span:
     def __enter__(self) -> "_Span":
         reg = self._registry
         if reg.trace:
-            self.span_id = next(reg._span_ids)
-            self.parent_id = reg._span_parent()
-            reg._span_push(self.span_id)
+            self.span_id, self.trace_id, self.parent_id = reg._span_begin()
             reg._trace_event({
                 "event": "begin", "span": self.span_id,
-                "parent": self.parent_id, "name": self.name,
-                "ts": time.time(), "attrs": dict(self.attrs),
+                "parent": self.parent_id, "trace": self.trace_id,
+                "name": self.name, "ts": time.time(),
+                "tid": threading.get_ident(), "attrs": dict(self.attrs),
             })
         self._start = time.perf_counter()
         return self
@@ -354,14 +438,56 @@ class _Span:
         if exc_type is not None:
             reg.count(self.name + ".errors")
         if reg.trace:
-            reg._span_pop()
-            reg._trace_event({
+            reg._span_end()
+            record = {
                 "event": "end", "span": self.span_id,
-                "parent": self.parent_id, "name": self.name,
-                "ts": time.time(), "seconds": elapsed,
+                "parent": self.parent_id, "trace": self.trace_id,
+                "name": self.name, "ts": time.time(), "seconds": elapsed,
+                "tid": threading.get_ident(),
                 "error": exc_type.__name__ if exc_type else None,
                 "attrs": dict(self.attrs),
-            })
+            }
+            with reg._lock:
+                reg._events.append(record)
+                reg._flight.append(record)
+            # Flight-recorder dump: a VerificationError anywhere in the
+            # stack (kernel/batch/SIMD verify tiers) snapshots the last-N
+            # spans into the trace log for post-mortems. Matched by name
+            # because telemetry stays stdlib-only (no repro imports);
+            # deduped per exception instance so one error unwinding
+            # through nested spans dumps once.
+            if (exc_type is not None and _flight_sink is not None
+                    and exc_type.__name__ == "VerificationError"
+                    and reg._flight_last_exc != id(exc)):
+                reg._flight_last_exc = id(exc)
+                try:
+                    _flight_sink(f"VerificationError in span {self.name}")
+                except Exception:
+                    pass
+
+
+class _TraceAttach:
+    """Thread-local remote trace context for the duration of a block:
+    root spans opened inside parent to ``ctx = (trace_id, span_id)``
+    instead of minting a fresh trace — the receive side of cross-process
+    (and cross-thread) propagation."""
+
+    __slots__ = ("_registry", "_ctx", "_prev")
+
+    def __init__(self, registry: MetricsRegistry,
+                 ctx: Tuple[str, Optional[str]]) -> None:
+        self._registry = registry
+        self._ctx = ctx
+        self._prev: Any = None
+
+    def __enter__(self) -> "_TraceAttach":
+        tl = self._registry._span_stack
+        self._prev = getattr(tl, "remote", None)
+        tl.remote = self._ctx
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry._span_stack.remote = self._prev
 
 
 class _NoopSpan:
@@ -477,6 +603,57 @@ def span(name: str, **attrs: Any):
 def trace_events() -> List[Dict[str, Any]]:
     reg = _registry
     return reg.trace_events() if reg is not None else []
+
+
+def drain_trace_events() -> List[Dict[str, Any]]:
+    reg = _registry
+    if reg is None or not reg.trace:
+        return []
+    return reg.drain_trace_events()
+
+
+def current_trace() -> Optional[Tuple[str, Optional[str]]]:
+    """Context to propagate across a process/thread boundary, or None.
+    Always None outside trace mode — the near-free off/on path never
+    allocates trace context."""
+    reg = _registry
+    if reg is None or not reg.trace:
+        return None
+    return reg.current_trace()
+
+
+def attach_trace(ctx):
+    """Context manager adopting a remote ``(trace_id, parent_span_id)``
+    pair (e.g. decoded from a request tuple) as the parent of root spans
+    opened inside. No-op (shared singleton, zero allocation) when trace
+    mode is off, ``ctx`` is None, or ``ctx`` is malformed — old peers
+    sending nothing keep working."""
+    reg = _registry
+    if reg is None or not reg.trace or not ctx:
+        return _NOOP_SPAN
+    try:
+        trace_id, parent = ctx[0], ctx[1]
+    except (TypeError, IndexError, KeyError):
+        return _NOOP_SPAN
+    if not trace_id:
+        return _NOOP_SPAN
+    return reg.attach((trace_id, parent))
+
+
+def flight_spans() -> List[Dict[str, Any]]:
+    reg = _registry
+    return reg.flight_spans() if reg is not None else []
+
+
+# Installed by repro.telemetry.export at import time; writes the flight
+# ring buffer into the trace log. A hook (rather than an import) keeps
+# core free of any dependency on the exporter.
+_flight_sink: Optional[Callable[[str], Any]] = None
+
+
+def set_flight_sink(fn: Optional[Callable[[str], Any]]) -> None:
+    global _flight_sink
+    _flight_sink = fn
 
 
 def snapshot() -> Optional[Dict[str, Any]]:

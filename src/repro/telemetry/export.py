@@ -29,17 +29,24 @@ from . import core
 
 __all__ = [
     "DEFAULT_LOG_PATH",
+    "DEFAULT_TRACE_LOG_PATH",
     "add_snapshot_provider",
     "collect_snapshots",
     "export_now",
+    "export_trace_events",
+    "export_trace_now",
+    "flight_record",
     "log_path",
     "read_log",
+    "read_trace_log",
     "remove_snapshot_provider",
     "start_exporter",
     "stop_exporter",
+    "trace_log_path",
 ]
 
 DEFAULT_LOG_PATH = os.path.join(".repro-telemetry", "metrics.jsonl")
+DEFAULT_TRACE_LOG_PATH = os.path.join(".repro-telemetry", "trace.jsonl")
 
 # Providers return a list of extra snapshot records (already in
 # record-dict form minus seq/ts, see _record()).
@@ -59,6 +66,19 @@ def log_path() -> Optional[str]:
     path = os.environ.get("REPRO_TELEMETRY_LOG")
     if path is None:
         return DEFAULT_LOG_PATH
+    path = path.strip()
+    return path or None
+
+
+def trace_log_path() -> Optional[str]:
+    """Resolved trace-event log path, or None when trace mode is off.
+    ``REPRO_TELEMETRY_TRACE_LOG`` overrides the default (empty value
+    disables trace export while keeping in-process events)."""
+    if not core.trace_enabled():
+        return None
+    path = os.environ.get("REPRO_TELEMETRY_TRACE_LOG")
+    if path is None:
+        return DEFAULT_TRACE_LOG_PATH
     path = path.strip()
     return path or None
 
@@ -112,19 +132,78 @@ def export_now(path: Optional[str] = None) -> int:
     for rec in records:
         _seq += 1
         rec = dict(rec)
+        rec["schema"] = core.SCHEMA_VERSION
         rec["seq"] = _seq
         rec["ts"] = now
         rec["writer"] = os.getpid()
         lines.append(json.dumps(rec, sort_keys=True))
+    _append_lines(path, lines)
+    return len(lines)
+
+
+def _append_lines(path: str, lines: List[str]) -> None:
     # One os.write of the whole batch onto an O_APPEND fd keeps records
     # atomic per POSIX even with several exporting processes.
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
     data = ("\n".join(lines) + "\n").encode()
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
         os.write(fd, data)
     finally:
         os.close(fd)
-    return len(lines)
+
+
+def export_trace_events(proc: str, events: List[Dict[str, Any]],
+                        path: Optional[str] = None,
+                        kind: str = "trace") -> int:
+    """Append one trace-batch line (``kind: trace`` span events, or
+    ``kind: flight`` for a flight-recorder dump) under ``proc``'s
+    identity. The service client calls this with each worker's
+    generation-tagged proc name — worker trace events ride reply tuples
+    and reach the log without workers ever opening files."""
+    path = path if path is not None else trace_log_path()
+    if path is None or not events:
+        return 0
+    record = {
+        "schema": core.SCHEMA_VERSION,
+        "kind": kind,
+        "proc": proc,
+        "ts": time.time(),
+        "writer": os.getpid(),
+        "events": events,
+    }
+    _append_lines(path, [json.dumps(record, sort_keys=True, default=repr)])
+    return 1
+
+
+def export_trace_now(path: Optional[str] = None) -> int:
+    """Drain this process's trace-event buffer into the trace log."""
+    if not core.trace_enabled():
+        return 0
+    events = core.drain_trace_events()
+    if not events:
+        return 0
+    return export_trace_events(f"pid:{os.getpid()}", events, path=path)
+
+
+def flight_record(reason: str, path: Optional[str] = None) -> int:
+    """Dump the flight-recorder ring buffer (last-N completed spans)
+    into the trace log with ``reason`` attached; trace mode only."""
+    if not core.trace_enabled():
+        return 0
+    spans = core.flight_spans()
+    if not spans:
+        return 0
+    events = [{"event": "flight", "reason": reason}] + spans
+    return export_trace_events(f"pid:{os.getpid()}", events, path=path,
+                               kind="flight")
+
+
+# The span-exit VerificationError hook (see core._Span.__exit__) writes
+# through this sink; registered here so core stays exporter-agnostic.
+core.set_flight_sink(flight_record)
 
 
 def start_exporter(interval: float = 15.0) -> bool:
@@ -145,6 +224,7 @@ def start_exporter(interval: float = 15.0) -> bool:
         while not stop.wait(interval):
             try:
                 export_now()
+                export_trace_now()
             except Exception:
                 pass
 
@@ -165,6 +245,7 @@ def stop_exporter(flush: bool = True) -> None:
     if flush:
         try:
             export_now()
+            export_trace_now()
         except Exception:
             pass
 
@@ -173,19 +254,18 @@ def _atexit_flush() -> None:
     try:
         if core.enabled():
             export_now()
+            export_trace_now()
     except Exception:
         pass
 
 
-def read_log(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
-    """Latest record per process from the JSONL log (newest seq/ts wins).
-    Malformed lines (e.g. a torn write from a crashed process) are
-    skipped."""
-    if path is None:
-        path = os.environ.get("REPRO_TELEMETRY_LOG") or DEFAULT_LOG_PATH
-    latest: Dict[str, Dict[str, Any]] = {}
+def _iter_records(path: str):
+    """Well-formed, schema-readable records from a JSONL log. Malformed
+    lines (torn writes from a crashed process) and records stamped with
+    a schema version this reader does not know are skipped — the same
+    forward-compatibility gate the persistent store applies."""
     if not os.path.exists(path):
-        return latest
+        return
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -195,11 +275,43 @@ def read_log(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
                 rec = json.loads(line)
             except ValueError:
                 continue
-            proc = rec.get("proc")
-            if not isinstance(proc, str) or "snapshot" not in rec:
+            if rec.get("schema", 1) not in core.READABLE_SCHEMAS:
                 continue
-            prev = latest.get(proc)
-            if prev is None or (rec.get("ts", 0), rec.get("seq", 0)) >= (
-                    prev.get("ts", 0), prev.get("seq", 0)):
-                latest[proc] = rec
+            yield rec
+
+
+def read_log(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """Latest record per process from the JSONL log (newest seq/ts wins).
+    Malformed lines and unknown schema versions are skipped."""
+    if path is None:
+        path = os.environ.get("REPRO_TELEMETRY_LOG") or DEFAULT_LOG_PATH
+    latest: Dict[str, Dict[str, Any]] = {}
+    for rec in _iter_records(path):
+        proc = rec.get("proc")
+        if not isinstance(proc, str) or "snapshot" not in rec:
+            continue
+        prev = latest.get(proc)
+        if prev is None or (rec.get("ts", 0), rec.get("seq", 0)) >= (
+                prev.get("ts", 0), prev.get("seq", 0)):
+            latest[proc] = rec
     return latest
+
+
+def read_trace_log(path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Every span event from the trace JSONL, annotated with the proc
+    that emitted it (``kind: flight`` dump lines ride along with their
+    reason marker). Order is file order — assembly sorts by timestamp."""
+    if path is None:
+        path = (os.environ.get("REPRO_TELEMETRY_TRACE_LOG")
+                or DEFAULT_TRACE_LOG_PATH)
+    out: List[Dict[str, Any]] = []
+    for rec in _iter_records(path):
+        proc = rec.get("proc")
+        events = rec.get("events")
+        if not isinstance(proc, str) or not isinstance(events, list):
+            continue
+        kind = rec.get("kind", "trace")
+        for event in events:
+            if isinstance(event, dict):
+                out.append({**event, "proc": proc, "kind": kind})
+    return out

@@ -1,0 +1,159 @@
+"""Declarative SLO targets evaluated against merged telemetry snapshots.
+
+A config is JSON with a list of targets under ``"slos"``; each target
+is one of three shapes::
+
+    {"slos": [
+      {"name": "server batch p99",
+       "metric": "server.op.batch.seconds", "quantile": 0.99, "max": 0.5},
+      {"name": "worker error rate",
+       "ratio": ["worker.evaluate.errors", "worker.items"], "max": 0.01},
+      {"name": "memo hit rate",
+       "ratio": ["engine.memo_hits",
+                 ["engine.memo_hits", "engine.memo_misses"]], "min": 0.8},
+      {"name": "queue wait p90",
+       "metric": "worker.queue_wait.seconds", "quantile": 0.9, "max": 0.2},
+      {"name": "respawn budget",
+       "counter": "service.worker_respawns", "max": 0}
+    ]}
+
+* ``metric`` targets bound a quantile of a histogram (p99 latency per
+  span family, queue wait, ...). A histogram with no samples is a
+  violation only when ``require: true`` is set.
+* ``ratio`` targets bound a counter ratio — error rate (``max``) or
+  cache hit-rate (``min``). Numerator/denominator are counter names or
+  lists of counter names to sum; a zero denominator evaluates as 0.
+* ``counter`` targets bound a raw counter value.
+
+``repro slo check --config slo.json`` evaluates every target against
+the aggregated snapshots (JSONL log or a live server's ``metrics`` op)
+and exits non-zero when any target is violated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .core import quantile_from_snapshot
+
+__all__ = ["SLOResult", "evaluate_slos", "load_config", "render_slo_report"]
+
+
+class SLOResult:
+    """Outcome of one target: observed value vs. bound."""
+
+    __slots__ = ("name", "ok", "observed", "bound", "kind", "detail")
+
+    def __init__(self, name: str, ok: bool, observed: Optional[float],
+                 bound: str, kind: str, detail: str = "") -> None:
+        self.name = name
+        self.ok = ok
+        self.observed = observed
+        self.bound = bound
+        self.kind = kind
+        self.detail = detail
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "observed": self.observed,
+                "bound": self.bound, "kind": self.kind, "detail": self.detail}
+
+
+def load_config(path: str) -> List[Dict[str, Any]]:
+    with open(path, encoding="utf-8") as fh:
+        config = json.load(fh)
+    targets = config.get("slos") if isinstance(config, dict) else config
+    if not isinstance(targets, list):
+        raise ValueError(f"SLO config {path!r} must be a JSON object with an "
+                         f"'slos' list (or a bare list of targets)")
+    return targets
+
+
+def _counter_sum(counters: Dict[str, float],
+                 names: Union[str, Sequence[str]]) -> float:
+    if isinstance(names, str):
+        names = [names]
+    return float(sum(counters.get(name, 0.0) for name in names))
+
+
+def _check_bounds(target: Dict[str, Any],
+                  observed: Optional[float]) -> Tuple[bool, str]:
+    parts = []
+    ok = True
+    if "max" in target:
+        parts.append(f"<= {target['max']}")
+        if observed is not None and observed > float(target["max"]):
+            ok = False
+    if "min" in target:
+        parts.append(f">= {target['min']}")
+        if observed is not None and observed < float(target["min"]):
+            ok = False
+    if observed is None and target.get("require"):
+        ok = False
+        parts.append("(required)")
+    return ok, " and ".join(parts) or "(no bound)"
+
+
+def evaluate_slos(aggregated: Dict[str, Any],
+                  targets: List[Dict[str, Any]]) -> List[SLOResult]:
+    """Evaluate every target against an ``aggregate()``d snapshot view
+    (the merged cross-process dashboard data)."""
+    counters = aggregated.get("counters") or {}
+    histograms = aggregated.get("histograms") or {}
+    results: List[SLOResult] = []
+    for target in targets:
+        if "metric" in target:
+            name = target.get("name") or target["metric"]
+            q = float(target.get("quantile", 0.99))
+            snap = histograms.get(target["metric"])
+            observed = (quantile_from_snapshot(snap, q)
+                        if snap is not None else None)
+            ok, bound = _check_bounds(target, observed)
+            detail = (f"p{int(q * 100)} of {target['metric']}"
+                      if snap is not None else
+                      f"{target['metric']}: no samples")
+            results.append(SLOResult(name, ok, observed, bound,
+                                     "latency", detail))
+        elif "ratio" in target:
+            num, den = target["ratio"]
+            name = target.get("name") or f"ratio({num}/{den})"
+            denominator = _counter_sum(counters, den)
+            numerator = _counter_sum(counters, num)
+            observed = (numerator / denominator) if denominator else 0.0
+            ok, bound = _check_bounds(target, observed)
+            results.append(SLOResult(
+                name, ok, observed, bound, "ratio",
+                f"{numerator:g} / {denominator:g}"))
+        elif "counter" in target:
+            name = target.get("name") or target["counter"]
+            observed = float(counters.get(target["counter"], 0.0))
+            ok, bound = _check_bounds(target, observed)
+            results.append(SLOResult(name, ok, observed, bound, "counter",
+                                     target["counter"]))
+        else:
+            results.append(SLOResult(
+                str(target.get("name", target)), False, None, "(invalid)",
+                "invalid", "target needs one of: metric, ratio, counter"))
+    return results
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_slo_report(results: List[SLOResult]) -> str:
+    if not results:
+        return "(no SLO targets configured)"
+    width = max(len(r.name) for r in results)
+    lines = []
+    for r in results:
+        status = "OK  " if r.ok else "FAIL"
+        lines.append(f"{status} {r.name:<{width}}  observed={_fmt(r.observed)}"
+                     f"  target {r.bound}  [{r.detail}]")
+    violated = sum(1 for r in results if not r.ok)
+    lines.append(f"{len(results) - violated}/{len(results)} SLO target(s) met")
+    return "\n".join(lines)

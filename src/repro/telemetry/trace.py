@@ -1,0 +1,204 @@
+"""Assemble distributed traces from trace-event JSONL and export them.
+
+Every process in trace mode (``REPRO_TELEMETRY=trace``) appends span
+begin/end events to a shared trace log — directly for long-lived
+processes, or riding worker reply tuples and written by the service
+client under the worker's generation-tagged proc name. Each event
+carries a globally unique span id, its parent span id, and the trace id
+minted at the request's entry point, so grouping by trace id and
+parenting by span id reconstructs one request's full cross-process
+waterfall.
+
+``repro trace`` renders these as:
+
+* a per-trace listing (``repro trace list``),
+* a text waterfall for one trace (``repro trace show --trace T...``),
+* Chrome trace-event format (``repro trace export --chrome``), loadable
+  in Perfetto / ``chrome://tracing``.
+
+Stdlib-only, like the rest of the telemetry package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from . import export
+
+__all__ = [
+    "assemble_traces",
+    "chrome_trace",
+    "render_trace_list",
+    "render_waterfall",
+    "write_chrome_trace",
+]
+
+
+def _span_records(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Fold begin/end event pairs into one record per span. End events
+    are authoritative (they carry duration and error); a begin without
+    its end (process died mid-span) still yields a partial record."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in events:
+        span_id = event.get("span")
+        kind = event.get("event")
+        if span_id is None or kind not in ("begin", "end"):
+            continue
+        span_id = str(span_id)
+        rec = spans.get(span_id)
+        if rec is None:
+            rec = spans[span_id] = {"span": span_id, "complete": False}
+            order.append(span_id)
+        for key in ("name", "parent", "trace", "proc", "tid", "attrs"):
+            if event.get(key) is not None:
+                rec[key] = event[key]
+        if kind == "begin":
+            rec["start"] = event.get("ts")
+        else:
+            rec["end_ts"] = event.get("ts")
+            rec["seconds"] = event.get("seconds")
+            rec["error"] = event.get("error")
+            rec["complete"] = True
+            # A worker's begin event can be lost to a crash while the
+            # end arrived in an earlier reply; recover the start from
+            # end - duration so the waterfall still places the span.
+            if rec.get("start") is None and rec.get("seconds") is not None:
+                rec["start"] = rec["end_ts"] - rec["seconds"]
+    return [spans[sid] for sid in order]
+
+
+def assemble_traces(events: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group span records by trace id, each list sorted by start time.
+    Spans with no trace id (pre-upgrade peers) group under ``"-"``."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in _span_records(events):
+        trace_id = str(rec.get("trace") or "-")
+        traces.setdefault(trace_id, []).append(rec)
+    for spans in traces.values():
+        spans.sort(key=lambda r: (r.get("start") or 0.0, r["span"]))
+    return traces
+
+
+def render_trace_list(traces: Dict[str, List[Dict[str, Any]]]) -> str:
+    """One line per trace: id, span count, processes touched, root op,
+    wall-clock extent."""
+    if not traces:
+        return "(no traces recorded — run with REPRO_TELEMETRY=trace)"
+    lines = [f"{'trace':<24} {'spans':>5} {'procs':>5} "
+             f"{'wall':>10}  root"]
+    for trace_id, spans in sorted(
+            traces.items(), key=lambda kv: kv[1][0].get("start") or 0.0):
+        starts = [s["start"] for s in spans if s.get("start") is not None]
+        ends = [s.get("end_ts") for s in spans if s.get("end_ts") is not None]
+        wall = (max(ends) - min(starts)) if starts and ends else None
+        roots = [s for s in spans if s.get("parent") is None]
+        root = roots[0]["name"] if roots and roots[0].get("name") else "?"
+        procs = len({s.get("proc") for s in spans})
+        lines.append(f"{trace_id:<24} {len(spans):>5} {procs:>5} "
+                     f"{_fmt_wall(wall):>10}  {root}")
+    return "\n".join(lines)
+
+
+def _fmt_wall(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_waterfall(trace_id: str, spans: List[Dict[str, Any]]) -> str:
+    """Indented text waterfall for one trace: children nest under their
+    parents, each row showing offset from trace start, duration, proc
+    and error flag."""
+    if not spans:
+        return f"trace {trace_id}: (no spans)"
+    by_id = {s["span"]: s for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for s in spans:
+        parent = s.get("parent")
+        # A parent from another process whose events never reached the
+        # log renders its orphans at the root level.
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(s)
+    starts = [s["start"] for s in spans if s.get("start") is not None]
+    t0 = min(starts) if starts else 0.0
+    lines = [f"trace {trace_id}"]
+
+    def emit(span: Dict[str, Any], depth: int) -> None:
+        start = span.get("start")
+        offset = f"+{(start - t0) * 1e3:9.3f}ms" if start is not None else " " * 12
+        dur = (_fmt_wall(span.get("seconds"))
+               if span.get("seconds") is not None else "(open)")
+        error = f"  ERROR={span['error']}" if span.get("error") else ""
+        name = span.get("name", "?")
+        proc = span.get("proc", "?")
+        lines.append(f"{offset} {'  ' * depth}{name:<{max(1, 40 - 2 * depth)}} "
+                     f"{dur:>10}  [{proc}]{error}")
+        for child in children.get(span["span"], ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def chrome_trace(events: List[Dict[str, Any]],
+                 trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """Chrome trace-event JSON (``{"traceEvents": [...]}``) from raw
+    span events — complete ("ph": "X") events with microsecond
+    timestamps, one synthetic pid per repro process (named via metadata
+    events) and one tid per OS thread, so Perfetto renders the
+    cross-process waterfall on a shared clock."""
+    traces = assemble_traces(events)
+    if trace_id is not None:
+        traces = {trace_id: traces.get(trace_id, [])}
+    pids: Dict[str, int] = {}
+    tids: Dict[Any, int] = {}
+    out: List[Dict[str, Any]] = []
+    for tid_key, spans in sorted(traces.items()):
+        for span in spans:
+            if span.get("start") is None:
+                continue
+            proc = str(span.get("proc", "?"))
+            pid = pids.setdefault(proc, len(pids) + 1)
+            tid = tids.setdefault((proc, span.get("tid")), len(tids) + 1)
+            args = dict(span.get("attrs") or {})
+            args["trace"] = tid_key
+            args["span"] = span["span"]
+            if span.get("parent") is not None:
+                args["parent"] = span["parent"]
+            if span.get("error"):
+                args["error"] = span["error"]
+            out.append({
+                "name": span.get("name", "?"),
+                "cat": tid_key,
+                "ph": "X",
+                "ts": span["start"] * 1e6,
+                "dur": (span.get("seconds") or 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+    for proc, pid in pids.items():
+        out.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                    "args": {"name": proc}})
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(out_path: str, log_path: Optional[str] = None,
+                       trace_id: Optional[str] = None) -> int:
+    """Export the trace log as a Chrome trace file; returns the number
+    of span events written."""
+    events = export.read_trace_log(log_path)
+    payload = chrome_trace(events, trace_id=trace_id)
+    parent = os.path.dirname(os.path.abspath(out_path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    return sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")

@@ -1,0 +1,154 @@
+"""Continuous benchmark trending over the ``BENCH_*.json`` family.
+
+Every benchmark harness appends one run to its trajectory file (the
+github-action-benchmark shape: a list of runs, each a list of
+``{"name", "unit", "value"}`` records). This module is the regression
+gate over those trajectories: for every metric it compares the newest
+point against a trailing window of prior runs and flags it when it is
+worse than the *most forgiving* point of the window by more than a
+configurable tolerance.
+
+Comparing against the window's worst prior point (not its mean or
+median) is deliberate: the committed trajectories come from shared CI
+machines and swing several-fold run to run, so a central-tendency gate
+would flag healthy noise. A genuine regression — a newest point beyond
+anything the window ever produced, by margin — still trips the gate.
+
+Direction is inferred from the metric's unit:
+
+* throughput units (``.../s``) — higher is better,
+* time units (``s``, ``ms``, ``us``) — lower is better,
+* ratio units (``x``) — higher is better, unless the metric name
+  contains ``overhead`` (e.g. ``telemetry_overhead``), where lower is,
+* anything else (sample counts, sizes) is informational and skipped.
+
+``repro bench-trend`` runs this over the repo's committed trajectories
+and exits non-zero on any regression — the CI job for ROADMAP item 2.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["check_trends", "direction_for", "load_trajectories",
+           "render_trend_report"]
+
+DEFAULT_WINDOW = 5
+DEFAULT_TOLERANCE = 0.25
+
+_TIME_UNITS = frozenset({"s", "ms", "us", "seconds"})
+
+
+def direction_for(name: str, unit: str) -> Optional[str]:
+    """'higher' / 'lower' (better), or None for informational metrics."""
+    unit = (unit or "").strip()
+    if unit.endswith("/s"):
+        return "higher"
+    if unit in _TIME_UNITS:
+        return "lower"
+    if unit == "x":
+        return "lower" if "overhead" in name.lower() else "higher"
+    return None
+
+
+def load_trajectories(root: str = ".") -> Dict[str, List[List[Dict[str, Any]]]]:
+    """``{filename: [run, ...]}`` for every BENCH_*.json under root.
+    Files that fail to parse or have the wrong shape raise — a corrupt
+    committed trajectory should fail the gate loudly, not be skipped."""
+    out: Dict[str, List[List[Dict[str, Any]]]] = {}
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        with open(path, encoding="utf-8") as fh:
+            runs = json.load(fh)
+        if not isinstance(runs, list) or not all(
+                isinstance(run, list) for run in runs):
+            raise ValueError(f"{path}: expected a list of runs "
+                             f"(each a list of metric records)")
+        out[os.path.basename(path)] = runs
+    return out
+
+
+def _series(runs: List[List[Dict[str, Any]]]) -> Dict[str, Tuple[str, List[float]]]:
+    """Per-metric (unit, values-in-run-order) across a trajectory."""
+    series: Dict[str, Tuple[str, List[float]]] = {}
+    for run in runs:
+        for rec in run:
+            name = rec.get("name")
+            value = rec.get("value")
+            if not isinstance(name, str) or not isinstance(value, (int, float)):
+                continue
+            unit, values = series.setdefault(name, (str(rec.get("unit", "")),
+                                                    []))
+            values.append(float(value))
+    return series
+
+
+def check_trends(root: str = ".", window: int = DEFAULT_WINDOW,
+                 tolerance: float = DEFAULT_TOLERANCE) -> List[Dict[str, Any]]:
+    """One entry per (file, metric): status ``ok`` / ``regressed`` /
+    ``baseline`` (fewer than 2 points) / ``skipped`` (no direction)."""
+    entries: List[Dict[str, Any]] = []
+    for filename, runs in load_trajectories(root).items():
+        for name, (unit, values) in sorted(_series(runs).items()):
+            direction = direction_for(name, unit)
+            entry: Dict[str, Any] = {
+                "file": filename, "metric": name, "unit": unit,
+                "direction": direction, "points": len(values),
+                "newest": values[-1] if values else None,
+            }
+            if direction is None:
+                entry["status"] = "skipped"
+            elif len(values) < 2:
+                entry["status"] = "baseline"
+            else:
+                trailing = values[-1 - window:-1]
+                newest = values[-1]
+                if direction == "lower":
+                    reference = max(trailing)
+                    threshold = reference * (1.0 + tolerance)
+                    regressed = newest > threshold
+                else:
+                    reference = min(trailing)
+                    threshold = reference / (1.0 + tolerance)
+                    regressed = newest < threshold
+                entry["reference"] = reference
+                entry["threshold"] = threshold
+                entry["status"] = "regressed" if regressed else "ok"
+            entries.append(entry)
+    return entries
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4g}"
+
+
+def render_trend_report(entries: List[Dict[str, Any]],
+                        verbose: bool = False) -> str:
+    if not entries:
+        return "(no BENCH_*.json trajectories found)"
+    counts: Dict[str, int] = {}
+    lines: List[str] = []
+    for entry in entries:
+        status = entry["status"]
+        counts[status] = counts.get(status, 0) + 1
+        if status == "regressed" or verbose:
+            arrow = {"higher": ">=", "lower": "<="}.get(
+                entry.get("direction") or "", "")
+            bound = (f" (needs {arrow} {_fmt(entry.get('threshold'))}, "
+                     f"window {'worst' if status != 'skipped' else ''} "
+                     f"{_fmt(entry.get('reference'))})"
+                     if entry.get("threshold") is not None else "")
+            lines.append(f"{status.upper():<9} {entry['file']}: "
+                         f"{entry['metric']} = {_fmt(entry['newest'])} "
+                         f"{entry['unit']}{bound}")
+    # Coverage summary: every bound decision is visible — informational
+    # metrics and single-point baselines are reported, never silent.
+    summary = ", ".join(f"{counts.get(k, 0)} {k}"
+                        for k in ("ok", "regressed", "baseline", "skipped"))
+    lines.append(f"bench-trend: {len(entries)} metric(s) across "
+                 f"{len({e['file'] for e in entries})} file(s): {summary}")
+    return "\n".join(lines)
